@@ -1,0 +1,104 @@
+// Command benchkit regenerates the paper's tables and figures (Section 6)
+// at laptop scale, plus the ablations listed in DESIGN.md.
+//
+// Usage:
+//
+//	benchkit                 # everything (several minutes)
+//	benchkit -exp fig6       # one experiment: table2 table3 fig6 fig7
+//	                         # fig8 fig9 ablations
+//	benchkit -queries 3      # queries averaged per data point
+//	benchkit -quick          # smaller k sweep and fewer datasets
+//
+// Output is plain text, one aligned table per paper artifact — the source
+// for EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"ktpm/internal/bench"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment: all, table2, table3, fig6, fig7, fig8, fig9, ablations")
+		queries = flag.Int("queries", 5, "queries per data point")
+		quick   = flag.Bool("quick", false, "reduced sweeps for a fast pass")
+	)
+	flag.Parse()
+	bench.QueriesPerSet = *queries
+
+	ks := []int{10, 20, 100}
+	gdSets, gsSets := bench.GD, bench.GS
+	if *quick {
+		ks = []int{10, 100}
+		gdSets, gsSets = bench.GD[:3], bench.GS[:3]
+	}
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+	t0 := time.Now()
+
+	var gd, gs *bench.Env
+	prepare := func() {
+		if gd == nil {
+			fmt.Fprintln(os.Stderr, "preparing GD3 and GS3 ...")
+			gd = bench.Prepare(bench.DefaultGD())
+			gs = bench.Prepare(bench.DefaultGS())
+		}
+	}
+
+	if want("table2") {
+		bench.RunTable2(append(append([]bench.Dataset{}, gdSets...), gsSets...)).Fprint(os.Stdout)
+	}
+	if want("table3") {
+		prepare()
+		bench.RunTable3(gd, bench.SortedSizes(bench.Citation)).Fprint(os.Stdout)
+		bench.RunTable3(gs, bench.SortedSizes(bench.PowerLaw)).Fprint(os.Stdout)
+	}
+	if want("fig6") {
+		prepare()
+		for _, t := range bench.RunFig6(gd, ks) {
+			t.Fprint(os.Stdout)
+		}
+		for _, t := range bench.RunFig6(gs, ks) {
+			t.Fprint(os.Stdout)
+		}
+	}
+	if want("fig7") {
+		prepare()
+		bench.RunFig7K(gd, ks).Fprint(os.Stdout)
+		bench.RunFig7K(gs, ks).Fprint(os.Stdout)
+		bench.RunFig7T(gd, bench.SortedSizes(bench.Citation)).Fprint(os.Stdout)
+		bench.RunFig7T(gs, bench.SortedSizes(bench.PowerLaw)).Fprint(os.Stdout)
+		bench.RunFig7G(gdSets).Fprint(os.Stdout)
+		bench.RunFig7G(gsSets).Fprint(os.Stdout)
+	}
+	if want("fig8") {
+		prepare()
+		envs := []*bench.Env{gd, gs}
+		bench.RunFig8K(envs, ks).Fprint(os.Stdout)
+		bench.RunFig8T(envs, bench.SortedSizes(bench.PowerLaw)).Fprint(os.Stdout)
+		bench.RunFig8G(gdSets).Fprint(os.Stdout)
+		bench.RunFig8G(gsSets).Fprint(os.Stdout)
+	}
+	if want("fig9") {
+		// kGPM needs the undirected closure; use the small datasets.
+		e := bench.Prepare(bench.GS[0])
+		bench.RunFig9K(e, ks).Fprint(os.Stdout)
+		bench.RunFig9Q(e).Fprint(os.Stdout)
+	}
+	if want("ablations") {
+		prepare()
+		bench.RunAblationTrigger(gs, []int{10, 30, 50}).Fprint(os.Stdout)
+		bench.RunAblationLazyQ(gs, ks).Fprint(os.Stdout)
+		bench.RunAblationOracle([]bench.Dataset{gdSets[0], gsSets[0]}).Fprint(os.Stdout)
+	}
+	if !strings.Contains("all table2 table3 fig6 fig7 fig8 fig9 ablations", *exp) {
+		fmt.Fprintf(os.Stderr, "benchkit: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+	fmt.Fprintf(os.Stderr, "benchkit: done in %v\n", time.Since(t0).Round(time.Millisecond))
+}

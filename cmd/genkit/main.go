@@ -1,0 +1,90 @@
+// Command genkit generates benchmark datasets and query workloads.
+//
+// Usage:
+//
+//	genkit -kind citation -nodes 2000 -seed 13 -out gd3.txt
+//	genkit -kind powerlaw -nodes 4000 -seed 23 -out gs3.txt -queries 5 -qsize 50
+//
+// Graphs are written in the library text format; extracted queries are
+// printed to stdout in the compact tree syntax, one per line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"ktpm/internal/gen"
+	"ktpm/internal/graph"
+)
+
+func main() {
+	var (
+		kind     = flag.String("kind", "powerlaw", "generator: citation, powerlaw, er")
+		nodes    = flag.Int("nodes", 1000, "node count")
+		edges    = flag.Int("edges", 0, "edge count (er only; default 3x nodes)")
+		labels   = flag.Int("labels", 200, "label alphabet size")
+		seed     = flag.Int64("seed", 1, "random seed")
+		out      = flag.String("out", "", "output graph file (stdout when empty)")
+		queries  = flag.Int("queries", 0, "also extract this many queries")
+		qsize    = flag.Int("qsize", 20, "query size (nodes)")
+		qdup     = flag.Bool("qdup", false, "allow duplicate labels in queries")
+	)
+	flag.Parse()
+
+	var g *graph.Graph
+	switch *kind {
+	case "citation":
+		g = gen.Citation(gen.CitationConfig{Nodes: *nodes, Venues: *labels, Seed: *seed})
+	case "powerlaw":
+		g = gen.PowerLaw(gen.PowerLawConfig{Nodes: *nodes, Labels: *labels, Seed: *seed})
+	case "er":
+		m := *edges
+		if m == 0 {
+			m = 3 * *nodes
+		}
+		g = gen.ErdosRenyi(*nodes, m, *labels, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "genkit: unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "genkit: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := graph.Encode(w, g); err != nil {
+		fmt.Fprintf(os.Stderr, "genkit: encode: %v\n", err)
+		os.Exit(1)
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "genkit: wrote %d nodes, %d edges to %s\n",
+			g.NumNodes(), g.NumEdges(), *out)
+	}
+
+	if *queries > 0 {
+		got := 0
+		for i := 0; i < *queries*4 && got < *queries; i++ {
+			rng := rand.New(rand.NewSource(*seed + int64(i)*7919))
+			q, err := gen.ExtractQuery(g, gen.QueryConfig{
+				Size:           *qsize,
+				DistinctLabels: !*qdup,
+			}, rng)
+			if err != nil {
+				continue
+			}
+			fmt.Fprintln(os.Stderr, q.String())
+			got++
+		}
+		if got < *queries {
+			fmt.Fprintf(os.Stderr, "genkit: extracted only %d of %d queries\n", got, *queries)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+// Command ktpm runs a top-k tree matching query against a graph file.
+//
+// Usage:
+//
+//	ktpm -graph g.txt -query "a(b,c(d))" -k 20 [-algo topk-en] [-count]
+//
+// The graph file uses the library text format ("n <id> <label>" and
+// "e <from> <to> [w]" lines). The query syntax is the library's compact
+// tree form: '/' prefixes parent-child edges, '*' is a wildcard label.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"ktpm"
+)
+
+func main() {
+	var (
+		graphPath = flag.String("graph", "", "path to the data graph file")
+		dbPath    = flag.String("db", "", "path to a prepared database snapshot (alternative to -graph)")
+		savePath  = flag.String("save", "", "write the prepared database snapshot here and exit")
+		queryStr  = flag.String("query", "", "query tree, e.g. \"a(b,c(d))\"")
+		k         = flag.Int("k", 10, "number of matches to return")
+		algoName  = flag.String("algo", "topk-en", "algorithm: topk-en, topk, dp-b, dp-p")
+		count     = flag.Bool("count", false, "also print the total number of matches")
+		explain   = flag.Bool("explain", false, "print the query plan before running")
+		quiet     = flag.Bool("quiet", false, "print scores only")
+	)
+	flag.Parse()
+	if (*graphPath == "" && *dbPath == "") || (*queryStr == "" && *savePath == "") {
+		flag.Usage()
+		os.Exit(2)
+	}
+	algos := map[string]ktpm.Algorithm{
+		"topk-en": ktpm.AlgoTopkEN,
+		"topk":    ktpm.AlgoTopk,
+		"dp-b":    ktpm.AlgoDPB,
+		"dp-p":    ktpm.AlgoDPP,
+	}
+	algo, ok := algos[strings.ToLower(*algoName)]
+	if !ok {
+		fatalf("unknown algorithm %q (want topk-en, topk, dp-b, dp-p)", *algoName)
+	}
+
+	var db *ktpm.Database
+	if *dbPath != "" {
+		f, err := os.Open(*dbPath)
+		if err != nil {
+			fatalf("open database: %v", err)
+		}
+		t0 := time.Now()
+		db, err = ktpm.OpenDatabase(f, ktpm.DatabaseOptions{})
+		f.Close()
+		if err != nil {
+			fatalf("load database: %v", err)
+		}
+		fmt.Printf("database loaded in %v\n", time.Since(t0).Round(time.Millisecond))
+	} else {
+		f, err := os.Open(*graphPath)
+		if err != nil {
+			fatalf("open graph: %v", err)
+		}
+		g, err := ktpm.LoadGraph(f)
+		f.Close()
+		if err != nil {
+			fatalf("load graph: %v", err)
+		}
+		fmt.Printf("graph: %d nodes, %d edges\n", g.NumNodes(), g.NumEdges())
+		t0 := time.Now()
+		db, err = ktpm.BuildDatabase(g, ktpm.DatabaseOptions{})
+		if err != nil {
+			fatalf("build database: %v", err)
+		}
+		entries, tables, theta, size := db.ClosureStats()
+		fmt.Printf("closure: %d entries in %d tables (theta %.1f, %.1f MB) in %v\n",
+			entries, tables, theta, float64(size)/1e6, time.Since(t0).Round(time.Millisecond))
+	}
+	if *savePath != "" {
+		f, err := os.Create(*savePath)
+		if err != nil {
+			fatalf("create snapshot: %v", err)
+		}
+		if err := ktpm.SaveDatabase(f, db); err != nil {
+			fatalf("save snapshot: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("close snapshot: %v", err)
+		}
+		fmt.Printf("database snapshot written to %s\n", *savePath)
+		if *queryStr == "" {
+			return
+		}
+	}
+
+	q, err := db.ParseQuery(*queryStr)
+	if err != nil {
+		fatalf("parse query: %v", err)
+	}
+	if *explain {
+		plan, err := db.Explain(q)
+		if err != nil {
+			fatalf("explain: %v", err)
+		}
+		fmt.Print(plan)
+	}
+	t0 := time.Now()
+	ms, err := db.TopKWith(q, *k, ktpm.Options{Algorithm: algo})
+	if err != nil {
+		fatalf("query: %v", err)
+	}
+	elapsed := time.Since(t0)
+	fmt.Printf("%s found %d match(es) in %v\n", algo, len(ms), elapsed.Round(time.Microsecond))
+	for i, m := range ms {
+		if *quiet {
+			fmt.Printf("top-%d score=%d\n", i+1, m.Score)
+			continue
+		}
+		parts := make([]string, len(m.Nodes))
+		for j, v := range m.Nodes {
+			parts[j] = fmt.Sprintf("%s=%d", q.LabelOf(j), v)
+		}
+		fmt.Printf("top-%d score=%d  %s\n", i+1, m.Score, strings.Join(parts, " "))
+	}
+	if *count {
+		fmt.Printf("total matches: %d\n", db.CountMatches(q))
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ktpm: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,67 @@
+// Citations reproduces the paper's Figure 1 walkthrough: a twig query
+// C(E,S) over a patent citation graph, where C/E/S are Computer Science,
+// Economy, and Social Science patents, and a match (x, y, z) means patent
+// x's work reached patents y and z — the smaller the total citation
+// distance, the more direct the impact.
+//
+//	go run ./examples/citations
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ktpm"
+)
+
+func main() {
+	// Figure 1(b)'s tiny portion of the patent citation graph: three CS
+	// patents (v1, v2, v3), two Economy patents (v5, v6), two Social
+	// Science patents (v4, v7). Citation edges run from the cited patent
+	// to the citing patent, weight 1.
+	gb := ktpm.NewGraphBuilder()
+	names := []string{"C", "C", "C", "S", "E", "E", "S"}
+	ids := make([]int32, len(names))
+	for i, n := range names {
+		ids[i] = gb.AddNode(n)
+	}
+	v1, v2, v3, v4, v5, v6, v7 := ids[0], ids[1], ids[2], ids[3], ids[4], ids[5], ids[6]
+	for _, e := range [][2]int32{
+		{v1, v4}, {v1, v5}, // v1 cited directly by an S and an E patent
+		{v2, v6}, {v6, v4}, // v2 reaches S only through E
+		{v3, v6}, {v3, v7},
+	} {
+		gb.AddEdge(e[0], e[1])
+	}
+	g, err := gb.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	db, err := ktpm.BuildDatabase(g, ktpm.DatabaseOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The twig query of Figure 1(a): a CS patent whose work reaches both
+	// an Economy and a Social Science patent ('//' semantics).
+	q, err := db.ParseQuery("C(E,S)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	total := db.CountMatches(q)
+	fmt.Printf("twig query %s: %d matches in total\n", q, total)
+
+	matches, err := db.TopK(q, int(total))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, m := range matches {
+		c, _ := m.Binding(q, "C")
+		e, _ := m.Binding(q, "E")
+		s, _ := m.Binding(q, "S")
+		fmt.Printf("top-%d (score %d): patent v%d -> economy v%d, social v%d\n",
+			i+1, m.Score, c+1, e+1, s+1)
+	}
+	fmt.Println("\nThe lowest-score matches are the CS patents with the most")
+	fmt.Println("direct combined impact on Economy and Social Science work.")
+}

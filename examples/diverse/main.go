@@ -1,0 +1,68 @@
+// Diverse demonstrates incremental streaming and the diverse top-k
+// extension (the paper's conclusion raises result diversification as
+// future work): instead of k near-identical best matches, return the best
+// representative of k different regions of the graph.
+//
+//	go run ./examples/diverse
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"ktpm"
+)
+
+func main() {
+	// A graph with several "neighborhoods": each has a hub h with s and t
+	// satellites at varying distances, so each neighborhood contributes a
+	// cluster of similar matches.
+	rng := rand.New(rand.NewSource(3))
+	gb := ktpm.NewGraphBuilder()
+	const neighborhoods = 6
+	for i := 0; i < neighborhoods; i++ {
+		h := gb.AddNode("h")
+		for j := 0; j < 4; j++ {
+			s := gb.AddNode("s")
+			t := gb.AddNode("t")
+			gb.AddWeightedEdge(h, s, int32(1+rng.Intn(3)+i))
+			gb.AddWeightedEdge(h, t, int32(1+rng.Intn(3)+i))
+		}
+	}
+	g, err := gb.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	db, err := ktpm.BuildDatabase(g, ktpm.DatabaseOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	q, err := db.ParseQuery("h(s,t)")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("plain top-5 (clusters around the cheapest hub):")
+	plain, _ := db.TopK(q, 5)
+	for i, m := range plain {
+		fmt.Printf("  top-%d score=%d hub=%d\n", i+1, m.Score, m.Nodes[0])
+	}
+
+	fmt.Println("\ndiverse top-5 (no shared nodes between results):")
+	diverse, err := db.DiverseTopK(q, 5, 0, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, m := range diverse {
+		fmt.Printf("  top-%d score=%d hub=%d\n", i+1, m.Score, m.Nodes[0])
+	}
+
+	fmt.Println("\nstreaming the first scores without fixing k up front:")
+	st := db.Stream(q)
+	for i := 0; i < 3; i++ {
+		if m, ok := st.Next(); ok {
+			fmt.Printf("  next: score=%d\n", m.Score)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+// Quickstart: build a tiny graph, prepare it, run a top-k query.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ktpm"
+)
+
+func main() {
+	// A small supply-chain-ish graph: suppliers ship to factories, which
+	// ship to warehouses and stores.
+	gb := ktpm.NewGraphBuilder()
+	s1 := gb.AddNode("supplier")
+	s2 := gb.AddNode("supplier")
+	f1 := gb.AddNode("factory")
+	f2 := gb.AddNode("factory")
+	w1 := gb.AddNode("warehouse")
+	st1 := gb.AddNode("store")
+	st2 := gb.AddNode("store")
+
+	gb.AddEdge(s1, f1)
+	gb.AddEdge(s2, f2)
+	gb.AddEdge(f1, w1)
+	gb.AddEdge(f2, w1)
+	gb.AddEdge(w1, st1)
+	gb.AddEdge(w1, st2)
+	gb.AddEdge(f1, st2) // a direct factory-to-store shortcut
+
+	g, err := gb.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	// BuildDatabase runs the offline pre-computation (the transitive
+	// closure with shortest distances).
+	db, err := ktpm.BuildDatabase(g, ktpm.DatabaseOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Find supplier→(warehouse, store) patterns with the shortest total
+	// shipping chains. '//' edges (the default) match any directed path.
+	q, err := db.ParseQuery("supplier(warehouse,store)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query %s over %d matches total\n", q, db.CountMatches(q))
+
+	matches, err := db.TopK(q, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, m := range matches {
+		sup, _ := m.Binding(q, "supplier")
+		wh, _ := m.Binding(q, "warehouse")
+		sto, _ := m.Binding(q, "store")
+		fmt.Printf("top-%d (score %d): supplier %d -> warehouse %d, store %d\n",
+			i+1, m.Score, sup, wh, sto)
+	}
+}

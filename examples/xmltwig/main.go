@@ -1,0 +1,78 @@
+// Xmltwig demonstrates the general twig-query features of Section 5 on a
+// document-shaped graph: '/' (parent-child) edges, duplicate labels, and
+// wildcard (*) nodes — the XML twig-pattern semantics of XPath over graph
+// data.
+//
+//	go run ./examples/xmltwig
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ktpm"
+)
+
+func main() {
+	// A bibliography-like document graph. Unlike XML, references make it
+	// a DAG: a book's chapter can cite another book's section.
+	gb := ktpm.NewGraphBuilder()
+	lib := gb.AddNode("library")
+	bookA := gb.AddNode("book")
+	bookB := gb.AddNode("book")
+	chA1 := gb.AddNode("chapter")
+	chA2 := gb.AddNode("chapter")
+	chB1 := gb.AddNode("chapter")
+	secA1 := gb.AddNode("section")
+	secA2 := gb.AddNode("section")
+	secB1 := gb.AddNode("section")
+	fig1 := gb.AddNode("figure")
+	tbl1 := gb.AddNode("table")
+
+	for _, e := range [][2]int32{
+		{lib, bookA}, {lib, bookB},
+		{bookA, chA1}, {bookA, chA2}, {bookB, chB1},
+		{chA1, secA1}, {chA2, secA2}, {chB1, secB1},
+		{secA1, fig1}, {secB1, tbl1},
+		{chA2, secB1}, // a cross-book citation
+	} {
+		gb.AddEdge(e[0], e[1])
+	}
+	g, err := gb.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	db, err := ktpm.BuildDatabase(g, ktpm.DatabaseOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	show := func(queryStr string) {
+		q, err := db.ParseQuery(queryStr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ms, err := db.TopK(q, 5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-34s -> %d match(es)", queryStr, len(ms))
+		if len(ms) > 0 {
+			fmt.Printf(", best score %d, nodes %v", ms[0].Score, ms[0].Nodes)
+		}
+		fmt.Println()
+	}
+
+	// XPath //library//book//section: any descendant path.
+	show("library(book(section))")
+	// XPath //library/book/chapter/section: strict parent-child steps.
+	show("library(/book(/chapter(/section)))")
+	// Duplicate labels: two different chapters under one book (the same
+	// label at two query positions maps to two data nodes).
+	show("book(chapter(section),chapter)")
+	// Wildcard: a section containing anything (figure, table, ...).
+	show("section(*)")
+	// Mixing: a book whose chapter leads to a section with a figure,
+	// where the book-chapter step must be direct.
+	show("book(/chapter(section(figure)))")
+}

@@ -1,0 +1,102 @@
+package ktpm
+
+import (
+	"fmt"
+	"strings"
+
+	"ktpm/internal/closure"
+	"ktpm/internal/label"
+	"ktpm/internal/rtg"
+)
+
+// EdgePlan describes one query edge in an explain plan.
+type EdgePlan struct {
+	// Parent and Child are the query positions (BFS indexes).
+	Parent, Child int
+	// ParentLabel and ChildLabel are display names.
+	ParentLabel, ChildLabel string
+	// Kind is "/" or "//".
+	Kind string
+	// TableEntries is |L^α_β|, the closure entries a full scan reads.
+	TableEntries int
+	// ChildCandidates counts data nodes carrying the child label.
+	ChildCandidates int
+}
+
+// Plan is the result of Database.Explain: per-edge table statistics plus
+// run-time-graph estimates, the numbers that predict which algorithm wins
+// (Topk pays for the full m_R; Topk-EN pays for the loaded prefix).
+type Plan struct {
+	Query string
+	Edges []EdgePlan
+	// EstimatedRuntimeEdges is m_R before pruning (the sum of the
+	// edge-table sizes); the pruned run-time graph is at most this.
+	EstimatedRuntimeEdges int64
+	// PrunedRuntimeNodes / PrunedRuntimeEdges are exact post-pruning
+	// sizes (computed by actually building the run-time graph).
+	PrunedRuntimeNodes int
+	PrunedRuntimeEdges int64
+	// TotalMatches is the exact match count.
+	TotalMatches int64
+}
+
+// Explain analyzes q without enumerating matches: it reports the closure
+// tables each query edge touches and the exact (pruned) run-time graph
+// size — Table 3's quantities for one query.
+func (db *Database) Explain(q *Query) (*Plan, error) {
+	if q == nil || q.t == nil {
+		return nil, fmt.Errorf("ktpm: nil query")
+	}
+	p := &Plan{Query: q.String()}
+	for u := 1; u < q.t.NumNodes(); u++ {
+		node := q.t.Nodes[u]
+		parent := node.Parent
+		ep := EdgePlan{
+			Parent:      int(parent),
+			Child:       u,
+			ParentLabel: q.t.LabelName(parent),
+			ChildLabel:  q.t.LabelName(int32(u)),
+			Kind:        node.EdgeFromParent.String(),
+		}
+		pl, cl := q.t.Nodes[parent].Label, node.Label
+		if pl != label.Wildcard && cl != label.Wildcard {
+			ep.TableEntries = len(db.c.Table(pl, cl))
+			ep.ChildCandidates = len(db.g.NodesWithLabel(cl))
+		} else {
+			// A wildcard side touches every table matching the other
+			// side's label; sum them.
+			db.c.Tables(func(a, b int32, entries []closure.Entry) bool {
+				if (pl == label.Wildcard || a == pl) && (cl == label.Wildcard || b == cl) {
+					ep.TableEntries += len(entries)
+				}
+				return true
+			})
+			if cl == label.Wildcard {
+				ep.ChildCandidates = db.g.NumNodes()
+			} else {
+				ep.ChildCandidates = len(db.g.NodesWithLabel(cl))
+			}
+		}
+		p.Edges = append(p.Edges, ep)
+		p.EstimatedRuntimeEdges += int64(ep.TableEntries)
+	}
+	r := rtg.Build(db.c, q.t)
+	p.PrunedRuntimeNodes = r.NumNodes()
+	p.PrunedRuntimeEdges = r.NumEdges()
+	p.TotalMatches = db.CountMatches(q)
+	return p, nil
+}
+
+// String renders the plan for CLI output.
+func (p *Plan) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "query %s\n", p.Query)
+	for _, e := range p.Edges {
+		fmt.Fprintf(&sb, "  edge %s %s%s: table %d entries, %d child candidates\n",
+			e.ParentLabel, e.Kind, e.ChildLabel, e.TableEntries, e.ChildCandidates)
+	}
+	fmt.Fprintf(&sb, "  run-time graph: <=%d edges raw, %d nodes / %d edges after pruning\n",
+		p.EstimatedRuntimeEdges, p.PrunedRuntimeNodes, p.PrunedRuntimeEdges)
+	fmt.Fprintf(&sb, "  total matches: %d\n", p.TotalMatches)
+	return sb.String()
+}

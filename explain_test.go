@@ -1,0 +1,70 @@
+package ktpm
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExplain(t *testing.T) {
+	db := paperFig1(t)
+	q, _ := db.ParseQuery("C(E,S)")
+	p, err := db.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Edges) != 2 {
+		t.Fatalf("edges = %d", len(p.Edges))
+	}
+	for _, e := range p.Edges {
+		if e.TableEntries <= 0 {
+			t.Fatalf("edge %s->%s table empty", e.ParentLabel, e.ChildLabel)
+		}
+		if e.Kind != "//" {
+			t.Fatalf("edge kind = %q", e.Kind)
+		}
+	}
+	if p.EstimatedRuntimeEdges < p.PrunedRuntimeEdges {
+		t.Fatalf("raw estimate %d < pruned %d", p.EstimatedRuntimeEdges, p.PrunedRuntimeEdges)
+	}
+	if p.TotalMatches != db.CountMatches(q) {
+		t.Fatalf("TotalMatches = %d", p.TotalMatches)
+	}
+	s := p.String()
+	if !strings.Contains(s, "run-time graph") || !strings.Contains(s, "total matches") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestExplainWildcard(t *testing.T) {
+	db := paperFig1(t)
+	q, _ := db.ParseQuery("C(*)")
+	p, err := db.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Edges[0].ChildCandidates != db.Graph().NumNodes() {
+		t.Fatalf("wildcard candidates = %d", p.Edges[0].ChildCandidates)
+	}
+	if p.Edges[0].TableEntries <= 0 {
+		t.Fatal("wildcard table entries not summed")
+	}
+}
+
+func TestExplainNilQuery(t *testing.T) {
+	db := paperFig1(t)
+	if _, err := db.Explain(nil); err == nil {
+		t.Fatal("nil query accepted")
+	}
+}
+
+func TestExplainSlashEdge(t *testing.T) {
+	db := paperFig1(t)
+	q, _ := db.ParseQuery("C(/E)")
+	p, err := db.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Edges[0].Kind != "/" {
+		t.Fatalf("kind = %q", p.Edges[0].Kind)
+	}
+}

@@ -1,0 +1,337 @@
+package closure
+
+import (
+	"math/rand"
+	"testing"
+
+	"ktpm/internal/graph"
+)
+
+// buildGraph constructs a graph from label string and edges.
+func buildGraph(t testing.TB, labels []string, edges [][3]int32) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder()
+	for _, l := range labels {
+		b.AddNode(l)
+	}
+	for _, e := range edges {
+		w := e[2]
+		if w == 0 {
+			w = 1
+		}
+		b.AddWeightedEdge(e[0], e[1], w)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return g
+}
+
+// floydWarshall is the test oracle for shortest distances.
+func floydWarshall(g *graph.Graph) [][]int32 {
+	n := g.NumNodes()
+	const inf = int32(1 << 30)
+	d := make([][]int32, n)
+	for i := range d {
+		d[i] = make([]int32, n)
+		for j := range d[i] {
+			if i == j {
+				d[i][j] = 0
+			} else {
+				d[i][j] = inf
+			}
+		}
+	}
+	g.Edges(func(e graph.Edge) bool {
+		if e.Weight < d[e.From][e.To] {
+			d[e.From][e.To] = e.Weight
+		}
+		return true
+	})
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			if d[i][k] >= inf {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if d[k][j] < inf && d[i][k]+d[k][j] < d[i][j] {
+					d[i][j] = d[i][k] + d[k][j]
+				}
+			}
+		}
+	}
+	for i := range d {
+		for j := range d[i] {
+			if d[i][j] >= inf {
+				d[i][j] = Unreachable
+			}
+		}
+	}
+	return d
+}
+
+func checkAgainstFW(t *testing.T, g *graph.Graph) {
+	t.Helper()
+	c := Compute(g, Options{KeepDistanceIndex: true})
+	want := floydWarshall(g)
+	n := g.NumNodes()
+	for i := int32(0); int(i) < n; i++ {
+		for j := int32(0); int(j) < n; j++ {
+			if i == j {
+				continue
+			}
+			if got := c.Distance(i, j); got != want[i][j] {
+				t.Fatalf("Distance(%d,%d) = %d, want %d", i, j, got, want[i][j])
+			}
+		}
+	}
+	// Entry count must equal the number of reachable ordered pairs.
+	var pairs int64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && want[i][j] != Unreachable {
+				pairs++
+			}
+		}
+	}
+	if c.NumEntries() != pairs {
+		t.Fatalf("NumEntries = %d, want %d", c.NumEntries(), pairs)
+	}
+}
+
+func TestClosureChain(t *testing.T) {
+	g := buildGraph(t, []string{"a", "b", "c", "d"},
+		[][3]int32{{0, 1, 0}, {1, 2, 0}, {2, 3, 0}})
+	checkAgainstFW(t, g)
+	c := Compute(g, Options{KeepDistanceIndex: true})
+	if d := c.Distance(0, 3); d != 3 {
+		t.Fatalf("Distance(0,3) = %d, want 3", d)
+	}
+}
+
+func TestClosureCycle(t *testing.T) {
+	g := buildGraph(t, []string{"a", "b", "c"},
+		[][3]int32{{0, 1, 0}, {1, 2, 0}, {2, 0, 0}})
+	checkAgainstFW(t, g)
+}
+
+func TestClosureWeighted(t *testing.T) {
+	// Weighted shortcut: direct edge weight 5, two-hop path weight 3.
+	g := buildGraph(t, []string{"a", "b", "c"},
+		[][3]int32{{0, 2, 5}, {0, 1, 1}, {1, 2, 2}})
+	c := Compute(g, Options{KeepDistanceIndex: true})
+	if d := c.Distance(0, 2); d != 3 {
+		t.Fatalf("Distance(0,2) = %d, want 3 (path via b)", d)
+	}
+	checkAgainstFW(t, g)
+}
+
+func TestClosureRandomUnweighted(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		n := 5 + rng.Intn(25)
+		b := graph.NewBuilder()
+		for i := 0; i < n; i++ {
+			b.AddNode(string(rune('a' + rng.Intn(5))))
+		}
+		for i := 0; i < 3*n; i++ {
+			u, v := int32(rng.Intn(n)), int32(rng.Intn(n))
+			if u != v {
+				b.AddEdge(u, v)
+			}
+		}
+		g, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkAgainstFW(t, g)
+	}
+}
+
+func TestClosureRandomWeighted(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 30; trial++ {
+		n := 5 + rng.Intn(20)
+		b := graph.NewBuilder()
+		for i := 0; i < n; i++ {
+			b.AddNode(string(rune('a' + rng.Intn(4))))
+		}
+		for i := 0; i < 3*n; i++ {
+			u, v := int32(rng.Intn(n)), int32(rng.Intn(n))
+			if u != v {
+				b.AddWeightedEdge(u, v, int32(1+rng.Intn(5)))
+			}
+		}
+		g, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkAgainstFW(t, g)
+	}
+}
+
+func TestTablesPartitionClosure(t *testing.T) {
+	g := buildGraph(t, []string{"a", "b", "a", "b"},
+		[][3]int32{{0, 1, 0}, {1, 2, 0}, {2, 3, 0}})
+	c := Compute(g, Options{})
+	var total int
+	c.Tables(func(alpha, beta int32, entries []Entry) bool {
+		for _, e := range entries {
+			if g.Label(e.From) != alpha || g.Label(e.To) != beta {
+				t.Fatalf("entry %v in wrong table (%d,%d)", e, alpha, beta)
+			}
+		}
+		total += len(entries)
+		return true
+	})
+	if int64(total) != c.NumEntries() {
+		t.Fatalf("tables hold %d entries, closure has %d", total, c.NumEntries())
+	}
+}
+
+func TestTableSortedByTargetThenDist(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	b := graph.NewBuilder()
+	const n = 40
+	for i := 0; i < n; i++ {
+		b.AddNode(string(rune('a' + rng.Intn(3))))
+	}
+	for i := 0; i < 4*n; i++ {
+		u, v := int32(rng.Intn(n)), int32(rng.Intn(n))
+		if u != v {
+			b.AddEdge(u, v)
+		}
+	}
+	g, _ := b.Build()
+	c := Compute(g, Options{})
+	c.Tables(func(alpha, beta int32, tab []Entry) bool {
+		for i := 1; i < len(tab); i++ {
+			a, bb := tab[i-1], tab[i]
+			if a.To > bb.To || (a.To == bb.To && a.Dist > bb.Dist) {
+				t.Fatalf("table (%d,%d) out of order at %d: %v then %v", alpha, beta, i, a, bb)
+			}
+		}
+		return true
+	})
+}
+
+func TestMaxDepthTruncation(t *testing.T) {
+	g := buildGraph(t, []string{"a", "b", "c", "d"},
+		[][3]int32{{0, 1, 0}, {1, 2, 0}, {2, 3, 0}})
+	c := Compute(g, Options{KeepDistanceIndex: true, MaxDepth: 2})
+	if d := c.Distance(0, 2); d != 2 {
+		t.Fatalf("Distance(0,2) = %d, want 2", d)
+	}
+	if d := c.Distance(0, 3); d != Unreachable {
+		t.Fatalf("Distance(0,3) = %d, want unreachable at depth 2", d)
+	}
+}
+
+func TestDistanceSelf(t *testing.T) {
+	g := buildGraph(t, []string{"a", "b"}, [][3]int32{{0, 1, 0}})
+	c := Compute(g, Options{KeepDistanceIndex: true})
+	if d := c.Distance(0, 0); d != 0 {
+		t.Fatalf("Distance(v,v) = %d, want 0", d)
+	}
+}
+
+func TestDistanceWithoutIndexPanics(t *testing.T) {
+	g := buildGraph(t, []string{"a", "b"}, [][3]int32{{0, 1, 0}})
+	c := Compute(g, Options{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Distance without index did not panic")
+		}
+	}()
+	c.Distance(0, 1)
+}
+
+func TestThetaAndStats(t *testing.T) {
+	g := buildGraph(t, []string{"a", "b", "b"},
+		[][3]int32{{0, 1, 0}, {0, 2, 0}})
+	c := Compute(g, Options{})
+	// One table (a,b) with two entries.
+	if c.Theta() != 2 {
+		t.Fatalf("Theta = %f, want 2", c.Theta())
+	}
+	s := c.ComputeStats()
+	if s.Entries != 2 || s.Tables != 1 || s.MaxTable != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.SizeBytes != 24 {
+		t.Fatalf("SizeBytes = %d, want 24", s.SizeBytes)
+	}
+}
+
+func TestClosureOnDAGMatchesPaperExample(t *testing.T) {
+	// Figure 4(b)'s run-time-graph-like DAG: a over c-layer over d.
+	g := buildGraph(t, []string{"a", "b", "c", "c", "c", "c", "d"},
+		[][3]int32{
+			{0, 1, 1}, {0, 2, 3}, {0, 3, 1}, {0, 4, 1}, {0, 5, 2},
+			{2, 6, 1}, {3, 6, 4}, {4, 6, 1}, {5, 6, 1},
+		})
+	c := Compute(g, Options{KeepDistanceIndex: true})
+	if d := c.Distance(0, 6); d != 2 {
+		t.Fatalf("Distance(a,d) = %d, want 2 (via v5)", d)
+	}
+}
+
+// TestParallelMatchesSequential verifies that worker counts do not change
+// the closure.
+func TestParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 8; trial++ {
+		n := 30 + rng.Intn(40)
+		b := graph.NewBuilder()
+		for i := 0; i < n; i++ {
+			b.AddNode(string(rune('a' + rng.Intn(5))))
+		}
+		for i := 0; i < 4*n; i++ {
+			u, v := int32(rng.Intn(n)), int32(rng.Intn(n))
+			if u != v {
+				b.AddWeightedEdge(u, v, int32(1+rng.Intn(3)))
+			}
+		}
+		g, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq := Compute(g, Options{Parallelism: 1, KeepDistanceIndex: true})
+		for _, workers := range []int{2, 4, 16} {
+			par := Compute(g, Options{Parallelism: workers, KeepDistanceIndex: true})
+			if par.NumEntries() != seq.NumEntries() {
+				t.Fatalf("workers=%d: %d entries, want %d", workers, par.NumEntries(), seq.NumEntries())
+			}
+			// Every table must be byte-identical (canonical order).
+			seq.Tables(func(alpha, beta int32, want []Entry) bool {
+				got := par.Table(alpha, beta)
+				if len(got) != len(want) {
+					t.Fatalf("workers=%d: table (%d,%d) size %d, want %d", workers, alpha, beta, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("workers=%d: table (%d,%d)[%d] = %v, want %v", workers, alpha, beta, i, got[i], want[i])
+					}
+				}
+				return true
+			})
+			// Distance index agrees.
+			for u := int32(0); int(u) < n; u++ {
+				for v := int32(0); int(v) < n; v++ {
+					if par.Distance(u, v) != seq.Distance(u, v) {
+						t.Fatalf("workers=%d: Distance(%d,%d) differs", workers, u, v)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestParallelDefaultWorkers(t *testing.T) {
+	g := buildGraph(t, []string{"a", "b", "c"}, [][3]int32{{0, 1, 0}, {1, 2, 0}})
+	c := Compute(g, Options{}) // GOMAXPROCS workers on a 3-node graph
+	if c.NumEntries() != 3 {
+		t.Fatalf("entries = %d, want 3 (a->b, b->c, a->c)", c.NumEntries())
+	}
+}

@@ -1,0 +1,110 @@
+package closure
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"ktpm/internal/graph"
+)
+
+// Serialization of a computed closure, so the offline pre-computation
+// (Table 2's cost) is paid once and reloaded afterwards. The layout is a
+// little-endian binary stream:
+//
+//	magic "KTPMTC1\n"
+//	int64 numTables
+//	per table: int32 alpha, int32 beta, int64 count, count × (From,To,Dist)
+//
+// The graph itself is serialized separately (graph.Encode); Decode
+// validates entry endpoints against the supplied graph.
+
+var closureMagic = []byte("KTPMTC1\n")
+
+// Encode writes the closure tables.
+func Encode(w io.Writer, c *Closure) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(closureMagic); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, int64(len(c.tables))); err != nil {
+		return err
+	}
+	var err error
+	c.Tables(func(alpha, beta int32, entries []Entry) bool {
+		hdr := struct {
+			Alpha, Beta int32
+			Count       int64
+		}{alpha, beta, int64(len(entries))}
+		if err = binary.Write(bw, binary.LittleEndian, hdr); err != nil {
+			return false
+		}
+		if err = binary.Write(bw, binary.LittleEndian, entries); err != nil {
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Decode reads a closure for g written by Encode. The distance index is
+// rebuilt when keepDistanceIndex is set.
+func Decode(r io.Reader, g *graph.Graph, keepDistanceIndex bool) (*Closure, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(closureMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("closure: reading magic: %w", err)
+	}
+	if string(magic) != string(closureMagic) {
+		return nil, fmt.Errorf("closure: bad magic %q", magic)
+	}
+	var numTables int64
+	if err := binary.Read(br, binary.LittleEndian, &numTables); err != nil {
+		return nil, err
+	}
+	if numTables < 0 || numTables > int64(g.NumLabels())*int64(g.NumLabels()) {
+		return nil, fmt.Errorf("closure: implausible table count %d", numTables)
+	}
+	c := &Closure{g: g, tables: make(map[pairKey][]Entry, numTables)}
+	if keepDistanceIndex {
+		c.dist = make([]map[int32]int32, g.NumNodes())
+		for i := range c.dist {
+			c.dist[i] = make(map[int32]int32)
+		}
+	}
+	n := int32(g.NumNodes())
+	for t := int64(0); t < numTables; t++ {
+		var hdr struct {
+			Alpha, Beta int32
+			Count       int64
+		}
+		if err := binary.Read(br, binary.LittleEndian, &hdr); err != nil {
+			return nil, fmt.Errorf("closure: table %d header: %w", t, err)
+		}
+		if hdr.Count < 0 || hdr.Count > int64(n)*int64(n) {
+			return nil, fmt.Errorf("closure: table %d: implausible entry count %d", t, hdr.Count)
+		}
+		entries := make([]Entry, hdr.Count)
+		if err := binary.Read(br, binary.LittleEndian, entries); err != nil {
+			return nil, fmt.Errorf("closure: table %d entries: %w", t, err)
+		}
+		for _, e := range entries {
+			if e.From < 0 || e.From >= n || e.To < 0 || e.To >= n || e.Dist <= 0 {
+				return nil, fmt.Errorf("closure: table %d: invalid entry %+v", t, e)
+			}
+			if g.Label(e.From) != hdr.Alpha || g.Label(e.To) != hdr.Beta {
+				return nil, fmt.Errorf("closure: table %d: entry %+v labels disagree with graph", t, e)
+			}
+			if c.dist != nil {
+				c.dist[e.From][e.To] = e.Dist
+			}
+		}
+		c.tables[pairKey{hdr.Alpha, hdr.Beta}] = entries
+		c.numEntries += hdr.Count
+	}
+	return c, nil
+}

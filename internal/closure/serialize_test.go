@@ -1,0 +1,80 @@
+package closure
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ktpm/internal/gen"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	g := gen.ErdosRenyi(50, 180, 5, 9)
+	c := Compute(g, Options{})
+	var buf bytes.Buffer
+	if err := Encode(&buf, c); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	c2, err := Decode(&buf, g, true)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if c2.NumEntries() != c.NumEntries() {
+		t.Fatalf("entries %d, want %d", c2.NumEntries(), c.NumEntries())
+	}
+	c.Tables(func(alpha, beta int32, want []Entry) bool {
+		got := c2.Table(alpha, beta)
+		if len(got) != len(want) {
+			t.Fatalf("table (%d,%d): %d entries, want %d", alpha, beta, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("table (%d,%d)[%d]: %v, want %v", alpha, beta, i, got[i], want[i])
+			}
+		}
+		return true
+	})
+	// The rebuilt distance index answers queries.
+	ref := Compute(g, Options{KeepDistanceIndex: true})
+	for u := int32(0); u < 20; u++ {
+		for v := int32(0); v < 20; v++ {
+			if c2.Distance(u, v) != ref.Distance(u, v) {
+				t.Fatalf("Distance(%d,%d) differs after round trip", u, v)
+			}
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	g := gen.ErdosRenyi(10, 20, 3, 1)
+	if _, err := Decode(strings.NewReader("not a closure"), g, false); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestDecodeRejectsWrongGraph(t *testing.T) {
+	g := gen.ErdosRenyi(50, 180, 5, 9)
+	c := Compute(g, Options{})
+	var buf bytes.Buffer
+	if err := Encode(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	// A different graph: label mismatches must be caught.
+	g2 := gen.ErdosRenyi(50, 180, 5, 10)
+	if _, err := Decode(&buf, g2, false); err == nil {
+		t.Fatal("closure for a different graph accepted")
+	}
+}
+
+func TestDecodeRejectsTruncated(t *testing.T) {
+	g := gen.ErdosRenyi(30, 100, 4, 2)
+	c := Compute(g, Options{})
+	var buf bytes.Buffer
+	if err := Encode(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()/2]
+	if _, err := Decode(bytes.NewReader(cut), g, false); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"sort"
+
+	"ktpm/internal/rtg"
+)
+
+// BruteForce enumerates every tree pattern match of r by exhaustive
+// connected assignment and returns them in non-decreasing score order,
+// truncated to limit (limit <= 0 means unbounded). It exists as the
+// differential-testing oracle for the optimal enumerators and is
+// exponential in the worst case; never use it on real workloads.
+func BruteForce(r *rtg.Graph, limit int) []*Match {
+	q := r.Q
+	nT := q.NumNodes()
+	var out []*Match
+	locals := make([]int32, nT)
+
+	var assign func(pos int, score int64)
+	assign = func(pos int, score int64) {
+		if pos == nT {
+			m := &Match{
+				Locals: append([]int32(nil), locals...),
+				Nodes:  make([]int32, nT),
+				Score:  score,
+			}
+			for u := 0; u < nT; u++ {
+				m.Nodes[u] = r.DataNode(int32(u), locals[u])
+			}
+			out = append(out, m)
+			return
+		}
+		u := int32(pos)
+		if pos == 0 {
+			for local := int32(0); int(local) < r.NumCands(0); local++ {
+				locals[0] = local
+				assign(1, r.RootExtra(local))
+			}
+			return
+		}
+		// The node at pos must be a child (in the run-time graph) of the
+		// already-assigned node at its parent position.
+		p := q.Nodes[u].Parent
+		var posInParent int
+		for i, c := range q.Nodes[p].Children {
+			if c == u {
+				posInParent = i
+				break
+			}
+		}
+		for _, e := range r.Edges(p, locals[p], posInParent) {
+			locals[u] = e.ToLocal
+			assign(pos+1, score+int64(e.W))
+		}
+	}
+	assign(0, 0)
+
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Score < out[j].Score })
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+// CountMatches returns the total number of matches of r, the quantity the
+// paper's Figure 1 walkthrough quotes ("there are totally 5 matches").
+func CountMatches(r *rtg.Graph) int64 {
+	q := r.Q
+	nT := q.NumNodes()
+	// Count via dynamic programming: combos[gid] = number of matches of
+	// the subtree rooted at gid's query node that map the root to gid.
+	combos := make([]int64, r.NumNodes())
+	for u := int32(nT) - 1; u >= 0; u-- {
+		for local := int32(0); int(local) < r.NumCands(u); local++ {
+			gid := r.NodeID(u, local)
+			prod := int64(1)
+			for pos := range q.Nodes[u].Children {
+				var sum int64
+				for _, e := range r.Edges(u, local, pos) {
+					cIdx := q.Nodes[u].Children[pos]
+					sum += combos[r.NodeID(cIdx, e.ToLocal)]
+				}
+				prod *= sum
+			}
+			combos[gid] = prod
+		}
+	}
+	var total int64
+	for local := int32(0); int(local) < r.NumCands(0); local++ {
+		total += combos[r.NodeID(0, local)]
+	}
+	return total
+}
+
+// ValidateMatch checks a match against the run-time graph: every query
+// edge must be realized by a run-time-graph edge between the matched
+// candidates, and the score must equal the sum of those edge weights.
+// It returns false on any violation; enumerator tests require true.
+func ValidateMatch(r *rtg.Graph, m *Match) bool {
+	q := r.Q
+	if len(m.Locals) != q.NumNodes() {
+		return false
+	}
+	var score int64
+	for u := int32(0); int(u) < q.NumNodes(); u++ {
+		if m.Locals[u] < 0 || int(m.Locals[u]) >= r.NumCands(u) {
+			return false
+		}
+		if u == 0 {
+			score += r.RootExtra(m.Locals[0])
+		}
+		if r.DataNode(u, m.Locals[u]) != m.Nodes[u] {
+			return false
+		}
+		for pos, cIdx := range q.Nodes[u].Children {
+			found := false
+			for _, e := range r.Edges(u, m.Locals[u], pos) {
+				if e.ToLocal == m.Locals[cIdx] {
+					score += int64(e.W)
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+	}
+	return score == m.Score
+}

@@ -1,0 +1,327 @@
+// Package core implements Algorithm 1 of the paper (Topk): optimal
+// enumeration of the top-k tree pattern matches over a fully materialized
+// run-time graph.
+//
+// The enumeration is Lawler's procedure specialized by Theorems 3.1 and
+// 3.2: the best match in every newly divided subspace differs from the
+// dividing match by a single node replacement — swap the node at the pivot
+// position for a sibling from the same parent's child list — and the
+// replacement is the i-th smallest element of that list, where i depends
+// only on how many siblings the subspace chain has already excluded. The
+// per-(node, child-group) lists are heap.ChildList values (sorted prefix H
+// plus heap L), so one round costs O(n_T + log k):
+//
+//   - one Case-1 replacement: Kth(|U_j|+1), amortized O(log)   (Thm 3.1)
+//   - up to n_T Case-2 replacements: Kth(1), O(1) amortized    (Thm 3.2)
+//   - candidate selection through the lazy two-level queue Q / Q_l
+//     (Section 3.3 "Computing Top-k Matches from Subspaces"), O(log k).
+//
+// Matches are recovered from scores in O(n_T) by re-deriving the
+// best-completion links below the pivot (Section 3.3 "Recovering the Match
+// from Score").
+package core
+
+import (
+	"ktpm/internal/heap"
+	"ktpm/internal/query"
+	"ktpm/internal/rtg"
+)
+
+// Match is one enumerated tree pattern match.
+type Match struct {
+	// Locals holds, per query position (BFS index), the local candidate
+	// index in the run-time graph.
+	Locals []int32
+	// Nodes holds the matched data-graph node per query position.
+	Nodes []int32
+	// Score is the penalty score: the sum of shortest distances mapped to
+	// the query edges (Definition 2.2).
+	Score int64
+
+	// pivot and excl describe the subspace this match was the best of:
+	// positions < pivot are fixed, the node at pivot is the excl-th
+	// element of its parent's child list, positions > pivot are best
+	// completions. pivot -1 marks the top-1 match (whole space).
+	pivot int32
+	excl  int32
+}
+
+// candidate is a scored but not yet materialized best-match-of-a-subspace.
+type candidate struct {
+	score  int64
+	parent *Match // nil only for the top-1 candidate
+	pivot  int32
+	excl   int32
+	origin *heap.Min // the Q_l this candidate waits in; nil once promoted alone
+}
+
+// Options tunes the enumerator; the zero value is the paper's Algorithm 1.
+type Options struct {
+	// DisableLazyQueues pushes every per-round candidate straight into
+	// the global queue instead of batching through Q_l (Section 3.3).
+	// Exists for ablation A2; results are identical, the queue just grows
+	// to O(k·n_T) entries.
+	DisableLazyQueues bool
+}
+
+// Enumerator produces matches in non-decreasing score order. Create with
+// New, then call Next repeatedly.
+type Enumerator struct {
+	r  *rtg.Graph
+	q  *query.Tree
+	nT int32
+
+	// lists[gid][childPos] is the ChildList of run-time-graph node gid
+	// toward its childPos-th child group, keyed bs(child) + δ.
+	lists [][]*heap.ChildList
+	// bs[gid] is the best-subtree score of Equation 2.
+	bs []int64
+	// rootList orders root candidates by bs, standing in as the "parent
+	// list" of the root position (Section 3.3: roots "are organized in a
+	// similar way as L and H lists, with bs scores as key").
+	rootList *heap.ChildList
+	// posInParent[x] is x's index among its parent's children.
+	posInParent []int32
+
+	queue   *heap.Min // of *candidate
+	emitted int
+	opt     Options
+}
+
+// New builds the enumeration state over a materialized run-time graph:
+// bottom-up ChildList construction and bs computation, O(m_R) total, then
+// seeds the queue with the top-1 candidate.
+func New(r *rtg.Graph) *Enumerator { return NewWithOptions(r, Options{}) }
+
+// NewWithOptions is New with explicit Options.
+func NewWithOptions(r *rtg.Graph, opt Options) *Enumerator {
+	q := r.Q
+	nT := int32(q.NumNodes())
+	e := &Enumerator{
+		opt: opt,
+		r:           r,
+		q:           q,
+		nT:          nT,
+		lists:       make([][]*heap.ChildList, r.NumNodes()),
+		bs:          make([]int64, r.NumNodes()),
+		posInParent: make([]int32, nT),
+	}
+	for u := int32(0); u < nT; u++ {
+		for pos, c := range q.Nodes[u].Children {
+			e.posInParent[c] = int32(pos)
+		}
+	}
+	// Bottom-up over query positions (children of u settle before u
+	// because BFS order puts children after parents; iterate reversed).
+	for u := nT - 1; u >= 0; u-- {
+		nChildren := len(q.Nodes[u].Children)
+		for local := int32(0); int(local) < r.NumCands(u); local++ {
+			gid := r.NodeID(u, local)
+			e.lists[gid] = make([]*heap.ChildList, nChildren)
+			var sum int64
+			for pos, cIdx := range q.Nodes[u].Children {
+				edges := r.Edges(u, local, pos)
+				entries := make([]heap.Entry, len(edges))
+				for i, ed := range edges {
+					childGid := r.NodeID(cIdx, ed.ToLocal)
+					entries[i] = heap.Entry{
+						Key:  e.bs[childGid] + int64(ed.W),
+						Node: ed.ToLocal,
+					}
+				}
+				cl := heap.NewChildList(entries)
+				e.lists[gid][pos] = cl
+				min, ok := cl.Min()
+				if !ok {
+					// The run-time graph is pruned; an empty group here is
+					// a construction bug, not a data condition.
+					panic("core: pruned run-time graph has empty child group")
+				}
+				sum += min.Key
+			}
+			e.bs[gid] = sum
+		}
+	}
+	rootEntries := make([]heap.Entry, r.NumCands(0))
+	for local := range rootEntries {
+		rootEntries[local] = heap.Entry{
+			Key:  e.bs[r.NodeID(0, int32(local))] + r.RootExtra(int32(local)),
+			Node: int32(local),
+		}
+	}
+	e.rootList = heap.NewChildList(rootEntries)
+	e.queue = &heap.Min{}
+	if best, ok := e.rootList.Min(); ok {
+		e.queue.Push(heap.Item{Key: best.Key, Val: &candidate{
+			score: best.Key,
+			pivot: -1,
+		}})
+	}
+	return e
+}
+
+// Next returns the next match in non-decreasing score order, or ok=false
+// when the match space is exhausted.
+func (e *Enumerator) Next() (*Match, bool) {
+	if e.queue.Len() == 0 {
+		return nil, false
+	}
+	c := e.queue.Pop().Val.(*candidate)
+	// Promote the next-best candidate of the Q_l that c came from, so Q
+	// keeps one representative per round (Section 3.3).
+	if c.origin != nil && c.origin.Len() > 0 {
+		it := c.origin.Pop()
+		next := it.Val.(*candidate)
+		next.origin = c.origin
+		e.queue.Push(heap.Item{Key: next.score, Val: next})
+	}
+	m := e.materialize(c)
+	e.divide(m)
+	e.emitted++
+	return m, true
+}
+
+// Emitted returns how many matches have been produced.
+func (e *Enumerator) Emitted() int { return e.emitted }
+
+// listAt returns the child list governing query position x in the context
+// of match m: the root list for x = 0, otherwise the list of m's node at
+// x's parent toward x's group.
+func (e *Enumerator) listAt(m *Match, x int32) *heap.ChildList {
+	if x == 0 {
+		return e.rootList
+	}
+	p := e.q.Nodes[x].Parent
+	gid := e.r.NodeID(p, m.Locals[p])
+	return e.lists[gid][e.posInParent[x]]
+}
+
+// materialize recovers the full match from a candidate in O(n_T): copy the
+// parent match, place the pivot replacement, and re-derive best-completion
+// links inside the pivot's subtree only (every other position keeps its
+// best completion from the parent match).
+func (e *Enumerator) materialize(c *candidate) *Match {
+	m := &Match{
+		Locals: make([]int32, e.nT),
+		Nodes:  make([]int32, e.nT),
+		Score:  c.score,
+		pivot:  c.pivot,
+		excl:   c.excl,
+	}
+	var from int32
+	if c.parent == nil {
+		// Top-1: everything below the root is a best completion.
+		best, _ := e.rootList.Min()
+		m.Locals[0] = best.Node
+		from = 1
+		m.pivot = -1
+	} else {
+		copy(m.Locals, c.parent.Locals)
+		list := e.listAt(c.parent, c.pivot)
+		entry, ok := list.Kth(int(c.excl))
+		if !ok {
+			panic("core: candidate points past its child list")
+		}
+		m.Locals[c.pivot] = entry.Node
+		from = c.pivot + 1
+	}
+	inSubtree := make([]bool, e.nT)
+	if c.parent == nil {
+		inSubtree[0] = true
+	} else {
+		inSubtree[c.pivot] = true
+	}
+	for y := from; y < e.nT; y++ {
+		p := e.q.Nodes[y].Parent
+		if !inSubtree[p] {
+			continue
+		}
+		inSubtree[y] = true
+		gid := e.r.NodeID(p, m.Locals[p])
+		best, ok := e.lists[gid][e.posInParent[y]].Min()
+		if !ok {
+			panic("core: best completion missing in pruned run-time graph")
+		}
+		m.Locals[y] = best.Node
+	}
+	for u := int32(0); u < e.nT; u++ {
+		m.Nodes[u] = e.r.DataNode(u, m.Locals[u])
+	}
+	return m
+}
+
+// divide implements Procedure Divide of Algorithm 1: split the subspace m
+// was best of into one Case-1 subspace (extend m's own exclusion set) and
+// Case-2 subspaces at every later position (exclude the best completion),
+// batch the new candidates into a per-round Q_l, and push only its minimum
+// into the global queue.
+func (e *Enumerator) divide(m *Match) {
+	var items []heap.Item
+	add := func(score int64, pivot, excl int32) {
+		items = append(items, heap.Item{Key: score, Val: &candidate{
+			score:  score,
+			parent: m,
+			pivot:  pivot,
+			excl:   excl,
+		}})
+	}
+	if m.pivot >= 0 {
+		// Case 1 (Theorem 3.1): the (|U_j|+2)-th smallest replaces the
+		// (|U_j|+1)-th at the pivot itself.
+		list := e.listAt(m, m.pivot)
+		old, _ := list.Kth(int(m.excl))
+		if next, ok := list.Kth(int(m.excl) + 1); ok {
+			add(m.Score+next.Key-old.Key, m.pivot, m.excl+1)
+		}
+	}
+	for x := m.pivot + 1; x < e.nT; x++ {
+		// Case 2 (Theorem 3.2): the second smallest replaces the smallest
+		// at position x.
+		list := e.listAt(m, x)
+		if next, ok := list.Kth(1); ok {
+			old, _ := list.Kth(0)
+			add(m.Score+next.Key-old.Key, x, 1)
+		}
+	}
+	if len(items) == 0 {
+		return
+	}
+	if e.opt.DisableLazyQueues {
+		for _, it := range items {
+			e.queue.Push(it)
+		}
+		return
+	}
+	ql := heap.NewMin(items)
+	it := ql.Pop()
+	best := it.Val.(*candidate)
+	best.origin = ql
+	e.queue.Push(heap.Item{Key: best.score, Val: best})
+}
+
+// TopK returns up to k matches of r in non-decreasing score order.
+func TopK(r *rtg.Graph, k int) []*Match { return TopKWith(r, k, Options{}) }
+
+// TopKWith is TopK with explicit Options.
+func TopKWith(r *rtg.Graph, k int, opt Options) []*Match {
+	e := NewWithOptions(r, opt)
+	var out []*Match
+	for len(out) < k {
+		m, ok := e.Next()
+		if !ok {
+			break
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// Top1Score returns the score of the best match, with ok=false when no
+// match exists. It avoids enumeration state beyond the O(m_R) build.
+func Top1Score(r *rtg.Graph) (int64, bool) {
+	e := New(r)
+	if e.queue.Len() == 0 {
+		return 0, false
+	}
+	return e.queue.Peek().Key, true
+}

@@ -1,0 +1,344 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"ktpm/internal/closure"
+	"ktpm/internal/gen"
+	"ktpm/internal/graph"
+	"ktpm/internal/query"
+	"ktpm/internal/rtg"
+)
+
+// fig4 rebuilds the paper's Figure 4 / Examples 3.3-3.4 fixture.
+func fig4(t testing.TB) *rtg.Graph {
+	t.Helper()
+	b := graph.NewBuilder()
+	for _, l := range []string{"a", "b", "c", "c", "c", "c", "d"} {
+		b.AddNode(l)
+	}
+	edges := [][3]int32{
+		{0, 1, 1},
+		{0, 2, 1}, {0, 3, 1}, {0, 4, 1}, {0, 5, 2},
+		{2, 6, 3}, {3, 6, 4}, {4, 6, 1}, {5, 6, 1},
+	}
+	for _, e := range edges {
+		b.AddWeightedEdge(e[0], e[1], e[2])
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := query.MustParse(g.Labels, "a(b,c(d))")
+	c := closure.Compute(g, closure.Options{})
+	return rtg.Build(c, q)
+}
+
+// TestPaperExample34 replays Examples 3.3 and 3.4 exactly: top-1
+// (v1,v2,v5,v7) score 3, top-2 (v1,v2,v6,v7) score 4, top-3
+// (v1,v2,v3,v7) score 5, top-4 (v1,v2,v4,v7) score 6.
+func TestPaperExample34(t *testing.T) {
+	r := fig4(t)
+	ms := TopK(r, 10)
+	if len(ms) != 4 {
+		t.Fatalf("match count = %d, want 4", len(ms))
+	}
+	wantScores := []int64{3, 4, 5, 6}
+	wantC := []int32{4, 5, 2, 3} // data nodes v5, v6, v3, v4
+	for i, m := range ms {
+		if m.Score != wantScores[i] {
+			t.Fatalf("top-%d score = %d, want %d", i+1, m.Score, wantScores[i])
+		}
+		// Query BFS order: a,b,c,d -> positions 0..3.
+		if m.Nodes[0] != 0 || m.Nodes[1] != 1 || m.Nodes[3] != 6 {
+			t.Fatalf("top-%d fixed nodes wrong: %v", i+1, m.Nodes)
+		}
+		if m.Nodes[2] != wantC[i] {
+			t.Fatalf("top-%d c-node = v%d, want v%d", i+1, m.Nodes[2]+1, wantC[i]+1)
+		}
+		if !ValidateMatch(r, m) {
+			t.Fatalf("top-%d match invalid", i+1)
+		}
+	}
+}
+
+func TestTop1Score(t *testing.T) {
+	r := fig4(t)
+	s, ok := Top1Score(r)
+	if !ok || s != 3 {
+		t.Fatalf("Top1Score = %d,%v, want 3,true", s, ok)
+	}
+}
+
+func TestEnumeratorExhausts(t *testing.T) {
+	r := fig4(t)
+	e := New(r)
+	n := 0
+	for {
+		if _, ok := e.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 4 {
+		t.Fatalf("exhaustive enumeration produced %d, want 4", n)
+	}
+	if e.Emitted() != 4 {
+		t.Fatalf("Emitted = %d", e.Emitted())
+	}
+	if _, ok := e.Next(); ok {
+		t.Fatal("Next after exhaustion returned a match")
+	}
+}
+
+func TestCountMatches(t *testing.T) {
+	r := fig4(t)
+	if n := CountMatches(r); n != 4 {
+		t.Fatalf("CountMatches = %d, want 4", n)
+	}
+}
+
+func TestEmptyGraphNoMatches(t *testing.T) {
+	b := graph.NewBuilder()
+	b.AddNode("a")
+	b.AddNode("b")
+	g, _ := b.Build()
+	q := query.MustParse(g.Labels, "a(b)")
+	c := closure.Compute(g, closure.Options{})
+	r := rtg.Build(c, q)
+	if ms := TopK(r, 5); len(ms) != 0 {
+		t.Fatalf("matches on edgeless graph: %d", len(ms))
+	}
+	if _, ok := Top1Score(r); ok {
+		t.Fatal("Top1Score ok on empty space")
+	}
+}
+
+func TestSingleNodeQuery(t *testing.T) {
+	b := graph.NewBuilder()
+	b.AddNode("a")
+	b.AddNode("a")
+	b.AddNode("b")
+	b.AddEdge(0, 2)
+	g, _ := b.Build()
+	q := query.MustParse(g.Labels, "a")
+	c := closure.Compute(g, closure.Options{})
+	r := rtg.Build(c, q)
+	ms := TopK(r, 10)
+	if len(ms) != 2 {
+		t.Fatalf("single-node query matches = %d, want 2", len(ms))
+	}
+	for _, m := range ms {
+		if m.Score != 0 {
+			t.Fatalf("single-node score = %d, want 0", m.Score)
+		}
+	}
+}
+
+// differentialCheck compares TopK against BruteForce on one instance.
+func differentialCheck(t *testing.T, g *graph.Graph, q *query.Tree, k int) {
+	t.Helper()
+	c := closure.Compute(g, closure.Options{})
+	r := rtg.Build(c, q)
+	want := BruteForce(r, k)
+	got := TopK(r, k)
+	if len(got) != len(want) {
+		t.Fatalf("query %s: got %d matches, want %d", q, len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Score != want[i].Score {
+			t.Fatalf("query %s: top-%d score %d, want %d", q, i+1, got[i].Score, want[i].Score)
+		}
+		if !ValidateMatch(r, got[i]) {
+			t.Fatalf("query %s: top-%d invalid: %+v", q, i+1, got[i])
+		}
+	}
+	// No duplicate matches may appear (Lawler subspaces are disjoint).
+	seen := map[string]bool{}
+	for _, m := range got {
+		key := ""
+		for _, l := range m.Locals {
+			key += string(rune(l)) + ","
+		}
+		if seen[key] {
+			t.Fatalf("query %s: duplicate match %v", q, m.Nodes)
+		}
+		seen[key] = true
+	}
+}
+
+func TestDifferentialRandomUnweighted(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	trials := 0
+	for seed := int64(0); seed < 60; seed++ {
+		g := gen.ErdosRenyi(25, 90, 5, seed)
+		q, err := gen.ExtractQuery(g, gen.QueryConfig{Size: 4, DistinctLabels: true, MaxAttempts: 30}, rng)
+		if err != nil {
+			continue
+		}
+		differentialCheck(t, g, q, 25)
+		trials++
+	}
+	if trials < 20 {
+		t.Fatalf("only %d usable trials", trials)
+	}
+}
+
+func TestDifferentialRandomWeighted(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	trials := 0
+	for seed := int64(100); seed < 140; seed++ {
+		b := graph.NewBuilder()
+		n := 20
+		for i := 0; i < n; i++ {
+			b.AddNode(string(rune('a' + rng.Intn(5))))
+		}
+		for i := 0; i < 70; i++ {
+			u, v := int32(rng.Intn(n)), int32(rng.Intn(n))
+			if u != v {
+				b.AddWeightedEdge(u, v, int32(1+rng.Intn(4)))
+			}
+		}
+		g, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, err := gen.ExtractQuery(g, gen.QueryConfig{Size: 3, DistinctLabels: true, MaxAttempts: 30}, rng)
+		if err != nil {
+			continue
+		}
+		differentialCheck(t, g, q, 30)
+		trials++
+	}
+	if trials < 10 {
+		t.Fatalf("only %d usable trials", trials)
+	}
+}
+
+func TestDifferentialDuplicateLabels(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	trials := 0
+	for seed := int64(200); seed < 240; seed++ {
+		g := gen.ErdosRenyi(20, 70, 3, seed)
+		q, err := gen.ExtractQuery(g, gen.QueryConfig{Size: 4, DistinctLabels: false, MaxAttempts: 30}, rng)
+		if err != nil {
+			continue
+		}
+		differentialCheck(t, g, q, 20)
+		trials++
+	}
+	if trials < 10 {
+		t.Fatalf("only %d usable trials", trials)
+	}
+}
+
+func TestDifferentialDeepQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	trials := 0
+	for seed := int64(300); seed < 330; seed++ {
+		g := gen.ErdosRenyi(40, 160, 8, seed)
+		q, err := gen.ExtractQuery(g, gen.QueryConfig{Size: 6, DistinctLabels: true, MaxAttempts: 30}, rng)
+		if err != nil {
+			continue
+		}
+		differentialCheck(t, g, q, 40)
+		trials++
+	}
+	if trials < 5 {
+		t.Fatalf("only %d usable trials", trials)
+	}
+}
+
+// TestScoresNonDecreasing is the output-stream monotonicity invariant.
+func TestScoresNonDecreasing(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	for seed := int64(400); seed < 420; seed++ {
+		g := gen.ErdosRenyi(30, 120, 6, seed)
+		q, err := gen.ExtractQuery(g, gen.QueryConfig{Size: 5, DistinctLabels: true, MaxAttempts: 30}, rng)
+		if err != nil {
+			continue
+		}
+		c := closure.Compute(g, closure.Options{})
+		r := rtg.Build(c, q)
+		e := New(r)
+		var prev int64 = -1
+		for {
+			m, ok := e.Next()
+			if !ok {
+				break
+			}
+			if m.Score < prev {
+				t.Fatalf("scores decreased: %d after %d", m.Score, prev)
+			}
+			prev = m.Score
+		}
+	}
+}
+
+// TestWildcardEnumeration checks wildcard queries against brute force.
+func TestWildcardEnumeration(t *testing.T) {
+	b := graph.NewBuilder()
+	a := b.AddNode("a")
+	x := b.AddNode("x")
+	y := b.AddNode("y")
+	z := b.AddNode("z")
+	b.AddEdge(a, x)
+	b.AddEdge(a, y)
+	b.AddEdge(x, z)
+	g, _ := b.Build()
+	q := query.MustParse(g.Labels, "a(*)")
+	c := closure.Compute(g, closure.Options{})
+	r := rtg.Build(c, q)
+	ms := TopK(r, 10)
+	// a reaches x (1), y (1), z (2).
+	if len(ms) != 3 {
+		t.Fatalf("wildcard matches = %d, want 3", len(ms))
+	}
+	if ms[0].Score != 1 || ms[1].Score != 1 || ms[2].Score != 2 {
+		t.Fatalf("wildcard scores = %d,%d,%d", ms[0].Score, ms[1].Score, ms[2].Score)
+	}
+}
+
+// TestChildEdgeEnumeration checks '/' semantics end to end.
+func TestChildEdgeEnumeration(t *testing.T) {
+	b := graph.NewBuilder()
+	a := b.AddNode("a")
+	b1 := b.AddNode("b")
+	x := b.AddNode("x")
+	b2 := b.AddNode("b")
+	b.AddEdge(a, b1)
+	b.AddEdge(a, x)
+	b.AddEdge(x, b2)
+	g, _ := b.Build()
+	c := closure.Compute(g, closure.Options{})
+
+	rSlash := rtg.Build(c, query.MustParse(g.Labels, "a(/b)"))
+	if ms := TopK(rSlash, 10); len(ms) != 1 || ms[0].Nodes[1] != b1 {
+		t.Fatalf("'/' enumeration wrong: %v", ms)
+	}
+	rDesc := rtg.Build(c, query.MustParse(g.Labels, "a(b)"))
+	if ms := TopK(rDesc, 10); len(ms) != 2 {
+		t.Fatalf("'//' enumeration wrong: %d matches", len(ms))
+	}
+	_ = b2
+}
+
+func TestKSmallerThanMatchCount(t *testing.T) {
+	r := fig4(t)
+	ms := TopK(r, 2)
+	if len(ms) != 2 || ms[0].Score != 3 || ms[1].Score != 4 {
+		t.Fatalf("TopK(2) = %v", ms)
+	}
+}
+
+func TestLargerRandomAgreementWithBrute(t *testing.T) {
+	// One bigger instance: power-law graph, 5-node query, k=50.
+	g := gen.PowerLaw(gen.PowerLawConfig{Nodes: 300, Labels: 12, Seed: 77})
+	rng := rand.New(rand.NewSource(78))
+	q, err := gen.ExtractQuery(g, gen.QueryConfig{Size: 5, DistinctLabels: true}, rng)
+	if err != nil {
+		t.Skip("no query extractable")
+	}
+	differentialCheck(t, g, q, 50)
+}

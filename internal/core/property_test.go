@@ -1,0 +1,156 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ktpm/internal/closure"
+	"ktpm/internal/graph"
+	"ktpm/internal/query"
+	"ktpm/internal/rtg"
+)
+
+// instanceFrom deterministically derives a random matching instance from
+// quick-check seed material.
+func instanceFrom(seed int64) (*rtg.Graph, bool) {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder()
+	n := 8 + rng.Intn(14)
+	labels := []string{"a", "b", "c", "d"}
+	for i := 0; i < n; i++ {
+		b.AddNode(labels[rng.Intn(len(labels))])
+	}
+	for i := 0; i < 3*n; i++ {
+		u, v := int32(rng.Intn(n)), int32(rng.Intn(n))
+		if u != v {
+			b.AddWeightedEdge(u, v, int32(1+rng.Intn(3)))
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, false
+	}
+	shapes := []string{"a(b,c)", "a(b(c))", "a(b(c),d)", "a(b,c(d))"}
+	q, err := query.Parse(g.Labels, shapes[rng.Intn(len(shapes))])
+	if err != nil {
+		return nil, false
+	}
+	c := closure.Compute(g, closure.Options{})
+	return rtg.Build(c, q), true
+}
+
+// TestQuickEnumerationMatchesBrute is the central property: for random
+// instances, optimal enumeration equals brute-force ranking.
+func TestQuickEnumerationMatchesBrute(t *testing.T) {
+	f := func(seed int64) bool {
+		r, ok := instanceFrom(seed)
+		if !ok {
+			return true
+		}
+		total := CountMatches(r)
+		if total > 3000 {
+			return true // keep the oracle cheap
+		}
+		want := BruteForce(r, 0)
+		got := TopK(r, int(total)+2)
+		if int64(len(got)) != total || len(want) != len(got) {
+			return false
+		}
+		for i := range got {
+			if got[i].Score != want[i].Score {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickLawlerDisjoint checks that full enumeration never emits the
+// same node assignment twice — the subspace-disjointness invariant.
+func TestQuickLawlerDisjoint(t *testing.T) {
+	f := func(seed int64) bool {
+		r, ok := instanceFrom(seed)
+		if !ok {
+			return true
+		}
+		if CountMatches(r) > 3000 {
+			return true
+		}
+		e := New(r)
+		seen := map[string]bool{}
+		for {
+			m, found := e.Next()
+			if !found {
+				return true
+			}
+			key := ""
+			for _, l := range m.Locals {
+				key += string(rune(l+1)) + "."
+			}
+			if seen[key] {
+				return false
+			}
+			seen[key] = true
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickEveryMatchValid validates every emitted match structurally.
+func TestQuickEveryMatchValid(t *testing.T) {
+	f := func(seed int64) bool {
+		r, ok := instanceFrom(seed)
+		if !ok {
+			return true
+		}
+		if CountMatches(r) > 3000 {
+			return true
+		}
+		e := New(r)
+		for {
+			m, found := e.Next()
+			if !found {
+				return true
+			}
+			if !ValidateMatch(r, m) {
+				return false
+			}
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCountEqualsDrain cross-checks the counting DP against actual
+// enumeration length.
+func TestQuickCountEqualsDrain(t *testing.T) {
+	f := func(seed int64) bool {
+		r, ok := instanceFrom(seed)
+		if !ok {
+			return true
+		}
+		total := CountMatches(r)
+		if total > 3000 {
+			return true
+		}
+		n := int64(0)
+		e := New(r)
+		for {
+			if _, found := e.Next(); !found {
+				break
+			}
+			n++
+		}
+		return n == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

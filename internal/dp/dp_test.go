@@ -1,0 +1,199 @@
+package dp
+
+import (
+	"math/rand"
+	"testing"
+
+	"ktpm/internal/closure"
+	"ktpm/internal/core"
+	"ktpm/internal/gen"
+	"ktpm/internal/graph"
+	"ktpm/internal/query"
+	"ktpm/internal/rtg"
+	"ktpm/internal/store"
+)
+
+func fig4(t testing.TB) (*graph.Graph, *query.Tree) {
+	t.Helper()
+	b := graph.NewBuilder()
+	for _, l := range []string{"a", "b", "c", "c", "c", "c", "d"} {
+		b.AddNode(l)
+	}
+	edges := [][3]int32{
+		{0, 1, 1},
+		{0, 2, 1}, {0, 3, 1}, {0, 4, 1}, {0, 5, 2},
+		{2, 6, 3}, {3, 6, 4}, {4, 6, 1}, {5, 6, 1},
+	}
+	for _, e := range edges {
+		b.AddWeightedEdge(e[0], e[1], e[2])
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, query.MustParse(g.Labels, "a(b,c(d))")
+}
+
+func TestDPBPaperExample(t *testing.T) {
+	g, q := fig4(t)
+	c := closure.Compute(g, closure.Options{})
+	r := rtg.Build(c, q)
+	ms := TopK(r, 10)
+	want := []int64{3, 4, 5, 6}
+	if len(ms) != 4 {
+		t.Fatalf("got %d matches, want 4", len(ms))
+	}
+	for i, m := range ms {
+		if m.Score != want[i] {
+			t.Fatalf("top-%d = %d, want %d", i+1, m.Score, want[i])
+		}
+	}
+	if s, ok := Top1Score(r); !ok || s != 3 {
+		t.Fatalf("Top1Score = %d,%v", s, ok)
+	}
+}
+
+func TestDPPPaperExample(t *testing.T) {
+	g, q := fig4(t)
+	c := closure.Compute(g, closure.Options{})
+	s := store.New(c, 2)
+	ms := TopKLazy(s, q, 10)
+	want := []int64{3, 4, 5, 6}
+	if len(ms) != 4 {
+		t.Fatalf("got %d matches, want 4", len(ms))
+	}
+	for i, m := range ms {
+		if m.Score != want[i] {
+			t.Fatalf("top-%d = %d, want %d", i+1, m.Score, want[i])
+		}
+	}
+}
+
+func TestDPBEmpty(t *testing.T) {
+	b := graph.NewBuilder()
+	b.AddNode("a")
+	b.AddNode("b")
+	g, _ := b.Build()
+	c := closure.Compute(g, closure.Options{})
+	r := rtg.Build(c, query.MustParse(g.Labels, "a(b)"))
+	if ms := TopK(r, 5); len(ms) != 0 {
+		t.Fatalf("matches = %v", ms)
+	}
+	if _, ok := Top1Score(r); ok {
+		t.Fatal("Top1Score ok on empty")
+	}
+}
+
+func differential(t *testing.T, g *graph.Graph, q *query.Tree, k int) {
+	t.Helper()
+	c := closure.Compute(g, closure.Options{})
+	r := rtg.Build(c, q)
+	want := core.TopK(r, k)
+	gotB := TopK(r, k)
+	if len(gotB) != len(want) {
+		t.Fatalf("DP-B: %d matches, want %d (q=%s)", len(gotB), len(want), q)
+	}
+	for i := range want {
+		if gotB[i].Score != want[i].Score {
+			t.Fatalf("DP-B top-%d = %d, want %d (q=%s)", i+1, gotB[i].Score, want[i].Score, q)
+		}
+	}
+	for _, bs := range []int{2, 32} {
+		s := store.New(c, bs)
+		gotP := TopKLazy(s, q, k)
+		if len(gotP) != len(want) {
+			t.Fatalf("DP-P bs=%d: %d matches, want %d (q=%s)", bs, len(gotP), len(want), q)
+		}
+		for i := range want {
+			if gotP[i].Score != want[i].Score {
+				t.Fatalf("DP-P bs=%d top-%d = %d, want %d (q=%s)", bs, i+1, gotP[i].Score, want[i].Score, q)
+			}
+		}
+	}
+}
+
+func TestDifferentialRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	trials := 0
+	for seed := int64(0); seed < 40; seed++ {
+		g := gen.ErdosRenyi(25, 90, 5, seed)
+		q, err := gen.ExtractQuery(g, gen.QueryConfig{Size: 4, DistinctLabels: true, MaxAttempts: 30}, rng)
+		if err != nil {
+			continue
+		}
+		differential(t, g, q, 15)
+		trials++
+	}
+	if trials < 15 {
+		t.Fatalf("only %d usable trials", trials)
+	}
+}
+
+func TestDifferentialWide(t *testing.T) {
+	// Star-shaped queries stress the combination streams (high d_T).
+	rng := rand.New(rand.NewSource(72))
+	trials := 0
+	for seed := int64(100); seed < 130; seed++ {
+		g := gen.ErdosRenyi(30, 150, 8, seed)
+		q, err := gen.ExtractQuery(g, gen.QueryConfig{Size: 5, DistinctLabels: true, MaxWalk: 2, MaxAttempts: 30}, rng)
+		if err != nil {
+			continue
+		}
+		differential(t, g, q, 20)
+		trials++
+	}
+	if trials < 8 {
+		t.Fatalf("only %d usable trials", trials)
+	}
+}
+
+func TestDifferentialDuplicateLabels(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	trials := 0
+	for seed := int64(200); seed < 230; seed++ {
+		g := gen.ErdosRenyi(18, 60, 3, seed)
+		q, err := gen.ExtractQuery(g, gen.QueryConfig{Size: 4, DistinctLabels: false, MaxAttempts: 30}, rng)
+		if err != nil {
+			continue
+		}
+		differential(t, g, q, 12)
+		trials++
+	}
+	if trials < 8 {
+		t.Fatalf("only %d usable trials", trials)
+	}
+}
+
+// TestDPPLoadsLessThanFull checks that DP-P's priority loading reads fewer
+// closure entries than a full scan would, on an instance big enough to
+// leave headroom.
+func TestDPPLoadsLessThanFull(t *testing.T) {
+	g := gen.PowerLaw(gen.PowerLawConfig{Nodes: 1500, Labels: 30, Seed: 81})
+	rng := rand.New(rand.NewSource(82))
+	q, err := gen.ExtractQuery(g, gen.QueryConfig{Size: 5, DistinctLabels: true}, rng)
+	if err != nil {
+		t.Skip("no query")
+	}
+	c := closure.Compute(g, closure.Options{})
+	s := store.New(c, 16)
+	ms := TopKLazy(s, q, 10)
+	if len(ms) == 0 {
+		t.Skip("no matches")
+	}
+	if s.Counters().EntriesRead >= s.TotalEdges() {
+		t.Fatalf("DP-P loaded %d of %d entries", s.Counters().EntriesRead, s.TotalEdges())
+	}
+}
+
+func TestKZero(t *testing.T) {
+	g, q := fig4(t)
+	c := closure.Compute(g, closure.Options{})
+	r := rtg.Build(c, q)
+	if ms := TopK(r, 0); ms != nil {
+		t.Fatalf("TopK(0) = %v", ms)
+	}
+	s := store.New(c, 4)
+	if ms := TopKLazy(s, q, 0); ms != nil {
+		t.Fatalf("TopKLazy(0) = %v", ms)
+	}
+}

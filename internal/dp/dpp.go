@@ -1,0 +1,42 @@
+package dp
+
+import (
+	"ktpm/internal/lazy"
+	"ktpm/internal/query"
+	"ktpm/internal/rtg"
+	"ktpm/internal/store"
+)
+
+// TopKLazy is the DP-P baseline: DP-B evaluated under priority-order
+// loading of the run-time graph with the weaker trigger (no
+// remaining-edges term, per the paper's remark that Topk-EN's trigger is
+// "tighter than that in DP-P"). It steps the shared loader, re-runs the
+// dynamic program over the loaded subgraph with geometrically growing
+// batches, and stops when the k-th score is confirmed against the loading
+// frontier — any match touching an unloaded edge must score at least the
+// frontier's lb.
+func TopKLazy(s *store.Store, q *query.Tree, k int) []*Match {
+	if k <= 0 {
+		return nil
+	}
+	ld := lazy.New(s, q, lazy.Options{Bound: lazy.LooseBound})
+	batch := 8
+	for {
+		cands, adj := ld.LoadedSubgraph()
+		pg := rtg.Assemble(q, s.Graph(), cands, adj)
+		ms := TopK(pg, k)
+		top, more := ld.QgTopKey()
+		if !more {
+			return ms // everything reachable is loaded; ms is exact
+		}
+		if len(ms) == k && ms[k-1].Score <= top {
+			return ms
+		}
+		for i := 0; i < batch; i++ {
+			if !ld.ExpandOnce() {
+				break
+			}
+		}
+		batch *= 2
+	}
+}

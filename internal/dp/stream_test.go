@@ -1,0 +1,120 @@
+package dp
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"ktpm/internal/closure"
+	"ktpm/internal/gen"
+	"ktpm/internal/graph"
+	"ktpm/internal/lazy"
+	"ktpm/internal/query"
+	"ktpm/internal/rtg"
+	"ktpm/internal/store"
+)
+
+// TestGroupStreamOrdering drives one group stream directly and checks its
+// items come out sorted and complete up to the cap.
+func TestGroupStreamOrdering(t *testing.T) {
+	g, q := fig4(t)
+	c := closure.Compute(g, closure.Options{})
+	r := rtg.Build(c, q)
+	st := &state{r: r, k: 10, streams: make(map[int64]*nodeStream)}
+	// Root a's c-group (position 1): four c-children with one d-completion
+	// each; expected group scores are key(c)=bs(c)+δ(a,c): 2,3,4,5.
+	gs := &groupStream{st: st, childU: 2, edges: r.Edges(0, 0, 1)}
+	var got []int64
+	for i := 0; ; i++ {
+		it, ok := gs.get(i)
+		if !ok {
+			break
+		}
+		got = append(got, it.score)
+	}
+	want := []int64{2, 3, 4, 5}
+	if len(got) != len(want) {
+		t.Fatalf("group stream items = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("group stream[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+// TestNodeStreamCap verifies memoization stops at k items.
+func TestNodeStreamCap(t *testing.T) {
+	g, q := fig4(t)
+	c := closure.Compute(g, closure.Options{})
+	r := rtg.Build(c, q)
+	st := &state{r: r, k: 2, streams: make(map[int64]*nodeStream)}
+	ns := st.nodeStream(0, 0) // the single a-candidate
+	if _, ok := ns.get(0); !ok {
+		t.Fatal("get(0) failed")
+	}
+	if _, ok := ns.get(1); !ok {
+		t.Fatal("get(1) failed")
+	}
+	if _, ok := ns.get(2); ok {
+		t.Fatal("stream exceeded its k cap")
+	}
+}
+
+// TestGroupStreamSortedRandom cross-checks a group stream against the
+// fully sorted completion list on random instances.
+func TestGroupStreamSortedRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(201))
+	for trial := 0; trial < 15; trial++ {
+		n := 10 + rng.Intn(15)
+		b := graph.NewBuilder()
+		root := b.AddNode("r")
+		for i := 0; i < n; i++ {
+			x := b.AddNode("x")
+			b.AddWeightedEdge(root, x, int32(1+rng.Intn(9)))
+		}
+		g, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := closure.Compute(g, closure.Options{})
+		q := query.MustParse(g.Labels, "r(x)")
+		r := rtg.Build(c, q)
+		st := &state{r: r, k: n + 5, streams: make(map[int64]*nodeStream)}
+		gs := &groupStream{st: st, childU: 1, edges: r.Edges(0, 0, 0)}
+		var want []int64
+		for _, e := range r.Edges(0, 0, 0) {
+			want = append(want, int64(e.W))
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i, w := range want {
+			it, ok := gs.get(i)
+			if !ok || it.score != w {
+				t.Fatalf("trial %d: stream[%d] = %v/%v, want %d", trial, i, it.score, ok, w)
+			}
+		}
+	}
+}
+
+// TestDPPFewerReRunsWithGeometricBatching checks DP-P terminates on an
+// instance that needs several loading rounds.
+func TestDPPConvergesOnDeepInstance(t *testing.T) {
+	g := gen.PowerLaw(gen.PowerLawConfig{Nodes: 600, Labels: 20, Window: 30, Seed: 3})
+	rng := rand.New(rand.NewSource(4))
+	q, err := gen.ExtractQuery(g, gen.QueryConfig{Size: 5, DistinctLabels: true}, rng)
+	if err != nil {
+		t.Skip("no query")
+	}
+	c := closure.Compute(g, closure.Options{})
+	s := store.New(c, 4)
+	got := TopKLazy(s, q, 15)
+	want := lazy.TopK(store.New(c, 4), q, 15, lazy.Options{})
+	if len(got) != len(want) {
+		t.Fatalf("DP-P %d matches, EN %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Score != want[i].Score {
+			t.Fatalf("top-%d: DP-P %d, EN %d", i+1, got[i].Score, want[i].Score)
+		}
+	}
+}

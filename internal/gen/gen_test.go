@@ -1,0 +1,163 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+
+	"ktpm/internal/graph"
+)
+
+func TestPowerLawShape(t *testing.T) {
+	g := PowerLaw(PowerLawConfig{Nodes: 2000, AvgOutDegree: 3, Labels: 50, Seed: 1})
+	if g.NumNodes() != 2000 {
+		t.Fatalf("NumNodes = %d", g.NumNodes())
+	}
+	s := g.ComputeStats()
+	if s.AvgOutDegree < 1.5 || s.AvgOutDegree > 4.5 {
+		t.Fatalf("AvgOutDegree = %f, want near 3", s.AvgOutDegree)
+	}
+	if s.Labels > 50 {
+		t.Fatalf("Labels = %d, want <= 50", s.Labels)
+	}
+	// Degree skew: the max out-degree should far exceed the average.
+	if s.MaxOutDegree < 8*int(s.AvgOutDegree) {
+		t.Fatalf("max out-degree %d not heavy-tailed (avg %f)", s.MaxOutDegree, s.AvgOutDegree)
+	}
+}
+
+func TestPowerLawDeterministic(t *testing.T) {
+	a := PowerLaw(PowerLawConfig{Nodes: 500, Seed: 7})
+	b := PowerLaw(PowerLawConfig{Nodes: 500, Seed: 7})
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatalf("same seed, different graphs: %d vs %d edges", a.NumEdges(), b.NumEdges())
+	}
+	c := PowerLaw(PowerLawConfig{Nodes: 500, Seed: 8})
+	if a.NumEdges() == c.NumEdges() && graphsEqual(a, c) {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func graphsEqual(a, b *graph.Graph) bool {
+	if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() {
+		return false
+	}
+	equal := true
+	a.Edges(func(e graph.Edge) bool {
+		found := false
+		b.Out(e.From, func(to, w int32) bool {
+			if to == e.To && w == e.Weight {
+				found = true
+				return false
+			}
+			return true
+		})
+		if !found {
+			equal = false
+			return false
+		}
+		return true
+	})
+	return equal
+}
+
+func TestCitationIsDAGForward(t *testing.T) {
+	g := Citation(CitationConfig{Nodes: 1000, Seed: 3})
+	// Citation edges must run old → new: From < To.
+	g.Edges(func(e graph.Edge) bool {
+		if e.From >= e.To {
+			t.Fatalf("citation edge %d -> %d not forward in time", e.From, e.To)
+		}
+		return true
+	})
+}
+
+func TestCitationLabelSkew(t *testing.T) {
+	g := Citation(CitationConfig{Nodes: 5000, Venues: 100, Seed: 4})
+	h := g.LabelHistogram()
+	maxC, minC := 0, g.NumNodes()
+	for _, c := range h {
+		if c > maxC {
+			maxC = c
+		}
+		if c < minC {
+			minC = c
+		}
+	}
+	if maxC < 5*minC {
+		t.Fatalf("venue distribution not skewed: max %d, min %d", maxC, minC)
+	}
+}
+
+func TestErdosRenyi(t *testing.T) {
+	g := ErdosRenyi(300, 900, 20, 5)
+	if g.NumNodes() != 300 {
+		t.Fatalf("NumNodes = %d", g.NumNodes())
+	}
+	if g.NumEdges() == 0 || g.NumEdges() > 900 {
+		t.Fatalf("NumEdges = %d", g.NumEdges())
+	}
+}
+
+func TestExtractQueryDistinct(t *testing.T) {
+	g := PowerLaw(PowerLawConfig{Nodes: 3000, Labels: 200, Seed: 9})
+	rng := rand.New(rand.NewSource(1))
+	q, err := ExtractQuery(g, QueryConfig{Size: 10, DistinctLabels: true}, rng)
+	if err != nil {
+		t.Fatalf("ExtractQuery: %v", err)
+	}
+	if q.NumNodes() != 10 {
+		t.Fatalf("size = %d", q.NumNodes())
+	}
+	if !q.DistinctLabels() {
+		t.Fatal("labels not distinct")
+	}
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtractQueryDuplicatesAllowed(t *testing.T) {
+	// Few labels force duplicates at size 15.
+	g := PowerLaw(PowerLawConfig{Nodes: 3000, Labels: 8, Seed: 10})
+	rng := rand.New(rand.NewSource(2))
+	q, err := ExtractQuery(g, QueryConfig{Size: 15, DistinctLabels: false}, rng)
+	if err != nil {
+		t.Fatalf("ExtractQuery: %v", err)
+	}
+	if q.NumNodes() != 15 {
+		t.Fatalf("size = %d", q.NumNodes())
+	}
+	if q.DistinctLabels() {
+		t.Log("note: extraction happened to produce distinct labels")
+	}
+}
+
+func TestExtractQueryImpossible(t *testing.T) {
+	// 3 labels cannot support a 10-node distinct-label query.
+	g := PowerLaw(PowerLawConfig{Nodes: 500, Labels: 3, Seed: 11})
+	rng := rand.New(rand.NewSource(3))
+	if _, err := ExtractQuery(g, QueryConfig{Size: 10, DistinctLabels: true, MaxAttempts: 20}, rng); err == nil {
+		t.Fatal("expected failure on label-starved graph")
+	}
+}
+
+func TestQuerySet(t *testing.T) {
+	g := PowerLaw(PowerLawConfig{Nodes: 3000, Labels: 200, Seed: 12})
+	qs, err := QuerySet(g, 10, 8, true, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) == 0 {
+		t.Fatal("empty query set")
+	}
+	for _, q := range qs {
+		if q.NumNodes() != 8 {
+			t.Fatalf("query size %d, want 8", q.NumNodes())
+		}
+	}
+	// Determinism.
+	qs2, _ := QuerySet(g, 10, 8, true, 99)
+	if len(qs) != len(qs2) || qs[0].String() != qs2[0].String() {
+		t.Fatal("QuerySet not deterministic")
+	}
+}

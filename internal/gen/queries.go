@@ -1,0 +1,155 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ktpm/internal/graph"
+	"ktpm/internal/query"
+)
+
+// QueryConfig configures ExtractQuery.
+type QueryConfig struct {
+	// Size is the number of query nodes (the paper's T10 ... T100).
+	Size int
+	// DistinctLabels forces all query labels distinct (the Section 2
+	// assumption); when false, duplicate labels may appear (Eval-IV).
+	DistinctLabels bool
+	// MaxWalk bounds the random-walk hop count realizing one query edge.
+	// Longer walks produce '//' edges matching longer paths. Default 3.
+	MaxWalk int
+	// MaxAttempts bounds extraction retries before giving up. Default 200.
+	MaxAttempts int
+}
+
+// ExtractQuery builds a query tree of cfg.Size nodes by random walks on g,
+// following the paper's workload procedure: the extracted tree is
+// (isomorphic to) a subtree of the run-time graph, so at least one match
+// with a known score upper bound exists. All edges are '//'.
+//
+// It returns an error when the graph cannot support the requested size —
+// the situation the paper hits generating T100 on the real datasets.
+func ExtractQuery(g *graph.Graph, cfg QueryConfig, rng *rand.Rand) (*query.Tree, error) {
+	if cfg.Size <= 0 {
+		return nil, fmt.Errorf("gen: query size must be positive")
+	}
+	if cfg.MaxWalk <= 0 {
+		cfg.MaxWalk = 3
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 200
+	}
+	n := g.NumNodes()
+	if n == 0 {
+		return nil, fmt.Errorf("gen: empty graph")
+	}
+	for attempt := 0; attempt < cfg.MaxAttempts; attempt++ {
+		if t, ok := tryExtract(g, cfg, rng); ok {
+			return t, nil
+		}
+	}
+	return nil, fmt.Errorf("gen: could not extract a %d-node query after %d attempts (graph too small or labels too few)",
+		cfg.Size, cfg.MaxAttempts)
+}
+
+func tryExtract(g *graph.Graph, cfg QueryConfig, rng *rand.Rand) (*query.Tree, bool) {
+	n := g.NumNodes()
+	start := int32(rng.Intn(n))
+	b := query.NewBuilder(g.Labels)
+	rootHandle := b.Root(g.LabelName(start))
+	treeData := []int32{start} // data node backing each query node
+	handles := []int32{rootHandle}
+	usedLabel := map[int32]bool{g.Label(start): true}
+	usedNode := map[int32]bool{start: true}
+
+	eligible := func(v int32) bool {
+		if usedNode[v] {
+			return false
+		}
+		return !cfg.DistinctLabels || !usedLabel[g.Label(v)]
+	}
+
+	for len(treeData) < cfg.Size {
+		grown := false
+		// Probe a few random tree nodes; from each, scan the MaxWalk-hop
+		// out-neighborhood for eligible extensions instead of hoping a
+		// blind walk lands on one.
+		for tries := 0; tries < 12 && !grown; tries++ {
+			pick := rng.Intn(len(treeData))
+			cands := collectEligible(g, treeData[pick], cfg.MaxWalk, 256, eligible)
+			if len(cands) == 0 {
+				continue
+			}
+			next := cands[rng.Intn(len(cands))]
+			handles = append(handles, b.AddChild(handles[pick], g.LabelName(next), query.Descendant))
+			treeData = append(treeData, next)
+			usedLabel[g.Label(next)] = true
+			usedNode[next] = true
+			grown = true
+		}
+		if !grown {
+			return nil, false
+		}
+	}
+	t, err := b.Build()
+	if err != nil {
+		return nil, false
+	}
+	return t, true
+}
+
+// collectEligible BFS-explores the out-neighborhood of v to the given
+// depth, visiting at most visitCap nodes, and returns the eligible ones.
+func collectEligible(g *graph.Graph, v int32, depth, visitCap int, eligible func(int32) bool) []int32 {
+	type qe struct {
+		v int32
+		d int
+	}
+	frontier := []qe{{v, 0}}
+	seen := map[int32]bool{v: true}
+	var out []int32
+	for head := 0; head < len(frontier) && len(seen) < visitCap; head++ {
+		cur := frontier[head]
+		if cur.d >= depth {
+			continue
+		}
+		g.Out(cur.v, func(to, _ int32) bool {
+			if seen[to] {
+				return len(seen) < visitCap
+			}
+			seen[to] = true
+			if eligible(to) {
+				out = append(out, to)
+			}
+			frontier = append(frontier, qe{to, cur.d + 1})
+			return len(seen) < visitCap
+		})
+	}
+	return out
+}
+
+// QuerySet extracts count queries of the given size, skipping failures and
+// reseeding per query for reproducibility. It errors only when no query at
+// all could be extracted. Queries are extracted with single-hop walks
+// (maxWalk 1), i.e. they are subtrees of the data graph itself — the
+// strongest form of the paper's "subtrees of the run-time graph" workload,
+// guaranteeing a perfect all-distance-1 match exists.
+func QuerySet(g *graph.Graph, count, size int, distinct bool, seed int64) ([]*query.Tree, error) {
+	var out []*query.Tree
+	for i := 0; i < count; i++ {
+		rng := rand.New(rand.NewSource(seed + int64(i)*7919))
+		// Prefer single-hop subtrees; fall back to longer walks when the
+		// label alphabet is too sparse for them at this query size.
+		for _, walk := range []int{1, 2, 3} {
+			t, err := ExtractQuery(g, QueryConfig{Size: size, DistinctLabels: distinct, MaxWalk: walk}, rng)
+			if err == nil {
+				out = append(out, t)
+				break
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("gen: query set %d/%d: no extractable queries", count, size)
+	}
+	return out, nil
+}

@@ -1,0 +1,105 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The text format is line oriented:
+//
+//	# comment
+//	n <id> <label> [node-weight]
+//	e <from> <to> [weight]
+//
+// Node IDs must be dense 0..n-1 and declared before use. The format exists
+// so the cmd tools can persist generated datasets and so examples can ship
+// small literal graphs.
+
+// Encode writes g in the text format.
+func Encode(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# ktpm graph: %d nodes, %d edges\n", g.NumNodes(), g.NumEdges())
+	for v := int32(0); int(v) < g.NumNodes(); v++ {
+		if w := g.NodeWeight(v); w != 0 {
+			fmt.Fprintf(bw, "n %d %s %d\n", v, g.LabelName(v), w)
+		} else {
+			fmt.Fprintf(bw, "n %d %s\n", v, g.LabelName(v))
+		}
+	}
+	var err error
+	g.Edges(func(e Edge) bool {
+		if e.Weight == 1 {
+			_, err = fmt.Fprintf(bw, "e %d %d\n", e.From, e.To)
+		} else {
+			_, err = fmt.Fprintf(bw, "e %d %d %d\n", e.From, e.To, e.Weight)
+		}
+		return err == nil
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Decode parses the text format.
+func Decode(r io.Reader) (*Graph, error) {
+	b := NewBuilder()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "n":
+			if len(fields) != 3 && len(fields) != 4 {
+				return nil, fmt.Errorf("graph: line %d: want 'n <id> <label> [weight]'", lineNo)
+			}
+			id, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad node id: %v", lineNo, err)
+			}
+			if id != b.NumNodes() {
+				return nil, fmt.Errorf("graph: line %d: node ids must be dense and ordered; got %d, want %d", lineNo, id, b.NumNodes())
+			}
+			nodeID := b.AddNode(fields[2])
+			if len(fields) == 4 {
+				w, err := strconv.Atoi(fields[3])
+				if err != nil {
+					return nil, fmt.Errorf("graph: line %d: bad node weight: %v", lineNo, err)
+				}
+				b.SetNodeWeight(nodeID, int32(w))
+			}
+		case "e":
+			if len(fields) != 3 && len(fields) != 4 {
+				return nil, fmt.Errorf("graph: line %d: want 'e <from> <to> [w]'", lineNo)
+			}
+			from, err1 := strconv.Atoi(fields[1])
+			to, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("graph: line %d: bad edge endpoints", lineNo)
+			}
+			w := 1
+			if len(fields) == 4 {
+				var err error
+				if w, err = strconv.Atoi(fields[3]); err != nil {
+					return nil, fmt.Errorf("graph: line %d: bad weight: %v", lineNo, err)
+				}
+			}
+			b.AddWeightedEdge(int32(from), int32(to), int32(w))
+		default:
+			return nil, fmt.Errorf("graph: line %d: unknown record %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return b.Build()
+}

@@ -1,0 +1,113 @@
+// Package label provides a string-to-integer interner for node labels.
+//
+// Every package in this module identifies labels by dense non-negative
+// integer IDs; the interner owns the bidirectional mapping. Interning keeps
+// the hot paths (closure tables, run-time graph construction, child-list
+// grouping) free of string hashing and comparison.
+package label
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Wildcard is the reserved label ID for query wildcard (*) nodes. It never
+// appears in a data graph; only query trees may carry it.
+const Wildcard = -1
+
+// WildcardName is the textual form of the wildcard label.
+const WildcardName = "*"
+
+// Interner assigns dense integer IDs to label strings. The zero value is
+// ready to use. All methods are safe for concurrent use, so parsed
+// queries may intern new (taxonomy-only) labels while other goroutines
+// resolve existing ones.
+type Interner struct {
+	mu     sync.RWMutex
+	byName map[string]int
+	names  []string
+}
+
+// NewInterner returns an empty interner.
+func NewInterner() *Interner {
+	return &Interner{byName: make(map[string]int)}
+}
+
+// Intern returns the ID for name, assigning a fresh one on first sight.
+// Interning the wildcard name returns Wildcard without assigning an ID.
+func (in *Interner) Intern(name string) int {
+	if name == WildcardName {
+		return Wildcard
+	}
+	in.mu.RLock()
+	id, ok := in.byName[name]
+	in.mu.RUnlock()
+	if ok {
+		return id
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.byName == nil {
+		in.byName = make(map[string]int)
+	}
+	if id, ok := in.byName[name]; ok {
+		return id
+	}
+	id = len(in.names)
+	in.byName[name] = id
+	in.names = append(in.names, name)
+	return id
+}
+
+// Lookup returns the ID for name and whether it has been interned.
+func (in *Interner) Lookup(name string) (int, bool) {
+	if name == WildcardName {
+		return Wildcard, true
+	}
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	id, ok := in.byName[name]
+	return id, ok
+}
+
+// Name returns the string form of id. It panics on an unknown ID other than
+// Wildcard, which is a programming error rather than a data error.
+func (in *Interner) Name(id int) string {
+	if id == Wildcard {
+		return WildcardName
+	}
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	if id < 0 || id >= len(in.names) {
+		panic(fmt.Sprintf("label: unknown label id %d", id))
+	}
+	return in.names[id]
+}
+
+// Len returns the number of distinct interned labels (wildcard excluded).
+func (in *Interner) Len() int {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	return len(in.names)
+}
+
+// Names returns a copy of the interned label names indexed by ID.
+func (in *Interner) Names() []string {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	return append([]string(nil), in.names...)
+}
+
+// Clone returns a deep copy of the interner.
+func (in *Interner) Clone() *Interner {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	cp := &Interner{
+		byName: make(map[string]int, len(in.byName)),
+		names:  append([]string(nil), in.names...),
+	}
+	for k, v := range in.byName {
+		cp.byName[k] = v
+	}
+	return cp
+}

@@ -1,0 +1,144 @@
+package label
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestInternAssignsDenseIDs(t *testing.T) {
+	in := NewInterner()
+	ids := []int{in.Intern("a"), in.Intern("b"), in.Intern("c")}
+	for want, got := range ids {
+		if got != want {
+			t.Fatalf("Intern order: got %v, want dense 0..2", ids)
+		}
+	}
+	if in.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", in.Len())
+	}
+}
+
+func TestInternIdempotent(t *testing.T) {
+	in := NewInterner()
+	a := in.Intern("x")
+	b := in.Intern("x")
+	if a != b {
+		t.Fatalf("Intern not idempotent: %d vs %d", a, b)
+	}
+	if in.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", in.Len())
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var in Interner
+	if got := in.Intern("z"); got != 0 {
+		t.Fatalf("zero-value Intern = %d, want 0", got)
+	}
+}
+
+func TestWildcard(t *testing.T) {
+	in := NewInterner()
+	if got := in.Intern(WildcardName); got != Wildcard {
+		t.Fatalf("Intern(*) = %d, want %d", got, Wildcard)
+	}
+	if in.Len() != 0 {
+		t.Fatalf("wildcard must not consume an ID; Len = %d", in.Len())
+	}
+	if in.Name(Wildcard) != WildcardName {
+		t.Fatalf("Name(Wildcard) = %q", in.Name(Wildcard))
+	}
+	id, ok := in.Lookup(WildcardName)
+	if !ok || id != Wildcard {
+		t.Fatalf("Lookup(*) = %d,%v", id, ok)
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	in := NewInterner()
+	if _, ok := in.Lookup("missing"); ok {
+		t.Fatal("Lookup of unknown label reported ok")
+	}
+}
+
+func TestNamePanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Name on unknown id did not panic")
+		}
+	}()
+	NewInterner().Name(7)
+}
+
+func TestNameRoundTrip(t *testing.T) {
+	in := NewInterner()
+	f := func(n uint8) bool {
+		name := fmt.Sprintf("label-%d", n)
+		return in.Name(in.Intern(name)) == name
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClone(t *testing.T) {
+	in := NewInterner()
+	in.Intern("a")
+	in.Intern("b")
+	cp := in.Clone()
+	cp.Intern("c")
+	if in.Len() != 2 || cp.Len() != 3 {
+		t.Fatalf("clone not independent: orig %d, clone %d", in.Len(), cp.Len())
+	}
+	if id, ok := cp.Lookup("a"); !ok || id != 0 {
+		t.Fatalf("clone lost mapping: %d,%v", id, ok)
+	}
+}
+
+func TestNamesSliceIndexedByID(t *testing.T) {
+	in := NewInterner()
+	for _, s := range []string{"p", "q", "r"} {
+		in.Intern(s)
+	}
+	names := in.Names()
+	for id, name := range names {
+		if got, _ := in.Lookup(name); got != id {
+			t.Fatalf("Names[%d]=%q maps back to %d", id, name, got)
+		}
+	}
+}
+
+func TestConcurrentIntern(t *testing.T) {
+	in := NewInterner()
+	var wg sync.WaitGroup
+	const workers = 8
+	ids := make([][]int, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				name := fmt.Sprintf("lbl-%d", i%50)
+				ids[w] = append(ids[w], in.Intern(name))
+				if id, ok := in.Lookup(name); !ok || in.Name(id) != name {
+					panic("lookup disagreed under concurrency")
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if in.Len() != 50 {
+		t.Fatalf("Len = %d, want 50", in.Len())
+	}
+	// All workers must agree on every name's ID.
+	for w := 1; w < workers; w++ {
+		for i := range ids[w] {
+			if ids[w][i] != ids[0][i] {
+				t.Fatalf("worker %d saw id %d for slot %d, worker 0 saw %d",
+					w, ids[w][i], i, ids[0][i])
+			}
+		}
+	}
+}

@@ -1,0 +1,568 @@
+// Package lazy implements Algorithms 2 and 3 of the paper (Topk-EN): top-k
+// tree matching over a run-time graph that is loaded from the (simulated)
+// disk store on demand, in priority order.
+//
+// The machinery follows Section 4 closely:
+//
+//   - A global minimum priority queue Qg holds "active" nodes — candidates
+//     whose every child group already has at least one loaded edge — keyed
+//     by lb(v) = bs̄(v) + e_v + L(q(v)), where bs̄ is the Equation-3 upper
+//     bound over the loaded portion, e_v lower-bounds the unloaded incoming
+//     distances (D-table minimum before any block is read, last loaded
+//     distance afterwards — lists are distance-sorted), and L(u) =
+//     n_T - 1 - |T_u| is the trivial remaining-edges bound. The LooseBound
+//     option drops the L(u) term, which is the DP-P-style weaker trigger
+//     (ablation A3 and the dp package's loading discipline).
+//   - Popping Qg finalizes bs (Theorem 4.2) and loads the node's incoming
+//     blocks while the re-estimated lb keeps it at the top (Algorithm 2,
+//     Lines 14-17); loaded edges propagate (child, bs+δ) entries into
+//     parents' child lists, activating or re-keying them (Line 13).
+//   - Enumeration reuses the Lawler division of package core, but a
+//     candidate computed from partial lists is only trusted once its score
+//     is no larger than the current top of Qg (Theorem 4.1's monotonicity);
+//     until then it parks in a pending set and is re-scored as loading
+//     progresses, including the "empty now, nonempty later" ∞-score case
+//     the paper calls out in Section 4.3.
+package lazy
+
+import (
+	"math"
+
+	"ktpm/internal/graph"
+	"ktpm/internal/heap"
+	"ktpm/internal/label"
+	"ktpm/internal/query"
+	"ktpm/internal/store"
+)
+
+// infScore marks a currently-empty subspace (Section 4.3). Kept well below
+// MaxInt64 so additions cannot overflow.
+const infScore = int64(math.MaxInt64 / 4)
+
+// Bound selects the loading trigger.
+type Bound int
+
+const (
+	// TightBound is the paper's lb with the remaining-edges term L(u).
+	TightBound Bound = iota
+	// LooseBound drops L(u), reproducing the weaker DP-P-style trigger;
+	// it loads more edges but returns identical results.
+	LooseBound
+	// EdgeAwareBound strengthens L(u) beyond the paper: instead of
+	// counting one unit per remaining query edge, it sums each remaining
+	// edge's minimum possible distance as recorded in its D table. The
+	// paper notes it can only identify "a trivial lower bound L(u)"
+	// because it prices every edge at 1; the D tables loaded at
+	// initialization already contain the per-edge minima, so this bound
+	// is free to compute and never weaker. Results are identical; only
+	// fewer edges are loaded (ablation A5 in DESIGN.md).
+	EdgeAwareBound
+)
+
+// Options configures the enumerator.
+type Options struct {
+	Bound Bound
+}
+
+// Match is one enumerated match; Nodes holds the matched data node per
+// query position (BFS order).
+type Match struct {
+	Nodes []int32
+	Score int64
+
+	gids  []int32
+	pivot int32
+	excl  int32
+}
+
+type candidate struct {
+	score  int64
+	parent *Match // nil for the top-1 sentinel
+	pivot  int32  // -1 for the top-1 sentinel
+	excl   int32
+}
+
+// laNode is one lazily discovered run-time-graph node (query node u, data
+// node v).
+type laNode struct {
+	u, v int32
+	gid  int32
+	// lists[pos] collects loaded child edges toward u's pos-th child.
+	lists []*heap.ChildList
+	// initChild dedups the E-table seed edge against later block loads.
+	initChild []int32
+	nonEmpty  int
+	bsBar     int64
+	active    bool
+	popped    bool
+	inRoots   bool
+	nextBlock int
+	blocksAll bool
+	ev        int64
+}
+
+// Enumerator streams matches in non-decreasing score order while loading
+// as little of the run-time graph as the bound allows.
+type Enumerator struct {
+	q   *query.Tree
+	s   *store.Store
+	g   *graph.Graph
+	opt Options
+
+	nT          int32
+	remainLB    []int64
+	posInParent []int32
+	parentLabel []int32
+
+	nodes []*laNode
+	byKey []map[int32]int32
+	dmin  []map[int32]int32
+
+	qg       *heap.Indexed
+	rootList *heap.ChildList
+	queue    *heap.Min
+	pending  []*candidate
+	emitted  int
+}
+
+// New initializes the enumerator: loads the D tables for every query edge
+// and the E tables for leaf edges (Algorithm 2, Line 1), creates the leaf
+// and leaf-parent nodes, and seeds Qg with every active node.
+func New(s *store.Store, q *query.Tree, opt Options) *Enumerator {
+	g := s.Graph()
+	nT := int32(q.NumNodes())
+	e := &Enumerator{
+		q: q, s: s, g: g, opt: opt,
+		nT:          nT,
+		remainLB:    make([]int64, nT),
+		posInParent: make([]int32, nT),
+		parentLabel: make([]int32, nT),
+		byKey:       make([]map[int32]int32, nT),
+		dmin:        make([]map[int32]int32, nT),
+		qg:          heap.NewIndexed(64),
+		rootList:    heap.NewEmptyChildList(),
+		queue:       &heap.Min{},
+	}
+	for u := int32(0); u < nT; u++ {
+		e.byKey[u] = make(map[int32]int32)
+		if lb := int64(nT) - 1 - int64(q.Nodes[u].SubtreeSize); lb > 0 {
+			e.remainLB[u] = lb
+		}
+		for pos, c := range q.Nodes[u].Children {
+			e.posInParent[c] = int32(pos)
+		}
+		if p := q.Nodes[u].Parent; p >= 0 {
+			e.parentLabel[u] = q.Nodes[p].Label
+		}
+	}
+	if nT == 1 {
+		// Degenerate single-node query: every label candidate is a root
+		// match scoring only its own node weight.
+		roots := make([]heap.Entry, 0, g.NumNodes())
+		for _, v := range e.rootCandidates() {
+			nd := e.getNode(0, v)
+			nd.active, nd.popped, nd.inRoots = true, true, true
+			nd.bsBar = int64(g.NodeWeight(v))
+			roots = append(roots, heap.Entry{Key: nd.bsBar, Node: nd.gid})
+		}
+		for _, ent := range roots {
+			e.rootList.Insert(ent)
+		}
+		e.pending = append(e.pending, &candidate{pivot: -1})
+		return e
+	}
+	// D tables for every query edge. Leaf nodes activate after the bound
+	// refinement below so their initial lb already uses the final L(u).
+	minEdge := make([]int64, nT) // per node u>0: min distance of edge (parent,u)
+	var leafInit [][2]int32      // (u, v) pairs to activate
+	for u := int32(1); u < nT; u++ {
+		childOnly := q.Nodes[u].EdgeFromParent == query.Child
+		dtab := s.LoadD(e.parentLabel[u], q.Nodes[u].Label, childOnly)
+		e.dmin[u] = make(map[int32]int32, len(dtab))
+		minEdge[u] = 1
+		for i, d := range dtab {
+			e.dmin[u][d.V] = d.Min
+			if i == 0 || int64(d.Min) < minEdge[u] {
+				minEdge[u] = int64(d.Min)
+			}
+		}
+		if len(q.Nodes[u].Children) == 0 {
+			for _, d := range dtab {
+				leafInit = append(leafInit, [2]int32{u, d.V})
+			}
+		}
+	}
+	if opt.Bound == EdgeAwareBound {
+		// L'(u) = Σ of per-edge minima over the query edges outside
+		// T_u ∪ (parent(u), u), never weaker than the unit-priced bound.
+		subSum := make([]int64, nT) // Σ minEdge over edges inside T_u
+		for u := nT - 1; u >= 0; u-- {
+			for _, c := range q.Nodes[u].Children {
+				subSum[u] += subSum[c] + minEdge[c]
+			}
+		}
+		var total int64
+		for u := int32(1); u < nT; u++ {
+			total += minEdge[u]
+		}
+		for u := int32(0); u < nT; u++ {
+			lb := total - subSum[u] - minEdge[u]
+			if u == 0 {
+				lb = total - subSum[0]
+			}
+			if lb > e.remainLB[u] {
+				e.remainLB[u] = lb
+			}
+		}
+	}
+	for _, lv := range leafInit {
+		nd := e.getNode(lv[0], lv[1])
+		nd.active = true
+		nd.bsBar = int64(g.NodeWeight(lv[1])) // a leaf's bs is its node weight
+		nd.ev = int64(e.dmin[lv[0]][lv[1]])
+		e.qg.Push(int(nd.gid), e.lbOf(nd))
+	}
+	// E tables seed leaf-edge parents with the minimum child edge.
+	for u := int32(0); u < nT; u++ {
+		for pos, cIdx := range q.Nodes[u].Children {
+			if len(q.Nodes[cIdx].Children) != 0 {
+				continue
+			}
+			childOnly := q.Nodes[cIdx].EdgeFromParent == query.Child
+			etab := s.LoadE(q.Nodes[u].Label, q.Nodes[cIdx].Label, childOnly)
+			for _, en := range etab {
+				childGid, ok := e.lookup(cIdx, en.To)
+				if !ok {
+					continue // defensive: E target missing from D
+				}
+				p := e.getNode(u, en.From)
+				p.initChild[pos] = childGid
+				e.insertEntry(p, pos, heap.Entry{
+					Key:  int64(en.Dist) + e.nodes[childGid].bsBar,
+					Node: childGid,
+				})
+			}
+		}
+	}
+	e.pending = append(e.pending, &candidate{pivot: -1})
+	return e
+}
+
+// rootCandidates lists data nodes eligible for the root position.
+func (e *Enumerator) rootCandidates() []int32 {
+	lbl := e.q.Nodes[0].Label
+	if lbl == label.Wildcard {
+		all := make([]int32, e.g.NumNodes())
+		for i := range all {
+			all[i] = int32(i)
+		}
+		return all
+	}
+	return e.g.NodesWithLabel(lbl)
+}
+
+func (e *Enumerator) lookup(u, v int32) (int32, bool) {
+	gid, ok := e.byKey[u][v]
+	return gid, ok
+}
+
+// getNode returns the laNode for (u, v), creating an inactive one on first
+// sight.
+func (e *Enumerator) getNode(u, v int32) *laNode {
+	if gid, ok := e.byKey[u][v]; ok {
+		return e.nodes[gid]
+	}
+	nc := len(e.q.Nodes[u].Children)
+	nd := &laNode{
+		u: u, v: v,
+		gid:       int32(len(e.nodes)),
+		lists:     make([]*heap.ChildList, nc),
+		initChild: make([]int32, nc),
+	}
+	for i := range nd.lists {
+		nd.lists[i] = heap.NewEmptyChildList()
+		nd.initChild[i] = -1
+	}
+	e.nodes = append(e.nodes, nd)
+	e.byKey[u][v] = nd.gid
+	return nd
+}
+
+// lbOf computes the Qg key of nd under the configured bound.
+func (e *Enumerator) lbOf(nd *laNode) int64 {
+	lb := nd.bsBar + nd.ev
+	if e.opt.Bound != LooseBound {
+		lb += e.remainLB[nd.u]
+	}
+	return lb
+}
+
+// insertEntry adds a loaded child edge into nd's pos-th list, maintaining
+// activation state and the Line-13 key update.
+func (e *Enumerator) insertEntry(nd *laNode, pos int, entry heap.Entry) {
+	list := nd.lists[pos]
+	oldMin, hadMin := list.Min()
+	list.Insert(entry)
+	if !hadMin {
+		nd.nonEmpty++
+		if !nd.active && nd.nonEmpty == len(nd.lists) {
+			e.activate(nd)
+		}
+		return
+	}
+	if nd.active && !nd.popped && entry.Key < oldMin.Key {
+		nd.bsBar += entry.Key - oldMin.Key
+		if e.qg.Contains(int(nd.gid)) {
+			e.qg.Update(int(nd.gid), e.lbOf(nd))
+		}
+	}
+}
+
+// activate computes bs̄ (Equation 3) and queues the node, unless it is a
+// non-root with no incoming edge from its parent label, which can never
+// join a match.
+func (e *Enumerator) activate(nd *laNode) {
+	nd.active = true
+	// bs'(v) = node weight of v plus Equation 3 over the loaded lists;
+	// keys already carry each child's own bs', so node weights compose.
+	nd.bsBar = int64(e.g.NodeWeight(nd.v))
+	for _, l := range nd.lists {
+		min, _ := l.Min()
+		nd.bsBar += min.Key
+	}
+	if nd.u > 0 {
+		d, ok := e.dmin[nd.u][nd.v]
+		if !ok {
+			return
+		}
+		nd.ev = int64(d)
+	}
+	e.qg.Push(int(nd.gid), e.lbOf(nd))
+}
+
+// expandTop implements Algorithm 2's pop-and-Expand step: finalize bs for
+// the popped node, then for non-roots load incoming blocks while the
+// re-estimated lb keeps the node at the front of Qg.
+func (e *Enumerator) expandTop() {
+	gidInt, _ := e.qg.Pop()
+	nd := e.nodes[gidInt]
+	nd.popped = true
+	if nd.u == 0 {
+		if !nd.inRoots {
+			nd.inRoots = true
+			e.rootList.Insert(heap.Entry{Key: nd.bsBar, Node: nd.gid})
+		}
+		return
+	}
+	childOnly := e.q.Nodes[nd.u].EdgeFromParent == query.Child
+	pu := e.q.Nodes[nd.u].Parent
+	pos := int(e.posInParent[nd.u])
+	for {
+		if nd.blocksAll {
+			return
+		}
+		blk, last := e.s.LoadBlock(e.parentLabel[nd.u], nd.v, nd.nextBlock)
+		nd.nextBlock++
+		if last {
+			nd.blocksAll = true
+		}
+		for _, edge := range blk {
+			if int64(edge.Dist) > nd.ev {
+				nd.ev = int64(edge.Dist)
+			}
+			if childOnly && !edge.Direct {
+				continue
+			}
+			p := e.getNode(pu, edge.From)
+			if p.initChild[pos] == nd.gid {
+				continue // E-table seed already inserted this edge
+			}
+			e.insertEntry(p, pos, heap.Entry{Key: nd.bsBar + int64(edge.Dist), Node: nd.gid})
+		}
+		if nd.blocksAll {
+			return
+		}
+		lbnew := e.lbOf(nd)
+		if e.qg.Len() > 0 && lbnew > e.qg.PeekKey() {
+			e.qg.Push(int(nd.gid), lbnew)
+			return
+		}
+	}
+}
+
+// listAt returns the child list governing query position x in match m.
+func (e *Enumerator) listAt(m *Match, x int32) *heap.ChildList {
+	if x == 0 {
+		return e.rootList
+	}
+	p := e.q.Nodes[x].Parent
+	return e.nodes[m.gids[p]].lists[e.posInParent[x]]
+}
+
+// candScore evaluates a candidate against the current (possibly partial)
+// lists; infScore marks a currently-empty subspace.
+func (e *Enumerator) candScore(c *candidate) int64 {
+	if c.pivot < 0 {
+		if best, ok := e.rootList.Kth(0); ok {
+			return best.Key
+		}
+		return infScore
+	}
+	list := e.listAt(c.parent, c.pivot)
+	old, ok1 := list.Kth(int(c.excl) - 1)
+	next, ok2 := list.Kth(int(c.excl))
+	if !ok1 || !ok2 {
+		return infScore
+	}
+	return c.parent.Score + next.Key - old.Key
+}
+
+// recheckPending re-scores parked candidates and promotes the confirmed
+// ones into the global queue. With Qg exhausted every finite score is
+// final and ∞ subspaces are truly empty.
+func (e *Enumerator) recheckPending() {
+	qgTop := infScore
+	qgEmpty := e.qg.Len() == 0
+	if !qgEmpty {
+		qgTop = e.qg.PeekKey()
+	}
+	kept := e.pending[:0]
+	for _, c := range e.pending {
+		s := e.candScore(c)
+		switch {
+		case s >= infScore:
+			if !qgEmpty {
+				kept = append(kept, c)
+			}
+		case qgEmpty || s <= qgTop:
+			c.score = s
+			e.queue.Push(heap.Item{Key: s, Val: c})
+		default:
+			kept = append(kept, c)
+		}
+	}
+	e.pending = kept
+}
+
+// materialize recovers the full match, as in package core but over lazily
+// discovered nodes.
+func (e *Enumerator) materialize(c *candidate) *Match {
+	m := &Match{
+		gids:  make([]int32, e.nT),
+		Nodes: make([]int32, e.nT),
+		Score: c.score,
+		pivot: c.pivot,
+		excl:  c.excl,
+	}
+	inSubtree := make([]bool, e.nT)
+	var from int32
+	if c.parent == nil {
+		best, _ := e.rootList.Kth(0)
+		m.gids[0] = best.Node
+		m.pivot = -1
+		inSubtree[0] = true
+		from = 1
+	} else {
+		copy(m.gids, c.parent.gids)
+		list := e.listAt(c.parent, c.pivot)
+		entry, ok := list.Kth(int(c.excl))
+		if !ok {
+			panic("lazy: confirmed candidate points past its child list")
+		}
+		m.gids[c.pivot] = entry.Node
+		inSubtree[c.pivot] = true
+		from = c.pivot + 1
+	}
+	for y := from; y < e.nT; y++ {
+		p := e.q.Nodes[y].Parent
+		if !inSubtree[p] {
+			continue
+		}
+		inSubtree[y] = true
+		best, ok := e.nodes[m.gids[p]].lists[e.posInParent[y]].Min()
+		if !ok {
+			panic("lazy: best completion missing below a confirmed match")
+		}
+		m.gids[y] = best.Node
+	}
+	for u := int32(0); u < e.nT; u++ {
+		m.Nodes[u] = e.nodes[m.gids[u]].v
+	}
+	return m
+}
+
+// divide parks the Lawler children of m (Cases 1 and 2) and lets
+// recheckPending promote whichever are already confirmed.
+func (e *Enumerator) divide(m *Match) {
+	if m.pivot >= 0 {
+		e.pending = append(e.pending, &candidate{parent: m, pivot: m.pivot, excl: m.excl + 1})
+	}
+	for x := m.pivot + 1; x < e.nT; x++ {
+		e.pending = append(e.pending, &candidate{parent: m, pivot: x, excl: 1})
+	}
+	e.recheckPending()
+}
+
+// Next returns the next match in non-decreasing score order, loading only
+// as much of the run-time graph as confirmation requires.
+func (e *Enumerator) Next() (*Match, bool) {
+	for {
+		for e.qg.Len() > 0 && (e.queue.Len() == 0 || e.qg.PeekKey() < e.queue.Peek().Key) {
+			e.expandTop()
+			e.recheckPending()
+		}
+		if e.queue.Len() > 0 {
+			break
+		}
+		if e.qg.Len() == 0 {
+			e.recheckPending()
+			if e.queue.Len() == 0 {
+				return nil, false
+			}
+		}
+	}
+	c := e.queue.Pop().Val.(*candidate)
+	m := e.materialize(c)
+	e.divide(m)
+	e.emitted++
+	return m, true
+}
+
+// Emitted returns how many matches have been produced.
+func (e *Enumerator) Emitted() int { return e.emitted }
+
+// Stats reports how much of the run-time graph enumeration touched; the
+// quantities of Theorem 4.3 (m'_R via the store counters, n'_R here).
+type Stats struct {
+	// CreatedNodes counts lazily instantiated (query node, data node)
+	// pairs.
+	CreatedNodes int
+	// ActiveNodes is n'_R, the nodes that ever activated.
+	ActiveNodes int
+}
+
+// ComputeStats returns enumeration statistics.
+func (e *Enumerator) ComputeStats() Stats {
+	s := Stats{CreatedNodes: len(e.nodes)}
+	for _, nd := range e.nodes {
+		if nd.active {
+			s.ActiveNodes++
+		}
+	}
+	return s
+}
+
+// TopK returns up to k matches of q over the store in non-decreasing score
+// order.
+func TopK(s *store.Store, q *query.Tree, k int, opt Options) []*Match {
+	e := New(s, q, opt)
+	var out []*Match
+	for len(out) < k {
+		m, ok := e.Next()
+		if !ok {
+			break
+		}
+		out = append(out, m)
+	}
+	return out
+}

@@ -1,0 +1,378 @@
+package lazy
+
+import (
+	"math/rand"
+	"testing"
+
+	"ktpm/internal/closure"
+	"ktpm/internal/core"
+	"ktpm/internal/gen"
+	"ktpm/internal/graph"
+	"ktpm/internal/query"
+	"ktpm/internal/rtg"
+	"ktpm/internal/store"
+)
+
+// fig4 is the paper's Figure 4 fixture (see core tests).
+func fig4(t testing.TB) (*graph.Graph, *query.Tree) {
+	t.Helper()
+	b := graph.NewBuilder()
+	for _, l := range []string{"a", "b", "c", "c", "c", "c", "d"} {
+		b.AddNode(l)
+	}
+	edges := [][3]int32{
+		{0, 1, 1},
+		{0, 2, 1}, {0, 3, 1}, {0, 4, 1}, {0, 5, 2},
+		{2, 6, 3}, {3, 6, 4}, {4, 6, 1}, {5, 6, 1},
+	}
+	for _, e := range edges {
+		b.AddWeightedEdge(e[0], e[1], e[2])
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, query.MustParse(g.Labels, "a(b,c(d))")
+}
+
+func storeFor(t testing.TB, g *graph.Graph, blockSize int) *store.Store {
+	t.Helper()
+	c := closure.Compute(g, closure.Options{})
+	return store.New(c, blockSize)
+}
+
+func TestPaperExample42(t *testing.T) {
+	g, q := fig4(t)
+	s := storeFor(t, g, 1) // one-edge blocks maximize laziness
+	ms := TopK(s, q, 4, Options{})
+	wantScores := []int64{3, 4, 5, 6}
+	wantC := []int32{4, 5, 2, 3}
+	if len(ms) != 4 {
+		t.Fatalf("got %d matches, want 4", len(ms))
+	}
+	for i, m := range ms {
+		if m.Score != wantScores[i] {
+			t.Fatalf("top-%d score %d, want %d", i+1, m.Score, wantScores[i])
+		}
+		if m.Nodes[2] != wantC[i] {
+			t.Fatalf("top-%d c-node v%d, want v%d", i+1, m.Nodes[2]+1, wantC[i]+1)
+		}
+	}
+}
+
+// TestExample42Laziness verifies the Section 4.2 claim: the top-1 match of
+// the Figure 4 instance is computed without loading the incoming edges of
+// v3, v4, and v6 (only the b-edge and v5's incoming edge are needed).
+func TestExample42Laziness(t *testing.T) {
+	g, q := fig4(t)
+	s := storeFor(t, g, 1)
+	e := New(s, q, Options{})
+	m, ok := e.Next()
+	if !ok || m.Score != 3 {
+		t.Fatalf("top-1 = %v,%v", m, ok)
+	}
+	// With one-entry blocks the incoming lists hold 1 (v2) + 4 (v7) + 1
+	// each (v3..v6) = 9 blocks. The paper's walkthrough loads only
+	// (v1,v2) and (v1,v5); the block trigger may additionally prefetch a
+	// prefix of v7's list, but the incoming edges of v3, v4 and v6 must
+	// stay untouched, so strictly fewer than 7 blocks can have been read.
+	cnt := s.Counters()
+	if cnt.BlocksRead >= 7 {
+		t.Fatalf("top-1 loaded %d blocks, want < 7 (v3/v4/v6 lists untouched)", cnt.BlocksRead)
+	}
+}
+
+func TestExhaustion(t *testing.T) {
+	g, q := fig4(t)
+	s := storeFor(t, g, 2)
+	e := New(s, q, Options{})
+	n := 0
+	for {
+		if _, ok := e.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 4 {
+		t.Fatalf("exhausted after %d matches, want 4", n)
+	}
+	if _, ok := e.Next(); ok {
+		t.Fatal("Next after exhaustion")
+	}
+}
+
+// differential compares lazy enumeration against core (Algorithm 1) on the
+// same instance, for both bounds and two block sizes.
+func differential(t *testing.T, g *graph.Graph, q *query.Tree, k int) {
+	t.Helper()
+	c := closure.Compute(g, closure.Options{})
+	r := rtg.Build(c, q)
+	want := core.TopK(r, k)
+	for _, bound := range []Bound{TightBound, LooseBound, EdgeAwareBound} {
+		for _, bs := range []int{1, 3, 64} {
+			s := store.New(c, bs)
+			got := TopK(s, q, k, Options{Bound: bound})
+			if len(got) != len(want) {
+				t.Fatalf("q=%s bound=%d bs=%d: got %d matches, want %d",
+					q, bound, bs, len(got), len(want))
+			}
+			for i := range got {
+				if got[i].Score != want[i].Score {
+					t.Fatalf("q=%s bound=%d bs=%d: top-%d score %d, want %d",
+						q, bound, bs, i+1, got[i].Score, want[i].Score)
+				}
+			}
+		}
+	}
+}
+
+func TestDifferentialRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	trials := 0
+	for seed := int64(0); seed < 50; seed++ {
+		g := gen.ErdosRenyi(25, 90, 5, seed)
+		q, err := gen.ExtractQuery(g, gen.QueryConfig{Size: 4, DistinctLabels: true, MaxAttempts: 30}, rng)
+		if err != nil {
+			continue
+		}
+		differential(t, g, q, 20)
+		trials++
+	}
+	if trials < 20 {
+		t.Fatalf("only %d usable trials", trials)
+	}
+}
+
+func TestDifferentialWeighted(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	trials := 0
+	for seed := int64(100); seed < 130; seed++ {
+		b := graph.NewBuilder()
+		n := 20
+		for i := 0; i < n; i++ {
+			b.AddNode(string(rune('a' + rng.Intn(5))))
+		}
+		for i := 0; i < 70; i++ {
+			u, v := int32(rng.Intn(n)), int32(rng.Intn(n))
+			if u != v {
+				b.AddWeightedEdge(u, v, int32(1+rng.Intn(4)))
+			}
+		}
+		g, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, err := gen.ExtractQuery(g, gen.QueryConfig{Size: 4, DistinctLabels: true, MaxAttempts: 30}, rng)
+		if err != nil {
+			continue
+		}
+		differential(t, g, q, 25)
+		trials++
+	}
+	if trials < 10 {
+		t.Fatalf("only %d usable trials", trials)
+	}
+}
+
+func TestDifferentialDuplicateLabels(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	trials := 0
+	for seed := int64(200); seed < 240; seed++ {
+		g := gen.ErdosRenyi(18, 60, 3, seed)
+		q, err := gen.ExtractQuery(g, gen.QueryConfig{Size: 4, DistinctLabels: false, MaxAttempts: 30}, rng)
+		if err != nil {
+			continue
+		}
+		differential(t, g, q, 15)
+		trials++
+	}
+	if trials < 10 {
+		t.Fatalf("only %d usable trials", trials)
+	}
+}
+
+func TestDifferentialDeep(t *testing.T) {
+	rng := rand.New(rand.NewSource(54))
+	trials := 0
+	for seed := int64(300); seed < 330; seed++ {
+		g := gen.ErdosRenyi(40, 150, 8, seed)
+		q, err := gen.ExtractQuery(g, gen.QueryConfig{Size: 6, DistinctLabels: true, MaxAttempts: 30}, rng)
+		if err != nil {
+			continue
+		}
+		differential(t, g, q, 30)
+		trials++
+	}
+	if trials < 5 {
+		t.Fatalf("only %d usable trials", trials)
+	}
+}
+
+func TestDifferentialChildEdges(t *testing.T) {
+	// Random graphs with '/' query edges mixed in.
+	rng := rand.New(rand.NewSource(55))
+	trials := 0
+	for seed := int64(400); seed < 440; seed++ {
+		g := gen.ErdosRenyi(25, 100, 5, seed)
+		q, err := gen.ExtractQuery(g, gen.QueryConfig{Size: 4, DistinctLabels: true, MaxWalk: 1, MaxAttempts: 30}, rng)
+		if err != nil {
+			continue
+		}
+		// Rebuild the query with every edge as '/' (walk length 1 made
+		// every query edge correspond to a direct data edge).
+		qs := q.String()
+		slashed := ""
+		for _, r := range qs {
+			if r == '(' || r == ',' {
+				slashed += string(r) + "/"
+				continue
+			}
+			slashed += string(r)
+		}
+		// Undo doubled markers like "(/" + existing none; parse fresh.
+		q2, err := query.Parse(g.Labels, fixSlashes(slashed))
+		if err != nil {
+			t.Fatalf("slashed parse %q: %v", slashed, err)
+		}
+		differential(t, g, q2, 15)
+		trials++
+	}
+	if trials < 10 {
+		t.Fatalf("only %d usable trials", trials)
+	}
+}
+
+func fixSlashes(s string) string {
+	out := make([]rune, 0, len(s))
+	var prev rune
+	for _, r := range s {
+		if r == '/' && prev == '/' {
+			continue
+		}
+		out = append(out, r)
+		prev = r
+	}
+	return string(out)
+}
+
+func TestSingleNodeQuery(t *testing.T) {
+	b := graph.NewBuilder()
+	b.AddNode("a")
+	b.AddNode("a")
+	b.AddNode("b")
+	b.AddEdge(0, 2)
+	g, _ := b.Build()
+	s := storeFor(t, g, 4)
+	ms := TopK(s, query.MustParse(g.Labels, "a"), 5, Options{})
+	if len(ms) != 2 || ms[0].Score != 0 || ms[1].Score != 0 {
+		t.Fatalf("single-node query: %v", ms)
+	}
+}
+
+func TestNoMatches(t *testing.T) {
+	b := graph.NewBuilder()
+	b.AddNode("a")
+	b.AddNode("b")
+	g, _ := b.Build()
+	s := storeFor(t, g, 4)
+	if ms := TopK(s, query.MustParse(g.Labels, "a(b)"), 5, Options{}); len(ms) != 0 {
+		t.Fatalf("matches on edgeless graph: %v", ms)
+	}
+}
+
+// TestBoundOrderingOnLoads is the A3/A5 invariant: a stronger bound never
+// loads more blocks — edge-aware ≤ tight ≤ loose.
+func TestBoundOrderingOnLoads(t *testing.T) {
+	rng := rand.New(rand.NewSource(56))
+	checked := 0
+	for seed := int64(500); seed < 540; seed++ {
+		g := gen.PowerLaw(gen.PowerLawConfig{Nodes: 400, Labels: 15, Seed: seed})
+		q, err := gen.ExtractQuery(g, gen.QueryConfig{Size: 5, DistinctLabels: true, MaxAttempts: 30}, rng)
+		if err != nil {
+			continue
+		}
+		c := closure.Compute(g, closure.Options{})
+		blocks := map[Bound]int64{}
+		for _, bound := range []Bound{LooseBound, TightBound, EdgeAwareBound} {
+			s := store.New(c, 8)
+			TopK(s, q, 10, Options{Bound: bound})
+			blocks[bound] = s.Counters().BlocksRead
+		}
+		if blocks[TightBound] > blocks[LooseBound] {
+			t.Fatalf("seed %d: tight loaded %d blocks, loose %d",
+				seed, blocks[TightBound], blocks[LooseBound])
+		}
+		if blocks[EdgeAwareBound] > blocks[TightBound] {
+			t.Fatalf("seed %d: edge-aware loaded %d blocks, tight %d",
+				seed, blocks[EdgeAwareBound], blocks[TightBound])
+		}
+		checked++
+	}
+	if checked < 10 {
+		t.Fatalf("only %d usable instances", checked)
+	}
+}
+
+// TestLazyLoadsFraction verifies the headline behaviour: on a larger
+// instance Topk-EN touches a small fraction of the stored closure edges.
+func TestLazyLoadsFraction(t *testing.T) {
+	g := gen.PowerLaw(gen.PowerLawConfig{Nodes: 2000, Labels: 40, Seed: 60})
+	rng := rand.New(rand.NewSource(61))
+	q, err := gen.ExtractQuery(g, gen.QueryConfig{Size: 6, DistinctLabels: true}, rng)
+	if err != nil {
+		t.Skip("no query")
+	}
+	c := closure.Compute(g, closure.Options{})
+	s := store.New(c, 16)
+	ms := TopK(s, q, 20, Options{})
+	if len(ms) == 0 {
+		t.Skip("no matches")
+	}
+	loaded := s.Counters().EntriesRead
+	total := s.TotalEdges()
+	if loaded >= total/2 {
+		t.Fatalf("lazy loading touched %d of %d entries; expected far less", loaded, total)
+	}
+}
+
+func TestStatsAndEmitted(t *testing.T) {
+	g, q := fig4(t)
+	s := storeFor(t, g, 2)
+	e := New(s, q, Options{})
+	e.Next()
+	e.Next()
+	if e.Emitted() != 2 {
+		t.Fatalf("Emitted = %d", e.Emitted())
+	}
+	st := e.ComputeStats()
+	if st.CreatedNodes == 0 || st.ActiveNodes == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.ActiveNodes > st.CreatedNodes {
+		t.Fatalf("active %d > created %d", st.ActiveNodes, st.CreatedNodes)
+	}
+}
+
+func TestScoresNonDecreasing(t *testing.T) {
+	rng := rand.New(rand.NewSource(57))
+	for seed := int64(600); seed < 615; seed++ {
+		g := gen.ErdosRenyi(30, 120, 6, seed)
+		q, err := gen.ExtractQuery(g, gen.QueryConfig{Size: 5, DistinctLabels: true, MaxAttempts: 30}, rng)
+		if err != nil {
+			continue
+		}
+		s := storeFor(t, g, 2)
+		e := New(s, q, Options{})
+		prev := int64(-1)
+		for {
+			m, ok := e.Next()
+			if !ok {
+				break
+			}
+			if m.Score < prev {
+				t.Fatalf("seed %d: score %d after %d", seed, m.Score, prev)
+			}
+			prev = m.Score
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package lazy
+
+import (
+	"sort"
+
+	"ktpm/internal/heap"
+	"ktpm/internal/rtg"
+)
+
+// This file exports the loading half of the enumerator so other policies
+// can reuse the priority-order retrieval: the DP-P baseline (package dp)
+// steps the loader with ExpandOnce and re-runs its dynamic program over
+// LoadedSubgraph until QgTopKey confirms the result.
+
+// ExpandOnce pops and expands the top of Qg (one Expand invocation, which
+// may load several blocks under the Line-14 trigger). It reports false
+// when the loading frontier is exhausted.
+func (e *Enumerator) ExpandOnce() bool {
+	if e.qg.Len() == 0 {
+		return false
+	}
+	e.expandTop()
+	return true
+}
+
+// QgTopKey returns the lb of the loading frontier's head; ok=false when
+// everything reachable has been loaded. Any match that involves a
+// not-yet-loaded edge scores at least this value (Theorem 4.1).
+func (e *Enumerator) QgTopKey() (int64, bool) {
+	if e.qg.Len() == 0 {
+		return 0, false
+	}
+	return e.qg.PeekKey(), true
+}
+
+// LoadedSubgraph snapshots the loaded portion of the run-time graph as
+// candidate lists and adjacency, suitable for rtg.Assemble. Edge weights
+// are recovered from list keys (key = bs(child) + δ with bs final for
+// every listed child). Candidates are ordered by data-node ID so repeated
+// snapshots are stable.
+func (e *Enumerator) LoadedSubgraph() (cands [][]int32, adj [][][][]rtg.EdgeTo) {
+	nT := int(e.nT)
+	cands = make([][]int32, nT)
+	adj = make([][][][]rtg.EdgeTo, nT)
+	// Local index per gid, assigned in sorted data-node order per query
+	// node.
+	localOf := make([]int32, len(e.nodes))
+	gidsByU := make([][]int32, nT)
+	for _, nd := range e.nodes {
+		gidsByU[nd.u] = append(gidsByU[nd.u], nd.gid)
+	}
+	for u := 0; u < nT; u++ {
+		sort.Slice(gidsByU[u], func(i, j int) bool {
+			return e.nodes[gidsByU[u][i]].v < e.nodes[gidsByU[u][j]].v
+		})
+		cands[u] = make([]int32, len(gidsByU[u]))
+		for local, gid := range gidsByU[u] {
+			cands[u][local] = e.nodes[gid].v
+			localOf[gid] = int32(local)
+		}
+	}
+	var scratch []heap.Entry
+	for u := 0; u < nT; u++ {
+		adj[u] = make([][][]rtg.EdgeTo, len(gidsByU[u]))
+		for local, gid := range gidsByU[u] {
+			nd := e.nodes[gid]
+			perPos := make([][]rtg.EdgeTo, len(nd.lists))
+			for pos, list := range nd.lists {
+				scratch = list.All(scratch[:0])
+				edges := make([]rtg.EdgeTo, 0, len(scratch))
+				for _, ent := range scratch {
+					child := e.nodes[ent.Node]
+					// Keys are bs'(child) + δ; assembled run-time graphs
+					// follow rtg.Build's convention of δ + nodeWeight.
+					edges = append(edges, rtg.EdgeTo{
+						ToLocal: localOf[child.gid],
+						W:       int32(ent.Key-child.bsBar) + e.g.NodeWeight(child.v),
+					})
+				}
+				perPos[pos] = edges
+			}
+			adj[u][local] = perPos
+		}
+	}
+	return cands, adj
+}

@@ -1,0 +1,141 @@
+package lazy_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"ktpm/internal/closure"
+	"ktpm/internal/core"
+	"ktpm/internal/dp"
+	"ktpm/internal/gen"
+	"ktpm/internal/lazy"
+	"ktpm/internal/rtg"
+	"ktpm/internal/store"
+)
+
+// drainLoader expands the frontier until nothing is left to load.
+func drainLoader(e *lazy.Enumerator) {
+	for e.ExpandOnce() {
+	}
+}
+
+// TestLoadedSubgraphAfterDrainCoversAllMatches fully drains the loader
+// and verifies the assembled subgraph supports exactly the same match
+// ranking as the eagerly built run-time graph.
+func TestLoadedSubgraphAfterDrainCoversAllMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	trials := 0
+	for seed := int64(0); seed < 25; seed++ {
+		g := gen.ErdosRenyi(20, 70, 4, seed)
+		q, err := gen.ExtractQuery(g, gen.QueryConfig{Size: 4, DistinctLabels: true, MaxAttempts: 30}, rng)
+		if err != nil {
+			continue
+		}
+		c := closure.Compute(g, closure.Options{})
+		full := rtg.Build(c, q)
+		want := core.TopK(full, 50)
+
+		s := store.New(c, 2)
+		e := lazy.New(s, q, lazy.Options{})
+		drainLoader(e)
+		cands, adj := e.LoadedSubgraph()
+		pg := rtg.Assemble(q, g, cands, adj)
+		got := dp.TopK(pg, 50)
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: drained subgraph gives %d matches, full gives %d",
+				seed, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Score != want[i].Score {
+				t.Fatalf("seed %d: top-%d %d vs %d", seed, i+1, got[i].Score, want[i].Score)
+			}
+		}
+		trials++
+	}
+	if trials < 10 {
+		t.Fatalf("only %d usable trials", trials)
+	}
+}
+
+// TestQgTopKeyMonotone checks Theorem 4.1 empirically: the lb values of
+// successive frontier pops never decrease.
+func TestQgTopKeyMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	for seed := int64(100); seed < 120; seed++ {
+		g := gen.ErdosRenyi(25, 90, 5, seed)
+		q, err := gen.ExtractQuery(g, gen.QueryConfig{Size: 4, DistinctLabels: true, MaxAttempts: 30}, rng)
+		if err != nil {
+			continue
+		}
+		c := closure.Compute(g, closure.Options{})
+		s := store.New(c, 2)
+		e := lazy.New(s, q, lazy.Options{})
+		prev := int64(-1 << 62)
+		for {
+			key, ok := e.QgTopKey()
+			if !ok {
+				break
+			}
+			if key < prev {
+				t.Fatalf("seed %d: Qg pop keys decreased: %d after %d", seed, key, prev)
+			}
+			prev = key
+			e.ExpandOnce()
+		}
+	}
+}
+
+// TestExpandOnceOnEmptyFrontier is the exhaustion contract.
+func TestExpandOnceOnEmptyFrontier(t *testing.T) {
+	g := gen.ErdosRenyi(10, 25, 3, 1)
+	c := closure.Compute(g, closure.Options{})
+	s := store.New(c, 2)
+	q, err := gen.ExtractQuery(g, gen.QueryConfig{Size: 2, DistinctLabels: true, MaxAttempts: 30},
+		rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Skip("no query")
+	}
+	e := lazy.New(s, q, lazy.Options{})
+	drainLoader(e)
+	if e.ExpandOnce() {
+		t.Fatal("ExpandOnce returned true on an exhausted frontier")
+	}
+	if _, ok := e.QgTopKey(); ok {
+		t.Fatal("QgTopKey ok on an exhausted frontier")
+	}
+}
+
+// TestEnumerationAfterManualExpansion interleaves manual loader stepping
+// with enumeration; results must be unaffected.
+func TestEnumerationAfterManualExpansion(t *testing.T) {
+	g := gen.ErdosRenyi(25, 90, 5, 7)
+	c := closure.Compute(g, closure.Options{})
+	q, err := gen.ExtractQuery(g, gen.QueryConfig{Size: 4, DistinctLabels: true, MaxAttempts: 30},
+		rand.New(rand.NewSource(8)))
+	if err != nil {
+		t.Skip("no query")
+	}
+	want := lazy.TopK(store.New(c, 2), q, 20, lazy.Options{})
+
+	s := store.New(c, 2)
+	e := lazy.New(s, q, lazy.Options{})
+	for i := 0; i < 5; i++ {
+		e.ExpandOnce() // pre-load a little before enumerating
+	}
+	var got []*lazy.Match
+	for len(got) < 20 {
+		m, ok := e.Next()
+		if !ok {
+			break
+		}
+		got = append(got, m)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d matches after manual expansion, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Score != want[i].Score {
+			t.Fatalf("top-%d: %d vs %d", i+1, got[i].Score, want[i].Score)
+		}
+	}
+}

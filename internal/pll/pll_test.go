@@ -1,0 +1,157 @@
+package pll
+
+import (
+	"math/rand"
+	"testing"
+
+	"ktpm/internal/closure"
+	"ktpm/internal/graph"
+)
+
+func randomGraph(t testing.TB, seed int64, n, m int, maxW int32) *graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder()
+	for i := 0; i < n; i++ {
+		b.AddNode(string(rune('a' + rng.Intn(6))))
+	}
+	for i := 0; i < m; i++ {
+		u, v := int32(rng.Intn(n)), int32(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		w := int32(1)
+		if maxW > 1 {
+			w = 1 + int32(rng.Intn(int(maxW)))
+		}
+		b.AddWeightedEdge(u, v, w)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func checkAgainstClosure(t *testing.T, g *graph.Graph) {
+	t.Helper()
+	idx := Build(g)
+	ref := closure.Compute(g, closure.Options{KeepDistanceIndex: true})
+	n := int32(g.NumNodes())
+	for u := int32(0); u < n; u++ {
+		for v := int32(0); v < n; v++ {
+			want := ref.Distance(u, v)
+			if got := idx.Distance(u, v); got != want {
+				t.Fatalf("Distance(%d,%d) = %d, want %d", u, v, got, want)
+			}
+		}
+	}
+}
+
+func TestPLLChain(t *testing.T) {
+	b := graph.NewBuilder()
+	for i := 0; i < 5; i++ {
+		b.AddNode("x")
+	}
+	for i := int32(0); i < 4; i++ {
+		b.AddEdge(i, i+1)
+	}
+	g, _ := b.Build()
+	checkAgainstClosure(t, g)
+}
+
+func TestPLLDisconnected(t *testing.T) {
+	b := graph.NewBuilder()
+	b.AddNode("a")
+	b.AddNode("b")
+	b.AddNode("c")
+	b.AddEdge(0, 1)
+	g, _ := b.Build()
+	idx := Build(g)
+	if d := idx.Distance(0, 2); d != closure.Unreachable {
+		t.Fatalf("Distance to disconnected = %d", d)
+	}
+	if d := idx.Distance(1, 0); d != closure.Unreachable {
+		t.Fatalf("reverse direction = %d, want unreachable (directed)", d)
+	}
+}
+
+func TestPLLSelf(t *testing.T) {
+	g := randomGraph(t, 1, 10, 20, 1)
+	idx := Build(g)
+	for v := int32(0); int(v) < g.NumNodes(); v++ {
+		if idx.Distance(v, v) != 0 {
+			t.Fatalf("Distance(%d,%d) != 0", v, v)
+		}
+	}
+}
+
+func TestPLLRandomUnweighted(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		g := randomGraph(t, seed, 10+int(seed)*3, 40+int(seed)*8, 1)
+		checkAgainstClosure(t, g)
+	}
+}
+
+func TestPLLRandomWeighted(t *testing.T) {
+	for seed := int64(20); seed < 30; seed++ {
+		g := randomGraph(t, seed, 10+int(seed-20)*3, 50, 4)
+		checkAgainstClosure(t, g)
+	}
+}
+
+func TestPLLDenseCycle(t *testing.T) {
+	// Strongly connected ring plus chords.
+	b := graph.NewBuilder()
+	const n = 12
+	for i := 0; i < n; i++ {
+		b.AddNode("r")
+	}
+	for i := int32(0); i < n; i++ {
+		b.AddEdge(i, (i+1)%n)
+	}
+	b.AddEdge(0, 6)
+	b.AddEdge(3, 9)
+	g, _ := b.Build()
+	checkAgainstClosure(t, g)
+}
+
+func TestPLLSmallerThanClosureOnHub(t *testing.T) {
+	// A hub-and-spoke graph: closure is quadratic in spokes, PLL linear.
+	b := graph.NewBuilder()
+	hub := b.AddNode("h")
+	const spokes = 60
+	for i := 0; i < spokes; i++ {
+		in := b.AddNode("i")
+		out := b.AddNode("o")
+		b.AddEdge(in, hub)
+		b.AddEdge(hub, out)
+	}
+	g, _ := b.Build()
+	idx := Build(g)
+	ref := closure.Compute(g, closure.Options{})
+	if idx.LabelEntries() >= ref.NumEntries() {
+		t.Fatalf("PLL entries %d not smaller than closure %d on hub graph",
+			idx.LabelEntries(), ref.NumEntries())
+	}
+	checkAgainstClosure(t, g)
+}
+
+func BenchmarkPLLBuild(b *testing.B) {
+	g := randomGraph(b, 7, 400, 1600, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(g)
+	}
+}
+
+func BenchmarkPLLQuery(b *testing.B) {
+	g := randomGraph(b, 7, 400, 1600, 1)
+	idx := Build(g)
+	rng := rand.New(rand.NewSource(9))
+	n := int32(g.NumNodes())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx.Distance(rng.Int31n(n), rng.Int31n(n))
+	}
+}

@@ -1,0 +1,263 @@
+package store
+
+import (
+	"testing"
+
+	"ktpm/internal/closure"
+	"ktpm/internal/gen"
+	"ktpm/internal/graph"
+	"ktpm/internal/label"
+)
+
+// example41 builds the data graph of Figure 2(b) as rendered in the rtg
+// tests, enough to exercise D/E/L layouts.
+func smallGraph(t testing.TB) (*graph.Graph, *closure.Closure) {
+	t.Helper()
+	b := graph.NewBuilder()
+	for _, l := range []string{"a", "a", "c", "c", "d", "e"} {
+		b.AddNode(l)
+	}
+	// a0 -> c2 -> d4; a0 -> c3; a1 -> c3 -> d4 (w2); c2 -> e5.
+	b.AddEdge(0, 2)
+	b.AddEdge(0, 3)
+	b.AddEdge(1, 3)
+	b.AddEdge(2, 4)
+	b.AddWeightedEdge(3, 4, 2)
+	b.AddEdge(2, 5)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, closure.Compute(g, closure.Options{})
+}
+
+func lbl(g *graph.Graph, name string) int32 {
+	id, ok := g.Labels.Lookup(name)
+	if !ok {
+		panic("missing label " + name)
+	}
+	return int32(id)
+}
+
+func TestLoadBlockSortedByDistance(t *testing.T) {
+	g, c := smallGraph(t)
+	s := New(c, 2)
+	a, d := lbl(g, "a"), int32(4)
+	var all []InEdge
+	for i := 0; ; i++ {
+		blk, last := s.LoadBlock(a, d, i)
+		all = append(all, blk...)
+		if last {
+			break
+		}
+	}
+	// Incoming to d4 from label a: a0 at distance 2 (a0->c2->d4), a1 at
+	// distance 3 (a1->c3->d4 weight 1+2).
+	if len(all) != 2 {
+		t.Fatalf("incoming count = %d, want 2", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1].Dist > all[i].Dist {
+			t.Fatalf("block entries unsorted: %v", all)
+		}
+	}
+	if all[0].From != 0 || all[0].Dist != 2 {
+		t.Fatalf("first entry = %+v, want a0 dist 2", all[0])
+	}
+}
+
+func TestLoadBlockCountsIO(t *testing.T) {
+	g, c := smallGraph(t)
+	s := New(c, 1) // one entry per block
+	a, d := lbl(g, "a"), int32(4)
+	if n := s.NumBlocks(a, d); n != 2 {
+		t.Fatalf("NumBlocks = %d, want 2", n)
+	}
+	s.LoadBlock(a, d, 0)
+	s.LoadBlock(a, d, 1)
+	cnt := s.Counters()
+	if cnt.BlocksRead != 2 || cnt.EntriesRead != 2 {
+		t.Fatalf("counters = %+v", cnt)
+	}
+	s.ResetCounters()
+	if s.Counters().BlocksRead != 0 {
+		t.Fatal("ResetCounters failed")
+	}
+}
+
+func TestLoadBlockPastEnd(t *testing.T) {
+	g, c := smallGraph(t)
+	s := New(c, 4)
+	blk, last := s.LoadBlock(lbl(g, "a"), 4, 9)
+	if blk != nil || !last {
+		t.Fatalf("past-end block = %v,%v", blk, last)
+	}
+}
+
+func TestDirectFlag(t *testing.T) {
+	g, c := smallGraph(t)
+	s := New(c, 8)
+	// Incoming to c2 from a: direct edge a0->c2.
+	blk, _ := s.LoadBlock(lbl(g, "a"), 2, 0)
+	if len(blk) != 1 || !blk[0].Direct {
+		t.Fatalf("a->c2 = %+v, want direct", blk)
+	}
+	// Incoming to d4 from a: both at distance >= 2, not direct.
+	blk, _ = s.LoadBlock(lbl(g, "a"), 4, 0)
+	for _, e := range blk {
+		if e.Direct {
+			t.Fatalf("a->d4 entry %+v marked direct", e)
+		}
+	}
+}
+
+func TestLoadD(t *testing.T) {
+	g, c := smallGraph(t)
+	s := New(c, 8)
+	d := s.LoadD(lbl(g, "a"), lbl(g, "d"), false)
+	if len(d) != 1 || d[0].V != 4 || d[0].Min != 2 {
+		t.Fatalf("D[a][d] = %+v, want {4,2}", d)
+	}
+	// childOnly: no direct a->d edge.
+	d = s.LoadD(lbl(g, "a"), lbl(g, "d"), true)
+	if len(d) != 0 {
+		t.Fatalf("D[a][d] direct = %+v, want empty", d)
+	}
+	// D[a][c]: c2 min 1 (from a0), c3 min 1 (from a0/a1).
+	d = s.LoadD(lbl(g, "a"), lbl(g, "c"), false)
+	if len(d) != 2 {
+		t.Fatalf("D[a][c] = %+v", d)
+	}
+	for _, e := range d {
+		if e.Min != 1 {
+			t.Fatalf("D[a][c] entry %+v, want min 1", e)
+		}
+	}
+}
+
+func TestLoadE(t *testing.T) {
+	g, c := smallGraph(t)
+	s := New(c, 8)
+	e := s.LoadE(lbl(g, "c"), lbl(g, "d"), false)
+	// c2 -> d4 dist 1; c3 -> d4 dist 2.
+	if len(e) != 2 {
+		t.Fatalf("E[c][d] = %+v", e)
+	}
+	for _, en := range e {
+		switch en.From {
+		case 2:
+			if en.Dist != 1 || en.To != 4 {
+				t.Fatalf("E from c2 = %+v", en)
+			}
+		case 3:
+			if en.Dist != 2 || en.To != 4 {
+				t.Fatalf("E from c3 = %+v", en)
+			}
+		default:
+			t.Fatalf("unexpected E source %d", en.From)
+		}
+	}
+}
+
+func TestLoadEMinPerSource(t *testing.T) {
+	// A source with several targets of one label must yield exactly its
+	// minimum.
+	b := graph.NewBuilder()
+	a := b.AddNode("a")
+	b1 := b.AddNode("b")
+	b2 := b.AddNode("b")
+	x := b.AddNode("x")
+	b.AddWeightedEdge(a, b1, 3)
+	b.AddEdge(a, x)
+	b.AddEdge(x, b2) // distance 2 to b2
+	g, _ := b.Build()
+	c := closure.Compute(g, closure.Options{})
+	s := New(c, 8)
+	e := s.LoadE(lbl(g, "a"), lbl(g, "b"), false)
+	if len(e) != 1 || e[0].To != b2 || e[0].Dist != 2 {
+		t.Fatalf("E[a][b] = %+v, want min (a,b2,2)", e)
+	}
+}
+
+func TestWildcardMergedIncoming(t *testing.T) {
+	g, c := smallGraph(t)
+	s := New(c, 8)
+	// All incoming to d4 regardless of source label: from a0(2), a1(3),
+	// c2(1), c3(2).
+	blk, last := s.LoadBlock(label.Wildcard, 4, 0)
+	if !last || len(blk) != 4 {
+		t.Fatalf("wildcard incoming = %v (last=%v), want 4 entries", blk, last)
+	}
+	for i := 1; i < len(blk); i++ {
+		if blk[i-1].Dist > blk[i].Dist {
+			t.Fatalf("wildcard merge unsorted: %v", blk)
+		}
+	}
+	_ = g
+}
+
+func TestWildcardD(t *testing.T) {
+	g, c := smallGraph(t)
+	s := New(c, 8)
+	d := s.LoadD(label.Wildcard, lbl(g, "d"), false)
+	if len(d) != 1 || d[0].Min != 1 {
+		t.Fatalf("D[*][d] = %+v, want min 1 via c2", d)
+	}
+}
+
+func TestTotalEdgesMatchesClosure(t *testing.T) {
+	g := gen.ErdosRenyi(60, 200, 5, 42)
+	c := closure.Compute(g, closure.Options{})
+	s := New(c, 16)
+	if s.TotalEdges() != c.NumEntries() {
+		t.Fatalf("TotalEdges = %d, closure = %d", s.TotalEdges(), c.NumEntries())
+	}
+}
+
+func TestBlockBoundaries(t *testing.T) {
+	g := gen.ErdosRenyi(80, 400, 3, 43)
+	c := closure.Compute(g, closure.Options{})
+	s := New(c, 7)
+	// Reassemble one long list across blocks and compare totals.
+	var v, alpha int32 = -1, -1
+	for a := int32(0); int(a) < g.NumLabels(); a++ {
+		for n := int32(0); int(n) < g.NumNodes(); n++ {
+			if len(s.inList(a, n)) > 14 {
+				alpha, v = a, n
+				break
+			}
+		}
+	}
+	if v < 0 {
+		t.Skip("no long list in this instance")
+	}
+	want := len(s.inList(alpha, v))
+	got := 0
+	for i := 0; i < s.NumBlocks(alpha, v); i++ {
+		blk, last := s.LoadBlock(alpha, v, i)
+		got += len(blk)
+		if last != (i == s.NumBlocks(alpha, v)-1) {
+			t.Fatalf("last flag wrong at block %d", i)
+		}
+	}
+	if got != want {
+		t.Fatalf("reassembled %d entries, want %d", got, want)
+	}
+}
+
+func TestQueryOnlyLabelHasNoTargets(t *testing.T) {
+	g, c := smallGraph(t)
+	s := New(c, 8)
+	// Intern a label after the store is built, as a query with a
+	// taxonomy-only label does.
+	newID := int32(g.Labels.Intern("query-only-label"))
+	if d := s.LoadD(lbl(g, "a"), newID, false); len(d) != 0 {
+		t.Fatalf("D for query-only label = %v", d)
+	}
+	if e := s.LoadE(lbl(g, "a"), newID, false); len(e) != 0 {
+		t.Fatalf("E for query-only label = %v", e)
+	}
+	if blk, last := s.LoadBlock(newID, 0, 0); blk != nil || !last {
+		t.Fatalf("block for query-only label = %v,%v", blk, last)
+	}
+}

@@ -1,0 +1,522 @@
+// Package ktpm is a library for top-k tree and graph pattern matching over
+// node-labeled directed graphs, reproducing "Optimal Enumeration: Efficient
+// Top-k Tree Matching" (Chang et al., PVLDB 8(5), 2015).
+//
+// Given a rooted query tree T and a data graph G, a tree pattern match
+// maps every query node to a data node with the same label and every query
+// edge to a directed path; its penalty score is the sum of shortest-path
+// distances over the query edges. The library returns the k matches with
+// the lowest scores, in non-decreasing score order.
+//
+// # Quick start
+//
+//	gb := ktpm.NewGraphBuilder()
+//	a := gb.AddNode("a")
+//	b := gb.AddNode("b")
+//	gb.AddEdge(a, b)
+//	g, _ := gb.Build()
+//	db, _ := ktpm.BuildDatabase(g, ktpm.DatabaseOptions{})
+//	q, _ := db.ParseQuery("a(b)")
+//	matches, _ := db.TopK(q, 10)
+//
+// # Algorithms
+//
+// Four kTPM algorithms are available through Options.Algorithm:
+//
+//   - AlgoTopkEN (default): Algorithm 3 of the paper — optimal Lawler
+//     enumeration over a lazily, priority-order loaded run-time graph.
+//   - AlgoTopk: Algorithm 1 — the same enumeration over a fully
+//     materialized run-time graph.
+//   - AlgoDPB, AlgoDPP: the dynamic-programming baselines of Gou &
+//     Chirkova (SIGMOD'08), kept for comparison benchmarks.
+//
+// Queries support '//' (ancestor-descendant) and '/' (parent-child) edges,
+// duplicate labels, and wildcard (*) nodes; see ParseQuery. Top-k matching
+// of general graph-shaped patterns (kGPM) is exposed via GraphTopK.
+package ktpm
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+
+	"ktpm/internal/closure"
+	"ktpm/internal/core"
+	"ktpm/internal/dp"
+	"ktpm/internal/graph"
+	"ktpm/internal/kgpm"
+	"ktpm/internal/lazy"
+	"ktpm/internal/query"
+	"ktpm/internal/rtg"
+	"ktpm/internal/store"
+)
+
+// Graph is an immutable node-labeled directed data graph.
+type Graph struct {
+	g *graph.Graph
+}
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return g.g.NumNodes() }
+
+// NumEdges returns the edge count.
+func (g *Graph) NumEdges() int { return g.g.NumEdges() }
+
+// LabelOf returns the label of node v.
+func (g *Graph) LabelOf(v int32) string { return g.g.LabelName(v) }
+
+// GraphBuilder accumulates a graph before freezing it.
+type GraphBuilder struct {
+	b *graph.Builder
+}
+
+// NewGraphBuilder returns an empty builder.
+func NewGraphBuilder() *GraphBuilder {
+	return &GraphBuilder{b: graph.NewBuilder()}
+}
+
+// AddNode appends a node with the given label and returns its ID.
+func (gb *GraphBuilder) AddNode(label string) int32 { return gb.b.AddNode(label) }
+
+// AddEdge appends a unit-weight directed edge.
+func (gb *GraphBuilder) AddEdge(from, to int32) { gb.b.AddEdge(from, to) }
+
+// AddWeightedEdge appends a directed edge with a positive integer weight.
+func (gb *GraphBuilder) AddWeightedEdge(from, to, w int32) {
+	gb.b.AddWeightedEdge(from, to, w)
+}
+
+// SetNodeWeight assigns a non-negative penalty to a node: any match that
+// binds a query position to the node adds the penalty to its score (the
+// paper's footnote-2 extension of the scoring function). Zero by default.
+func (gb *GraphBuilder) SetNodeWeight(v, w int32) { gb.b.SetNodeWeight(v, w) }
+
+// Build validates and freezes the graph.
+func (gb *GraphBuilder) Build() (*Graph, error) {
+	g, err := gb.b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{g: g}, nil
+}
+
+// LoadGraph reads a graph in the library's text format ("n <id> <label>" /
+// "e <from> <to> [w]" lines).
+func LoadGraph(r io.Reader) (*Graph, error) {
+	g, err := graph.Decode(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{g: g}, nil
+}
+
+// SaveGraph writes g in the text format.
+func SaveGraph(w io.Writer, g *Graph) error { return graph.Encode(w, g.g) }
+
+// DatabaseOptions configures offline preparation.
+type DatabaseOptions struct {
+	// BlockSize is the simulated disk block size (entries per block) used
+	// by the lazy algorithms; 0 means the default.
+	BlockSize int
+	// MaxDistance, when positive, truncates the transitive closure at the
+	// given path length; longer connections are treated as unreachable.
+	MaxDistance int32
+}
+
+// Database is a data graph prepared for querying: the transitive closure
+// with shortest distances (Section 3.1) organized both in memory and in
+// the simulated block store (Section 4.1).
+type Database struct {
+	g   *graph.Graph
+	c   *closure.Closure
+	st  *store.Store
+	opt DatabaseOptions
+}
+
+// BuildDatabase precomputes the closure of g. This is the offline step of
+// Table 2; everything else is query time.
+func BuildDatabase(g *Graph, opt DatabaseOptions) (*Database, error) {
+	if g == nil || g.g == nil {
+		return nil, fmt.Errorf("ktpm: nil graph")
+	}
+	c := closure.Compute(g.g, closure.Options{MaxDepth: opt.MaxDistance})
+	return &Database{
+		g:   g.g,
+		c:   c,
+		st:  store.New(c, opt.BlockSize),
+		opt: opt,
+	}, nil
+}
+
+// Graph returns the underlying data graph.
+func (db *Database) Graph() *Graph { return &Graph{g: db.g} }
+
+// SaveDatabase writes a self-contained snapshot — the graph plus its
+// precomputed closure — so the offline step is paid once. The layout is a
+// length-prefixed graph text section followed by the binary closure.
+func SaveDatabase(w io.Writer, db *Database) error {
+	var gbuf bytes.Buffer
+	if err := graph.Encode(&gbuf, db.g); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "KTPMDB1 %d\n", gbuf.Len()); err != nil {
+		return err
+	}
+	if _, err := w.Write(gbuf.Bytes()); err != nil {
+		return err
+	}
+	return closure.Encode(w, db.c)
+}
+
+// OpenDatabase reads a snapshot written by SaveDatabase, skipping the
+// closure recomputation. BlockSize applies to the rebuilt store; a
+// MaxDistance different from the snapshot's is not re-applied.
+func OpenDatabase(r io.Reader, opt DatabaseOptions) (*Database, error) {
+	br := bufio.NewReader(r)
+	var glen int
+	if _, err := fmt.Fscanf(br, "KTPMDB1 %d\n", &glen); err != nil {
+		return nil, fmt.Errorf("ktpm: bad database header: %w", err)
+	}
+	gbytes := make([]byte, glen)
+	if _, err := io.ReadFull(br, gbytes); err != nil {
+		return nil, fmt.Errorf("ktpm: reading graph section: %w", err)
+	}
+	g, err := graph.Decode(bytes.NewReader(gbytes))
+	if err != nil {
+		return nil, err
+	}
+	c, err := closure.Decode(br, g, false)
+	if err != nil {
+		return nil, err
+	}
+	return &Database{
+		g:   g,
+		c:   c,
+		st:  store.New(c, opt.BlockSize),
+		opt: opt,
+	}, nil
+}
+
+// ClosureStats reports the precomputation cost drivers: closure entries,
+// label-pair table count, θ (average entries per table) and estimated
+// serialized size.
+func (db *Database) ClosureStats() (entries int64, tables int, theta float64, sizeBytes int64) {
+	s := db.c.ComputeStats()
+	return s.Entries, s.Tables, s.Theta, s.SizeBytes
+}
+
+// Query is a parsed rooted query tree.
+type Query struct {
+	t *query.Tree
+}
+
+// ParseQuery parses the compact tree syntax: "a(b,c(d))" is a root a with
+// children b and c, c having child d; a leading '/' marks a parent-child
+// edge ("a(/b)") and '*' is a wildcard label. All other edges are '//'.
+func (db *Database) ParseQuery(s string) (*Query, error) {
+	t, err := query.Parse(db.g.Labels, s)
+	if err != nil {
+		return nil, err
+	}
+	return &Query{t: t}, nil
+}
+
+// NumNodes returns the query size n_T.
+func (q *Query) NumNodes() int { return q.t.NumNodes() }
+
+// String renders the query back in the parser syntax.
+func (q *Query) String() string { return q.t.String() }
+
+// LabelOf returns the label of query position i (BFS order).
+func (q *Query) LabelOf(i int) string { return q.t.LabelName(int32(i)) }
+
+// Algorithm selects a kTPM implementation.
+type Algorithm int
+
+const (
+	// AlgoTopkEN is Algorithm 3 (Topk-EN), the default.
+	AlgoTopkEN Algorithm = iota
+	// AlgoTopk is Algorithm 1 (Topk) over the materialized run-time graph.
+	AlgoTopk
+	// AlgoDPB is the DP-B baseline of [21].
+	AlgoDPB
+	// AlgoDPP is the DP-P baseline of [21].
+	AlgoDPP
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case AlgoTopkEN:
+		return "Topk-EN"
+	case AlgoTopk:
+		return "Topk"
+	case AlgoDPB:
+		return "DP-B"
+	case AlgoDPP:
+		return "DP-P"
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// Options tunes a single TopK call.
+type Options struct {
+	Algorithm Algorithm
+}
+
+// Match is one result: Nodes[i] is the data node matched to query position
+// i (the query's BFS order), and Score is the penalty (Definition 2.2).
+type Match struct {
+	Nodes []int32
+	Score int64
+}
+
+// Binding returns the data node matched to the query position with the
+// given label; ok is false when no position carries the label. Intended
+// for distinct-label queries, where the binding is unique.
+func (m *Match) binding(q *Query, label string) (int32, bool) {
+	for i := 0; i < q.NumNodes(); i++ {
+		if q.LabelOf(i) == label {
+			return m.Nodes[i], true
+		}
+	}
+	return 0, false
+}
+
+// Binding is the exported form of binding.
+func (m *Match) Binding(q *Query, label string) (int32, bool) { return m.binding(q, label) }
+
+// TopK returns the k best matches with the default algorithm (Topk-EN).
+func (db *Database) TopK(q *Query, k int) ([]Match, error) {
+	return db.TopKWith(q, k, Options{})
+}
+
+// TopKWith returns the k best matches using the selected algorithm. All
+// algorithms return the same score sequence; they differ in cost.
+func (db *Database) TopKWith(q *Query, k int, opt Options) ([]Match, error) {
+	if q == nil || q.t == nil {
+		return nil, fmt.Errorf("ktpm: nil query")
+	}
+	if k < 0 {
+		return nil, fmt.Errorf("ktpm: negative k")
+	}
+	switch opt.Algorithm {
+	case AlgoTopkEN:
+		ms := lazy.TopK(db.st, q.t, k, lazy.Options{})
+		out := make([]Match, len(ms))
+		for i, m := range ms {
+			out[i] = Match{Nodes: m.Nodes, Score: m.Score}
+		}
+		return out, nil
+	case AlgoTopk:
+		r := rtg.Build(db.c, q.t)
+		ms := core.TopK(r, k)
+		out := make([]Match, len(ms))
+		for i, m := range ms {
+			out[i] = Match{Nodes: m.Nodes, Score: m.Score}
+		}
+		return out, nil
+	case AlgoDPB:
+		r := rtg.Build(db.c, q.t)
+		ms := dp.TopK(r, k)
+		out := make([]Match, len(ms))
+		for i, m := range ms {
+			out[i] = Match{Nodes: m.Nodes, Score: m.Score}
+		}
+		return out, nil
+	case AlgoDPP:
+		ms := dp.TopKLazy(db.st, q.t, k)
+		out := make([]Match, len(ms))
+		for i, m := range ms {
+			out[i] = Match{Nodes: m.Nodes, Score: m.Score}
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("ktpm: unknown algorithm %v", opt.Algorithm)
+}
+
+// Stream incrementally enumerates matches in non-decreasing score order
+// using Topk-EN, for consumers that do not know k up front.
+type Stream struct {
+	e *lazy.Enumerator
+}
+
+// Stream opens an incremental enumeration of q.
+func (db *Database) Stream(q *Query) *Stream {
+	return &Stream{e: lazy.New(db.st, q.t, lazy.Options{})}
+}
+
+// Next returns the next match; ok is false when the space is exhausted.
+func (s *Stream) Next() (Match, bool) {
+	m, ok := s.e.Next()
+	if !ok {
+		return Match{}, false
+	}
+	return Match{Nodes: m.Nodes, Score: m.Score}, true
+}
+
+// CountMatches returns the total number of matches of q — the quantity
+// that motivates top-k processing (it is frequently astronomically large).
+func (db *Database) CountMatches(q *Query) int64 {
+	return core.CountMatches(rtg.Build(db.c, q.t))
+}
+
+// DiverseTopK returns up to k matches in non-decreasing score order such
+// that no two returned matches share more than maxShared data nodes — the
+// "diverse top-k results" direction the paper's conclusion raises as
+// future work. It streams matches with Topk-EN and greedily keeps the
+// first (hence lowest-scoring) representative of each region; maxExamined
+// bounds how many matches are inspected (0 means 100·k).
+func (db *Database) DiverseTopK(q *Query, k, maxShared, maxExamined int) ([]Match, error) {
+	if q == nil || q.t == nil {
+		return nil, fmt.Errorf("ktpm: nil query")
+	}
+	if maxShared < 0 || maxShared >= q.NumNodes() {
+		return nil, fmt.Errorf("ktpm: maxShared must be in [0, numNodes)")
+	}
+	if maxExamined <= 0 {
+		maxExamined = 100 * k
+	}
+	st := db.Stream(q)
+	var kept []Match
+	for examined := 0; len(kept) < k && examined < maxExamined; examined++ {
+		m, ok := st.Next()
+		if !ok {
+			break
+		}
+		diverse := true
+		for _, prev := range kept {
+			shared := 0
+			for i := range m.Nodes {
+				for _, pv := range prev.Nodes {
+					if m.Nodes[i] == pv {
+						shared++
+						break
+					}
+				}
+			}
+			if shared > maxShared {
+				diverse = false
+				break
+			}
+		}
+		if diverse {
+			kept = append(kept, m)
+		}
+	}
+	return kept, nil
+}
+
+// Taxonomy is a label subsumption hierarchy for containment matching
+// (Section 5, third extension): a query node labeled with a taxonomy
+// label matches any data node whose label the taxonomy places below it.
+// Every label implicitly contains itself.
+type Taxonomy struct {
+	children map[string][]string
+}
+
+// NewTaxonomy returns an empty taxonomy.
+func NewTaxonomy() *Taxonomy {
+	return &Taxonomy{children: make(map[string][]string)}
+}
+
+// AddSubsumption declares that parent contains child (directly). Cycles
+// are tolerated; containment is the reflexive-transitive closure.
+func (tx *Taxonomy) AddSubsumption(parent, child string) {
+	tx.children[parent] = append(tx.children[parent], child)
+}
+
+// Contains returns every label name contained by name, including itself.
+func (tx *Taxonomy) Contains(name string) []string {
+	seen := map[string]bool{name: true}
+	order := []string{name}
+	for head := 0; head < len(order); head++ {
+		for _, c := range tx.children[order[head]] {
+			if !seen[c] {
+				seen[c] = true
+				order = append(order, c)
+			}
+		}
+	}
+	return order
+}
+
+// TopKContained answers q under containment semantics: each query label
+// matches the data labels tx places at or below it. Served by the
+// materializing Algorithm 1 (the run-time graph expansion happens at
+// identification time).
+func (db *Database) TopKContained(q *Query, k int, tx *Taxonomy) ([]Match, error) {
+	if q == nil || q.t == nil {
+		return nil, fmt.Errorf("ktpm: nil query")
+	}
+	if tx == nil {
+		return db.TopKWith(q, k, Options{Algorithm: AlgoTopk})
+	}
+	contains := func(queryLabel int32) []int32 {
+		var out []int32
+		seen := map[int32]bool{}
+		for _, name := range tx.Contains(db.g.Labels.Name(int(queryLabel))) {
+			if id, ok := db.g.Labels.Lookup(name); ok && !seen[int32(id)] {
+				seen[int32(id)] = true
+				out = append(out, int32(id))
+			}
+		}
+		return out
+	}
+	r := rtg.BuildWithContainment(db.c, q.t, contains)
+	ms := core.TopK(r, k)
+	out := make([]Match, len(ms))
+	for i, m := range ms {
+		out[i] = Match{Nodes: m.Nodes, Score: m.Score}
+	}
+	return out, nil
+}
+
+// GraphPattern is a connected undirected labeled pattern graph with
+// distinct node labels, the query form of top-k graph pattern matching.
+type GraphPattern struct {
+	// Labels holds one label per pattern node.
+	Labels []string
+	// Edges are undirected node-index pairs.
+	Edges [][2]int
+}
+
+// GraphAlgorithm selects the inner tree matcher for GraphTopK.
+type GraphAlgorithm int
+
+const (
+	// AlgoMTreePlus embeds Topk-EN in the decomposition framework of [7].
+	AlgoMTreePlus GraphAlgorithm = iota
+	// AlgoMTree is the [7] baseline with DP-B inside.
+	AlgoMTree
+)
+
+// GraphEnv caches per-graph state for repeated GraphTopK calls (the
+// undirected closure is the expensive part).
+type GraphEnv struct {
+	env *kgpm.Env
+}
+
+// NewGraphEnv prepares the kGPM environment for db's graph.
+func (db *Database) NewGraphEnv() *GraphEnv {
+	return &GraphEnv{env: kgpm.NewEnv(db.g)}
+}
+
+// GraphTopK returns the k best graph pattern matches. Nodes[i] of each
+// match corresponds to pattern node i.
+func (ge *GraphEnv) GraphTopK(p *GraphPattern, k int, algo GraphAlgorithm) ([]Match, error) {
+	q := &kgpm.Query{Labels: p.Labels, Edges: p.Edges}
+	a := kgpm.MTreePlus
+	if algo == AlgoMTree {
+		a = kgpm.MTree
+	}
+	ms, err := kgpm.TopK(ge.env, q, k, a)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Match, len(ms))
+	for i, m := range ms {
+		out[i] = Match{Nodes: m.Nodes, Score: m.Score}
+	}
+	return out, nil
+}
