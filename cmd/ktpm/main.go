@@ -36,13 +36,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	algos := map[string]ktpm.Algorithm{
-		"topk-en": ktpm.AlgoTopkEN,
-		"topk":    ktpm.AlgoTopk,
-		"dp-b":    ktpm.AlgoDPB,
-		"dp-p":    ktpm.AlgoDPP,
-	}
-	algo, ok := algos[strings.ToLower(*algoName)]
+	algo, ok := ktpm.ParseAlgorithm(*algoName)
 	if !ok {
 		fatalf("unknown algorithm %q (want topk-en, topk, dp-b, dp-p)", *algoName)
 	}

@@ -1,0 +1,123 @@
+// Command ktpmd serves top-k tree-matching queries over HTTP.
+//
+// It loads a data graph (building the closure at startup) or a prepared
+// snapshot (see ktpm -save), then answers concurrent queries against the
+// one shared database:
+//
+//	ktpmd -graph g.txt -addr :8080
+//	ktpmd -db g.snap -concurrency 8 -cache 4096
+//
+//	curl 'localhost:8080/query?q=a(b,c(d))&k=5'
+//	curl 'localhost:8080/explain?q=a(b)'
+//	curl 'localhost:8080/stats'
+//
+// See package ktpm/internal/server for the endpoint contract.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ktpm"
+	"ktpm/internal/server"
+)
+
+func main() {
+	var (
+		graphPath   = flag.String("graph", "", "path to the data graph file")
+		dbPath      = flag.String("db", "", "path to a prepared database snapshot (alternative to -graph)")
+		addr        = flag.String("addr", ":8080", "listen address")
+		concurrency = flag.Int("concurrency", 0, "worker pool size (0 = GOMAXPROCS)")
+		queueDepth  = flag.Int("queue", 0, "admission queue depth (0 = default 64)")
+		timeout     = flag.Duration("timeout", 0, "per-request timeout (0 = default 10s)")
+		cacheSize   = flag.Int("cache", 0, "result cache entries (0 = default 1024, negative disables)")
+		blockSize   = flag.Int("block-size", 0, "store block size (0 = default)")
+		maxK        = flag.Int("max-k", 0, "largest accepted k (0 = default 1000)")
+	)
+	flag.Parse()
+	if (*graphPath == "") == (*dbPath == "") {
+		fmt.Fprintln(os.Stderr, "ktpmd: exactly one of -graph or -db is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	db, err := loadDatabase(*graphPath, *dbPath, *blockSize)
+	if err != nil {
+		log.Fatalf("ktpmd: %v", err)
+	}
+
+	srv := server.New(db, server.Config{
+		Concurrency:    *concurrency,
+		QueueDepth:     *queueDepth,
+		RequestTimeout: *timeout,
+		CacheEntries:   *cacheSize,
+		MaxK:           *maxK,
+	})
+	defer srv.Close()
+
+	hs := &http.Server{Addr: *addr, Handler: srv}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Println("ktpmd: shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			log.Printf("ktpmd: shutdown: %v", err)
+		}
+	}()
+
+	log.Printf("ktpmd: serving on %s", *addr)
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("ktpmd: %v", err)
+	}
+	<-done
+}
+
+func loadDatabase(graphPath, dbPath string, blockSize int) (*ktpm.Database, error) {
+	opt := ktpm.DatabaseOptions{BlockSize: blockSize}
+	if dbPath != "" {
+		f, err := os.Open(dbPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		t0 := time.Now()
+		db, err := ktpm.OpenDatabase(f, opt)
+		if err != nil {
+			return nil, fmt.Errorf("load snapshot: %w", err)
+		}
+		log.Printf("ktpmd: snapshot loaded in %v", time.Since(t0).Round(time.Millisecond))
+		return db, nil
+	}
+	f, err := os.Open(graphPath)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	g, err := ktpm.LoadGraph(f)
+	if err != nil {
+		return nil, fmt.Errorf("load graph: %w", err)
+	}
+	t0 := time.Now()
+	db, err := ktpm.BuildDatabase(g, opt)
+	if err != nil {
+		return nil, fmt.Errorf("build database: %w", err)
+	}
+	entries, tables, theta, size := db.ClosureStats()
+	log.Printf("ktpmd: graph %d nodes / %d edges; closure %d entries in %d tables (theta %.1f, %.1f MB) in %v",
+		g.NumNodes(), g.NumEdges(), entries, tables, theta, float64(size)/1e6,
+		time.Since(t0).Round(time.Millisecond))
+	return db, nil
+}

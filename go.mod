@@ -1,0 +1,3 @@
+module ktpm
+
+go 1.24

@@ -26,6 +26,12 @@ type Interner struct {
 	mu     sync.RWMutex
 	byName map[string]int
 	names  []string
+
+	// base, when non-nil, makes this interner an overlay (see Extend):
+	// IDs below baseLen resolve through base, new names are recorded
+	// locally starting at baseLen.
+	base    *Interner
+	baseLen int
 }
 
 // NewInterner returns an empty interner.
@@ -33,11 +39,28 @@ func NewInterner() *Interner {
 	return &Interner{byName: make(map[string]int)}
 }
 
+// Extend returns an overlay interner: names already known to in resolve
+// to their existing IDs, while new names get IDs private to the overlay
+// (starting at in's current length) without mutating in. Query parsing
+// uses overlays so that labels arriving in (possibly adversarial) query
+// strings never grow the data graph's interner — an overlay is dropped
+// with its query. The base must not intern new names while the overlay
+// is alive; IDs assigned by the base after Extend would collide with the
+// overlay's.
+func (in *Interner) Extend() *Interner {
+	return &Interner{base: in, baseLen: in.Len()}
+}
+
 // Intern returns the ID for name, assigning a fresh one on first sight.
 // Interning the wildcard name returns Wildcard without assigning an ID.
 func (in *Interner) Intern(name string) int {
 	if name == WildcardName {
 		return Wildcard
+	}
+	if in.base != nil {
+		if id, ok := in.base.Lookup(name); ok && id < in.baseLen {
+			return id
+		}
 	}
 	in.mu.RLock()
 	id, ok := in.byName[name]
@@ -53,7 +76,7 @@ func (in *Interner) Intern(name string) int {
 	if id, ok := in.byName[name]; ok {
 		return id
 	}
-	id = len(in.names)
+	id = in.baseLen + len(in.names)
 	in.byName[name] = id
 	in.names = append(in.names, name)
 	return id
@@ -63,6 +86,11 @@ func (in *Interner) Intern(name string) int {
 func (in *Interner) Lookup(name string) (int, bool) {
 	if name == WildcardName {
 		return Wildcard, true
+	}
+	if in.base != nil {
+		if id, ok := in.base.Lookup(name); ok && id < in.baseLen {
+			return id, true
+		}
 	}
 	in.mu.RLock()
 	defer in.mu.RUnlock()
@@ -76,38 +104,45 @@ func (in *Interner) Name(id int) string {
 	if id == Wildcard {
 		return WildcardName
 	}
+	if in.base != nil && id >= 0 && id < in.baseLen {
+		return in.base.Name(id)
+	}
 	in.mu.RLock()
 	defer in.mu.RUnlock()
-	if id < 0 || id >= len(in.names) {
+	if id < in.baseLen || id-in.baseLen >= len(in.names) {
 		panic(fmt.Sprintf("label: unknown label id %d", id))
 	}
-	return in.names[id]
+	return in.names[id-in.baseLen]
 }
 
 // Len returns the number of distinct interned labels (wildcard excluded).
 func (in *Interner) Len() int {
 	in.mu.RLock()
 	defer in.mu.RUnlock()
-	return len(in.names)
+	return in.baseLen + len(in.names)
 }
 
 // Names returns a copy of the interned label names indexed by ID.
 func (in *Interner) Names() []string {
 	in.mu.RLock()
 	defer in.mu.RUnlock()
-	return append([]string(nil), in.names...)
+	out := make([]string, 0, in.baseLen+len(in.names))
+	if in.base != nil {
+		out = append(out, in.base.Names()[:in.baseLen]...)
+	}
+	return append(out, in.names...)
 }
 
-// Clone returns a deep copy of the interner.
+// Clone returns a deep copy of the interner. Cloning an overlay (see
+// Extend) flattens it into a standalone interner with the same IDs.
 func (in *Interner) Clone() *Interner {
-	in.mu.RLock()
-	defer in.mu.RUnlock()
+	names := in.Names()
 	cp := &Interner{
-		byName: make(map[string]int, len(in.byName)),
-		names:  append([]string(nil), in.names...),
+		byName: make(map[string]int, len(names)),
+		names:  names,
 	}
-	for k, v := range in.byName {
-		cp.byName[k] = v
+	for id, name := range names {
+		cp.byName[name] = id
 	}
 	return cp
 }

@@ -142,3 +142,80 @@ func TestConcurrentIntern(t *testing.T) {
 		}
 	}
 }
+
+func TestExtendOverlay(t *testing.T) {
+	base := NewInterner()
+	a := base.Intern("a")
+	b := base.Intern("b")
+
+	ov := base.Extend()
+	// Base names resolve to base IDs.
+	if got := ov.Intern("a"); got != a {
+		t.Fatalf("overlay Intern(a) = %d, want base ID %d", got, a)
+	}
+	// New names get overlay-private IDs past the base range, and the base
+	// stays untouched.
+	x := ov.Intern("x")
+	if x != 2 {
+		t.Fatalf("overlay Intern(x) = %d, want 2", x)
+	}
+	if got := ov.Intern("x"); got != x {
+		t.Fatalf("overlay re-Intern(x) = %d, want %d", got, x)
+	}
+	if base.Len() != 2 {
+		t.Fatalf("base grew to %d labels", base.Len())
+	}
+	if _, ok := base.Lookup("x"); ok {
+		t.Fatal("overlay name leaked into base")
+	}
+	// Resolution crosses the boundary in both directions.
+	if ov.Name(a) != "a" || ov.Name(x) != "x" {
+		t.Fatalf("overlay Name: %q, %q", ov.Name(a), ov.Name(x))
+	}
+	if id, ok := ov.Lookup("b"); !ok || id != b {
+		t.Fatalf("overlay Lookup(b) = %d, %v", id, ok)
+	}
+	if ov.Len() != 3 {
+		t.Fatalf("overlay Len = %d, want 3", ov.Len())
+	}
+	if names := ov.Names(); len(names) != 3 || names[0] != "a" || names[2] != "x" {
+		t.Fatalf("overlay Names = %v", names)
+	}
+	// Wildcard behaves identically through the overlay.
+	if ov.Intern(WildcardName) != Wildcard {
+		t.Fatal("overlay wildcard mishandled")
+	}
+	// Clone flattens the overlay with identical IDs.
+	cp := ov.Clone()
+	if cp.Len() != 3 || cp.Name(x) != "x" {
+		t.Fatalf("flattened clone: Len %d, Name(%d) %q", cp.Len(), x, cp.Name(x))
+	}
+}
+
+func TestExtendConcurrentOverlays(t *testing.T) {
+	base := NewInterner()
+	for _, n := range []string{"a", "b", "c"} {
+		base.Intern(n)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ov := base.Extend()
+			for i := 0; i < 100; i++ {
+				if ov.Intern("a") != 0 {
+					panic("base resolution broke")
+				}
+				id := ov.Intern(fmt.Sprintf("w%d_%d", w, i%5))
+				if ov.Name(id) == "" {
+					panic("overlay name lost")
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if base.Len() != 3 {
+		t.Fatalf("base grew to %d under concurrent overlays", base.Len())
+	}
+}

@@ -1,0 +1,119 @@
+// Package lru provides a fixed-capacity least-recently-used cache with
+// hit/miss/eviction counters, the result-memoization layer of the ktpmd
+// query service. Top-k answers are immutable once computed (the database
+// is read-only after startup), so entries never expire; they only fall out
+// by capacity pressure, and the counters let /stats expose the cache's
+// effectiveness.
+//
+// All methods are safe for concurrent use.
+package lru
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is a string-keyed LRU cache over values of type V. A capacity of
+// zero or less disables the cache: Get always misses and Put is a no-op,
+// which keeps call sites free of nil checks (and gives benchmarks a
+// cold-cache mode).
+type Cache[V any] struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recently used; values are *entry[V]
+	items map[string]*list.Element
+
+	hits, misses, evictions int64
+}
+
+type entry[V any] struct {
+	key string
+	val V
+}
+
+// New returns a cache holding at most capacity entries.
+func New[V any](capacity int) *Cache[V] {
+	return &Cache[V]{
+		cap:   capacity,
+		order: list.New(),
+		items: make(map[string]*list.Element),
+	}
+}
+
+// Get returns the value cached under key, marking it most recently used.
+func (c *Cache[V]) Get(key string) (V, bool) {
+	var zero V
+	if c.cap <= 0 {
+		return zero, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return zero, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*entry[V]).val, true
+}
+
+// Put stores val under key, evicting the least recently used entry when
+// the cache is full. Storing an existing key refreshes its value and
+// recency.
+func (c *Cache[V]) Put(key string, val V) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*entry[V]).val = val
+		c.order.MoveToFront(el)
+		return
+	}
+	if c.order.Len() >= c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*entry[V]).key)
+		c.evictions++
+	}
+	c.items[key] = c.order.PushFront(&entry[V]{key: key, val: val})
+}
+
+// Len returns the current number of entries.
+func (c *Cache[V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Purge drops every entry, leaving the counters intact.
+func (c *Cache[V]) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.order.Init()
+	c.items = make(map[string]*list.Element)
+}
+
+// Stats is a counter snapshot.
+type Stats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Entries   int   `json:"entries"`
+	Capacity  int   `json:"capacity"`
+}
+
+// Stats returns a consistent snapshot of the counters.
+func (c *Cache[V]) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Entries:   c.order.Len(),
+		Capacity:  c.cap,
+	}
+}

@@ -11,6 +11,7 @@ package query
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"ktpm/internal/label"
@@ -241,6 +242,34 @@ func (b *Builder) Build() (*Tree, error) {
 		seen[l] = true
 	}
 	return t, nil
+}
+
+// Canonical renders the tree in the parser syntax with every node's
+// children sorted by their own canonical rendering ('/' prefix included).
+// Sibling order never changes which matches exist or their scores, so two
+// trees with equal canonical forms are the same query up to the BFS
+// numbering of positions; the form is the cache key of the query service.
+// Parsing the canonical string yields a tree whose BFS positions agree
+// with the rendering.
+func (t *Tree) Canonical() string {
+	var rec func(u int32) string
+	rec = func(u int32) string {
+		cs := t.Nodes[u].Children
+		if len(cs) == 0 {
+			return t.LabelName(u)
+		}
+		parts := make([]string, len(cs))
+		for i, c := range cs {
+			s := rec(c)
+			if t.Nodes[c].EdgeFromParent == Child {
+				s = "/" + s
+			}
+			parts[i] = s
+		}
+		sort.Strings(parts)
+		return t.LabelName(u) + "(" + strings.Join(parts, ",") + ")"
+	}
+	return rec(0)
 }
 
 // String renders the tree in the parser syntax (see Parse).

@@ -1,0 +1,84 @@
+package server
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"testing"
+
+	"ktpm"
+)
+
+// benchDatabase builds a mid-size random graph once per benchmark run.
+func benchDatabase(b *testing.B) *ktpm.Database {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	labels := []string{"a", "b", "c", "d", "e", "f"}
+	gb := ktpm.NewGraphBuilder()
+	const n = 2000
+	ids := make([]int32, n)
+	for i := 0; i < n; i++ {
+		ids[i] = gb.AddNode(labels[rng.Intn(len(labels))])
+	}
+	for i := 1; i < n; i++ {
+		for e := 0; e < 3; e++ {
+			gb.AddEdge(ids[rng.Intn(i)], ids[i])
+		}
+	}
+	g, err := gb.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	db, err := ktpm.BuildDatabase(g, ktpm.DatabaseOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return db
+}
+
+var benchQueries = []string{"a(b)", "a(b,c)", "b(c(d))", "c(d,e)", "a(b(c),d)"}
+
+func serveQueries(b *testing.B, s *Server, spread int) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			q := benchQueries[i%len(benchQueries)]
+			k := 5 + (i%spread)*3
+			path := fmt.Sprintf("/query?q=%s&k=%d", url.QueryEscape(q), k)
+			req := httptest.NewRequest(http.MethodGet, path, nil)
+			rec := httptest.NewRecorder()
+			s.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				b.Fatalf("GET %s = %d: %s", path, rec.Code, rec.Body.String())
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkServerTopK measures concurrent /query throughput through the
+// full HTTP stack — parse, canonicalize, admission, worker pool,
+// enumeration, JSON encoding.
+//
+// cold disables the result cache, so every request pays the enumeration;
+// warm uses the default cache with a small working set, so nearly every
+// request after the first few is a hit. The gap is the price the cache
+// buys back on repeated traffic.
+func BenchmarkServerTopK(b *testing.B) {
+	db := benchDatabase(b)
+	b.Run("cold", func(b *testing.B) {
+		s := New(db, Config{CacheEntries: -1})
+		defer s.Close()
+		serveQueries(b, s, 4)
+	})
+	b.Run("warm", func(b *testing.B) {
+		s := New(db, Config{})
+		defer s.Close()
+		serveQueries(b, s, 4)
+	})
+}

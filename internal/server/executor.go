@@ -1,0 +1,100 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrQueueFull is returned by executor.Do when the admission queue is at
+// capacity; the HTTP layer translates it to 503 Service Unavailable.
+var ErrQueueFull = errors.New("server: admission queue full")
+
+// executor is a fixed-size worker pool with a bounded admission queue.
+// Bounding the queue — rather than spawning a goroutine per request — is
+// the admission-control half of the design: under overload the service
+// sheds load immediately with ErrQueueFull instead of accumulating
+// unbounded in-flight work, and the fixed worker count keeps at most
+// Concurrency top-k enumerations resident (each one holds a run-time-graph
+// fragment, so memory is bounded too).
+type executor struct {
+	tasks chan *task
+
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+
+	queued   atomic.Int64 // tasks admitted but not yet started
+	inFlight atomic.Int64 // tasks currently running
+	canceled atomic.Int64 // tasks dropped from the queue after ctx expiry
+}
+
+type task struct {
+	ctx  context.Context
+	fn   func()
+	done chan struct{}
+}
+
+// newExecutor starts workers goroutines serving a queue of queueDepth
+// waiting tasks (beyond the ones already running).
+func newExecutor(workers, queueDepth int) *executor {
+	e := &executor{tasks: make(chan *task, queueDepth)}
+	e.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go e.worker()
+	}
+	return e
+}
+
+func (e *executor) worker() {
+	defer e.wg.Done()
+	for t := range e.tasks {
+		e.queued.Add(-1)
+		// A caller that timed out while queued has already gone away;
+		// running its query would only steal a worker from live requests.
+		if t.ctx.Err() != nil {
+			e.canceled.Add(1)
+			close(t.done)
+			continue
+		}
+		e.inFlight.Add(1)
+		t.fn()
+		e.inFlight.Add(-1)
+		close(t.done)
+	}
+}
+
+// Do submits fn and waits until it finishes or ctx expires. It returns
+// ErrQueueFull when the queue cannot admit the task, and ctx.Err() on
+// expiry — in which case a task that already started keeps running to
+// completion on its worker (top-k enumeration has no preemption points)
+// and its result is discarded, while a still-queued task is dropped.
+func (e *executor) Do(ctx context.Context, fn func()) error {
+	t := &task{ctx: ctx, fn: fn, done: make(chan struct{})}
+	// Count before the send: a worker may pick the task up (and decrement)
+	// the instant it lands in the channel, and the gauge must never go
+	// negative under a concurrent /stats read.
+	e.queued.Add(1)
+	select {
+	case e.tasks <- t:
+	default:
+		e.queued.Add(-1)
+		return ErrQueueFull
+	}
+	select {
+	case <-t.done:
+		if t.ctx.Err() != nil {
+			return t.ctx.Err()
+		}
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close drains the queue and stops the workers. Do must not be called
+// after Close.
+func (e *executor) Close() {
+	e.closeOnce.Do(func() { close(e.tasks) })
+	e.wg.Wait()
+}

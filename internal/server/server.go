@@ -1,0 +1,468 @@
+// Package server implements the ktpmd query service: an HTTP JSON API
+// over one shared read-only ktpm.Database.
+//
+// Endpoints:
+//
+//	GET/POST /query?q=a(b,c)&k=10&algo=topk-en  — top-k matches
+//	GET/POST /explain?q=a(b,c)                  — query plan, no enumeration
+//	GET      /stats                             — cache/executor/I-O counters
+//	GET      /healthz                           — liveness probe
+//
+// Three serving concerns layer over the library:
+//
+//   - Concurrency: a fixed worker pool executes queries, so at most
+//     Config.Concurrency enumerations are resident at once regardless of
+//     the HTTP connection count.
+//   - Admission control: a bounded queue in front of the pool sheds
+//     overload with 503 instead of queueing unboundedly, and each request
+//     carries a deadline (504 on expiry; a request that times out while
+//     still queued is dropped without ever occupying a worker).
+//   - Result caching: answers are memoized in an LRU keyed by
+//     (canonical query, k, algorithm). The database is immutable after
+//     startup, so cached answers never go stale; the canonical key means
+//     "a(b,c)" and "a(c,b)" share one entry.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ktpm"
+	"ktpm/internal/lru"
+)
+
+// Config tunes the service. The zero value serves with sensible defaults.
+type Config struct {
+	// Concurrency is the worker-pool size; 0 means GOMAXPROCS.
+	Concurrency int
+	// QueueDepth is how many admitted requests may wait for a worker
+	// beyond the ones running; 0 means 64. Requests beyond it get 503.
+	QueueDepth int
+	// RequestTimeout bounds queue wait plus execution; 0 means 10s.
+	RequestTimeout time.Duration
+	// CacheEntries is the result-cache capacity; 0 means 1024, negative
+	// disables caching.
+	CacheEntries int
+	// DefaultK is used when a /query request omits k; 0 means 10.
+	DefaultK int
+	// MaxK rejects larger k values (one request cannot ask for an
+	// arbitrarily large enumeration); 0 means 1000.
+	MaxK int
+	// MaxQueryLen rejects longer q strings; 0 means 4096. The cap also
+	// bounds the recursive parser's depth (each nesting level costs at
+	// least two bytes), keeping adversarial deeply-nested queries from
+	// exhausting the handler goroutine's stack.
+	MaxQueryLen int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Concurrency <= 0 {
+		c.Concurrency = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 1024
+	}
+	if c.CacheEntries < 0 {
+		c.CacheEntries = 0 // lru treats 0 as disabled
+	}
+	if c.DefaultK <= 0 {
+		c.DefaultK = 10
+	}
+	if c.MaxK <= 0 {
+		c.MaxK = 1000
+	}
+	if c.MaxQueryLen <= 0 {
+		c.MaxQueryLen = 4096
+	}
+	return c
+}
+
+// cachedResult is the request-independent part of a /query response.
+type cachedResult struct {
+	Positions []string
+	Matches   []MatchJSON
+}
+
+// MatchJSON is one match in a QueryResponse: Nodes[i] is the data node
+// bound to canonical-query position i (see QueryResponse.Positions).
+type MatchJSON struct {
+	Score int64   `json:"score"`
+	Nodes []int32 `json:"nodes"`
+}
+
+// QueryResponse is the /query response body.
+type QueryResponse struct {
+	Query     string      `json:"query"`
+	Canonical string      `json:"canonical"`
+	K         int         `json:"k"`
+	Algorithm string      `json:"algorithm"`
+	Positions []string    `json:"positions"`
+	Matches   []MatchJSON `json:"matches"`
+	Cached    bool        `json:"cached"`
+	// Coalesced marks a response served by another concurrent request's
+	// in-flight computation rather than a worker of its own.
+	Coalesced bool    `json:"coalesced,omitempty"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// Server is the HTTP query service over one shared database.
+type Server struct {
+	db    *ktpm.Database
+	cfg   Config
+	exec  *executor
+	cache *lru.Cache[cachedResult]
+	mux   *http.ServeMux
+	start time.Time
+
+	// flights coalesces concurrent cache misses for the same key: one
+	// leader occupies a worker, followers wait on its flightCall. Without
+	// this, N simultaneous identical cold queries would run N identical
+	// enumerations and monopolize the pool.
+	flightMu sync.Mutex
+	flights  map[string]*flightCall
+
+	queries   atomic.Int64 // /query requests that produced matches (incl. cached)
+	explains  atomic.Int64
+	errors    atomic.Int64 // 4xx/5xx responses of any kind
+	rejected  atomic.Int64 // 503: admission queue full
+	timedOut  atomic.Int64 // 504: deadline expired
+	coalesced atomic.Int64 // /query requests served by another request's flight
+}
+
+// flightCall is one in-progress /query computation, shared by every
+// request that arrived for the same key while it ran. res and err are
+// written once, before done is closed.
+type flightCall struct {
+	done chan struct{}
+	res  cachedResult
+	err  error
+}
+
+// New builds a Server over db. The caller owns db's lifetime; Close stops
+// the worker pool.
+func New(db *ktpm.Database, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		db:      db,
+		cfg:     cfg,
+		exec:    newExecutor(cfg.Concurrency, cfg.QueueDepth),
+		cache:   lru.New[cachedResult](cfg.CacheEntries),
+		mux:     http.NewServeMux(),
+		start:   time.Now(),
+		flights: make(map[string]*flightCall),
+	}
+	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/explain", s.handleExplain)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close stops the worker pool after in-flight queries finish.
+func (s *Server) Close() { s.exec.Close() }
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	s.errors.Add(1)
+	s.writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// parseRequest extracts and validates the q/k/algo parameters shared by
+// /query and /explain. A nil *Query return means an error response was
+// already written.
+func (s *Server) parseRequest(w http.ResponseWriter, r *http.Request) (q *ktpm.Query, k int, algo ktpm.Algorithm, ok bool) {
+	if r.Method != http.MethodGet && r.Method != http.MethodPost {
+		w.Header().Set("Allow", "GET, POST")
+		s.writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return nil, 0, 0, false
+	}
+	qs := r.FormValue("q")
+	if qs == "" {
+		s.writeError(w, http.StatusBadRequest, "missing required parameter q")
+		return nil, 0, 0, false
+	}
+	if len(qs) > s.cfg.MaxQueryLen {
+		s.writeError(w, http.StatusBadRequest, "query length %d exceeds the maximum %d", len(qs), s.cfg.MaxQueryLen)
+		return nil, 0, 0, false
+	}
+	k = s.cfg.DefaultK
+	if ks := r.FormValue("k"); ks != "" {
+		var err error
+		k, err = strconv.Atoi(ks)
+		if err != nil || k < 1 {
+			s.writeError(w, http.StatusBadRequest, "k must be a positive integer, got %q", ks)
+			return nil, 0, 0, false
+		}
+		if k > s.cfg.MaxK {
+			s.writeError(w, http.StatusBadRequest, "k=%d exceeds the maximum %d", k, s.cfg.MaxK)
+			return nil, 0, 0, false
+		}
+	}
+	algo = ktpm.AlgoTopkEN
+	if name := r.FormValue("algo"); name != "" {
+		var good bool
+		algo, good = ktpm.ParseAlgorithm(name)
+		if !good {
+			s.writeError(w, http.StatusBadRequest, "unknown algorithm %q (want topk-en, topk, dp-b, dp-p)", name)
+			return nil, 0, 0, false
+		}
+	}
+	q, err := s.db.ParseQuery(qs)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad query: %v", err)
+		return nil, 0, 0, false
+	}
+	return q, k, algo, true
+}
+
+// execute runs fn through the pool, translating admission and deadline
+// failures into HTTP errors. It reports whether fn's result may be used.
+func (s *Server) execute(w http.ResponseWriter, r *http.Request, fn func()) bool {
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	return s.writeExecError(w, s.exec.Do(ctx, fn))
+}
+
+// writeExecError maps an executor error to its HTTP response; it reports
+// whether err was nil (the computation's result may be used).
+func (s *Server) writeExecError(w http.ResponseWriter, err error) bool {
+	switch {
+	case err == nil:
+		return true
+	case errors.Is(err, ErrQueueFull):
+		s.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		s.writeError(w, http.StatusServiceUnavailable, "admission queue full, retry later")
+		return false
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+		s.timedOut.Add(1)
+		s.writeError(w, http.StatusGatewayTimeout, "request exceeded %v: %v", s.cfg.RequestTimeout, err)
+		return false
+	default:
+		s.writeError(w, http.StatusInternalServerError, "query failed: %v", err)
+		return false
+	}
+}
+
+// runQuery computes the result for key through the worker pool,
+// coalescing concurrent identical requests: the first request for a key
+// leads and occupies a worker; the rest wait on its result (reported by
+// coalesced) without consuming pool capacity. The returned error may be
+// ErrQueueFull, a context error, or a query failure.
+func (s *Server) runQuery(r *http.Request, key string, cq *ktpm.Query, k int, algo ktpm.Algorithm) (_ cachedResult, coalesced bool, _ error) {
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+
+	s.flightMu.Lock()
+	if fc, ok := s.flights[key]; ok {
+		s.flightMu.Unlock()
+		s.coalesced.Add(1)
+		select {
+		case <-fc.done:
+			return fc.res, true, fc.err
+		case <-ctx.Done():
+			return cachedResult{}, true, ctx.Err()
+		}
+	}
+	fc := &flightCall{done: make(chan struct{})}
+	s.flights[key] = fc
+	s.flightMu.Unlock()
+
+	// The flight runs under its own deadline, detached from the leader's
+	// request: the computation is shared, so one client's disconnect must
+	// not fail the coalesced followers with a spurious error.
+	fctx, fcancel := context.WithTimeout(context.Background(), s.cfg.RequestTimeout)
+	defer fcancel()
+	// The closure writes only its own locals: if Do returns a deadline
+	// error while the task is still running on a worker, the abandoned
+	// task must not race with followers reading fc after done closes.
+	var (
+		res     cachedResult
+		callErr error
+	)
+	err := s.exec.Do(fctx, func() {
+		ms, err := s.db.TopKWith(cq, k, ktpm.Options{Algorithm: algo})
+		if err != nil {
+			callErr = err
+			return
+		}
+		out := cachedResult{
+			Positions: make([]string, cq.NumNodes()),
+			Matches:   make([]MatchJSON, len(ms)),
+		}
+		for i := range out.Positions {
+			out.Positions[i] = cq.LabelOf(i)
+		}
+		for i, m := range ms {
+			out.Matches[i] = MatchJSON{Score: m.Score, Nodes: m.Nodes}
+		}
+		// Cache from inside the task: even if every waiter times out, the
+		// completed work still warms the cache for the retry.
+		s.cache.Put(key, out)
+		res = out
+	})
+	if err == nil {
+		fc.res, fc.err = res, callErr
+	} else {
+		fc.err = err
+	}
+	s.flightMu.Lock()
+	delete(s.flights, key)
+	s.flightMu.Unlock()
+	close(fc.done)
+	return fc.res, false, fc.err
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	q, k, algo, ok := s.parseRequest(w, r)
+	if !ok {
+		return
+	}
+	canonical := q.Canonical()
+	key := canonical + "\x00" + strconv.Itoa(k) + "\x00" + algo.String()
+	resp := QueryResponse{
+		Query:     r.FormValue("q"),
+		Canonical: canonical,
+		K:         k,
+		Algorithm: algo.String(),
+	}
+	if res, hit := s.cache.Get(key); hit {
+		s.queries.Add(1)
+		resp.Positions, resp.Matches, resp.Cached = res.Positions, res.Matches, true
+		resp.ElapsedMS = msSince(t0)
+		s.writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	// Execute the canonical form so cached position numbering is
+	// reproducible regardless of which sibling order first filled the
+	// entry.
+	cq, err := s.db.ParseQuery(canonical)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, "canonical reparse: %v", err)
+		return
+	}
+	res, coalesced, err := s.runQuery(r, key, cq, k, algo)
+	if !s.writeExecError(w, err) {
+		return
+	}
+	s.queries.Add(1)
+	resp.Positions, resp.Matches, resp.Coalesced = res.Positions, res.Matches, coalesced
+	resp.ElapsedMS = msSince(t0)
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// ExplainResponse is the /explain response body.
+type ExplainResponse struct {
+	Canonical string     `json:"canonical"`
+	Plan      *ktpm.Plan `json:"plan"`
+	ElapsedMS float64    `json:"elapsed_ms"`
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	q, _, _, ok := s.parseRequest(w, r)
+	if !ok {
+		return
+	}
+	var (
+		plan    *ktpm.Plan
+		callErr error
+	)
+	// Explain builds the full run-time graph, so it goes through the same
+	// admission-controlled pool as /query.
+	if !s.execute(w, r, func() { plan, callErr = s.db.Explain(q) }) {
+		return
+	}
+	if callErr != nil {
+		s.writeError(w, http.StatusInternalServerError, "explain failed: %v", callErr)
+		return
+	}
+	s.explains.Add(1)
+	s.writeJSON(w, http.StatusOK, ExplainResponse{
+		Canonical: q.Canonical(),
+		Plan:      plan,
+		ElapsedMS: msSince(t0),
+	})
+}
+
+// StatsResponse is the /stats response body.
+type StatsResponse struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Graph         struct {
+		Nodes int `json:"nodes"`
+		Edges int `json:"edges"`
+	} `json:"graph"`
+	Queries  int64 `json:"queries"`
+	Explains int64 `json:"explains"`
+	Errors   int64 `json:"errors"`
+	// Coalesced counts /query requests answered by joining another
+	// request's in-flight computation.
+	Coalesced int64     `json:"coalesced"`
+	Cache     lru.Stats `json:"cache"`
+	Executor  struct {
+		Workers    int   `json:"workers"`
+		QueueDepth int   `json:"queue_depth"`
+		InFlight   int64 `json:"in_flight"`
+		Queued     int64 `json:"queued"`
+		Rejected   int64 `json:"rejected"`
+		TimedOut   int64 `json:"timed_out"`
+		Canceled   int64 `json:"canceled"`
+	} `json:"executor"`
+	IO ktpm.IOStats `json:"io"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	var resp StatsResponse
+	resp.UptimeSeconds = time.Since(s.start).Seconds()
+	g := s.db.Graph()
+	resp.Graph.Nodes = g.NumNodes()
+	resp.Graph.Edges = g.NumEdges()
+	resp.Queries = s.queries.Load()
+	resp.Explains = s.explains.Load()
+	resp.Errors = s.errors.Load()
+	resp.Coalesced = s.coalesced.Load()
+	resp.Cache = s.cache.Stats()
+	resp.Executor.Workers = s.cfg.Concurrency
+	resp.Executor.QueueDepth = s.cfg.QueueDepth
+	resp.Executor.InFlight = s.exec.inFlight.Load()
+	resp.Executor.Queued = s.exec.queued.Load()
+	resp.Executor.Rejected = s.rejected.Load()
+	resp.Executor.TimedOut = s.timedOut.Load()
+	resp.Executor.Canceled = s.exec.canceled.Load()
+	resp.IO = s.db.IOStats()
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok",
+		"uptime": time.Since(s.start).String(),
+	})
+}
+
+func msSince(t0 time.Time) float64 { return float64(time.Since(t0).Microseconds()) / 1000 }

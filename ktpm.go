@@ -40,6 +40,7 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"strings"
 
 	"ktpm/internal/closure"
 	"ktpm/internal/core"
@@ -198,6 +199,33 @@ func OpenDatabase(r io.Reader, opt DatabaseOptions) (*Database, error) {
 	}, nil
 }
 
+// IOStats is a snapshot of the simulated disk I/O counters accumulated by
+// all queries served from this database (see internal/store): random block
+// reads from incoming lists versus wholesale summary-table scans.
+type IOStats struct {
+	// BlocksRead counts random block reads from incoming lists.
+	BlocksRead int64
+	// EntriesRead counts every entry delivered (blocks plus tables).
+	EntriesRead int64
+	// TableEntriesRead counts entries delivered by table scans only.
+	TableEntriesRead int64
+	// TablesRead counts summary-table loads.
+	TablesRead int64
+}
+
+// IOStats returns a snapshot of the accumulated simulated I/O counters.
+// Counters update atomically, so the snapshot is safe (and meaningful)
+// under concurrent queries.
+func (db *Database) IOStats() IOStats {
+	c := db.st.Counters()
+	return IOStats{
+		BlocksRead:       c.BlocksRead,
+		EntriesRead:      c.EntriesRead,
+		TableEntriesRead: c.TableEntriesRead,
+		TablesRead:       c.TablesRead,
+	}
+}
+
 // ClosureStats reports the precomputation cost drivers: closure entries,
 // label-pair table count, θ (average entries per table) and estimated
 // serialized size.
@@ -214,8 +242,13 @@ type Query struct {
 // ParseQuery parses the compact tree syntax: "a(b,c(d))" is a root a with
 // children b and c, c having child d; a leading '/' marks a parent-child
 // edge ("a(/b)") and '*' is a wildcard label. All other edges are '//'.
+//
+// Labels the data graph has never seen are resolved in a private overlay
+// that is garbage-collected with the query, so parsing untrusted query
+// strings (the ktpmd daemon's workload) cannot grow the graph's label
+// table; such labels simply match nothing.
 func (db *Database) ParseQuery(s string) (*Query, error) {
-	t, err := query.Parse(db.g.Labels, s)
+	t, err := query.Parse(db.g.Labels.Extend(), s)
 	if err != nil {
 		return nil, err
 	}
@@ -227,6 +260,14 @@ func (q *Query) NumNodes() int { return q.t.NumNodes() }
 
 // String renders the query back in the parser syntax.
 func (q *Query) String() string { return q.t.String() }
+
+// Canonical renders the query with the children of every node sorted, so
+// queries that differ only in sibling order ("a(b,c)" vs "a(c,b)") produce
+// the same string. Sibling order never affects which matches exist or
+// their scores — only the BFS numbering of positions — which makes the
+// canonical form a sound result-cache key. Parsing the canonical string
+// yields a query whose positions agree with the rendering.
+func (q *Query) Canonical() string { return q.t.Canonical() }
 
 // LabelOf returns the label of query position i (BFS order).
 func (q *Query) LabelOf(i int) string { return q.t.LabelName(int32(i)) }
@@ -244,6 +285,24 @@ const (
 	// AlgoDPP is the DP-P baseline of [21].
 	AlgoDPP
 )
+
+// ParseAlgorithm resolves the CLI/service spelling of an algorithm name
+// ("topk-en", "topk", "dp-b", "dp-p", case-insensitive); ok is false for
+// unknown names, including the empty string — callers that want a
+// default decide it themselves.
+func ParseAlgorithm(name string) (Algorithm, bool) {
+	switch strings.ToLower(name) {
+	case "topk-en":
+		return AlgoTopkEN, true
+	case "topk":
+		return AlgoTopk, true
+	case "dp-b":
+		return AlgoDPB, true
+	case "dp-p":
+		return AlgoDPP, true
+	}
+	return 0, false
+}
 
 func (a Algorithm) String() string {
 	switch a {
@@ -455,7 +514,9 @@ func (db *Database) TopKContained(q *Query, k int, tx *Taxonomy) ([]Match, error
 	contains := func(queryLabel int32) []int32 {
 		var out []int32
 		seen := map[int32]bool{}
-		for _, name := range tx.Contains(db.g.Labels.Name(int(queryLabel))) {
+		// Resolve through the query's interner: a taxonomy-only label is in
+		// the query's parse overlay, not the graph's table.
+		for _, name := range tx.Contains(q.t.Labels.Name(int(queryLabel))) {
 			if id, ok := db.g.Labels.Lookup(name); ok && !seen[int32(id)] {
 				seen[int32(id)] = true
 				out = append(out, int32(id))
