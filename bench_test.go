@@ -7,6 +7,7 @@ package ktpm
 // paper's argument is about retrieved edges.
 
 import (
+	"fmt"
 	"math/rand"
 	"sync"
 	"testing"
@@ -15,6 +16,7 @@ import (
 	"ktpm/internal/closure"
 	"ktpm/internal/core"
 	"ktpm/internal/dp"
+	"ktpm/internal/gen"
 	"ktpm/internal/kgpm"
 	"ktpm/internal/lazy"
 	"ktpm/internal/pll"
@@ -25,11 +27,11 @@ import (
 
 var (
 	benchOnce sync.Once
-	benchEnv  *bench.Env     // a GS1-scale power-law environment
-	benchGD   *bench.Env     // a GD1-scale citation environment
-	benchT20  []*query.Tree  // distinct-label T20 workload
-	benchT50  []*query.Tree  // distinct-label T50 workload
-	benchDup  []*query.Tree  // duplicate-label T20 workload
+	benchEnv  *bench.Env    // a GS1-scale power-law environment
+	benchGD   *bench.Env    // a GD1-scale citation environment
+	benchT20  []*query.Tree // distinct-label T20 workload
+	benchT50  []*query.Tree // distinct-label T50 workload
+	benchDup  []*query.Tree // duplicate-label T20 workload
 )
 
 func setupBench(b *testing.B) {
@@ -292,5 +294,85 @@ func BenchmarkStoreLoadBlock(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		v := int32(i % g.NumNodes())
 		st.LoadBlock(g.Label(v), v, 0)
+	}
+}
+
+// --- Sharded scatter-gather ----------------------------------------------
+
+var (
+	shardBenchOnce    sync.Once
+	shardBenchDB      *Database
+	shardBenchQueries []*Query
+	shardBenchErr     error
+)
+
+// setupShardBench prepares the sharding bench graph: a weighted power-law
+// graph (MaxWeight spreads shortest-path scores the way million-node
+// scale does — see gen.PowerLawConfig — keeping equal-score tie groups
+// small, the regime the k-way merge's canonical tie-drain is designed
+// for) with a T10 random-walk workload and a deep k.
+func setupShardBench(b *testing.B) {
+	b.Helper()
+	shardBenchOnce.Do(func() {
+		g := gen.PowerLaw(gen.PowerLawConfig{
+			Nodes: 2000, AvgOutDegree: 5, Labels: 150,
+			Window: 50, Communities: 10, MaxWeight: 8, Seed: 21,
+		})
+		c := closure.Compute(g, closure.Options{})
+		shardBenchDB = &Database{g: g, c: c, st: store.New(c, 0)}
+		qs, err := gen.QuerySet(g, 4, 10, true, 12345)
+		if err != nil {
+			shardBenchErr = err
+			return
+		}
+		for _, t := range qs {
+			q, perr := shardBenchDB.ParseQuery(t.String())
+			if perr != nil {
+				shardBenchErr = perr
+				return
+			}
+			shardBenchQueries = append(shardBenchQueries, q)
+		}
+	})
+	if shardBenchErr != nil {
+		b.Fatalf("sharding benchmark workload unavailable: %v", shardBenchErr)
+	}
+	if len(shardBenchQueries) == 0 {
+		b.Fatal("sharding benchmark workload empty")
+	}
+}
+
+// BenchmarkShardedTopK compares the scatter-gather path at 1/2/4/8 shards
+// against the single-database baseline. Deep k makes Lawler enumeration
+// the dominant cost, which is exactly what root-partitioning divides:
+// enumeration is superlinear in the number of emitted matches (every
+// emission rescans the parked-candidate list), so N shards emitting ~k/N
+// matches each do less total work than one enumerator emitting k — the
+// sharded path wins even on one core, and the per-shard goroutines add
+// parallel speedup on top when cores are available.
+func BenchmarkShardedTopK(b *testing.B) {
+	setupShardBench(b)
+	db := shardBenchDB
+	queries := shardBenchQueries
+	const k = 1500
+	b.Run("single", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := db.TopK(queries[i%len(queries)], k); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, n := range []int{1, 2, 4, 8} {
+		sdb, err := db.Shard(n, PartitionByLabel())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("shards=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sdb.TopK(queries[i%len(queries)], k); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

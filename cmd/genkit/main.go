@@ -21,15 +21,15 @@ import (
 
 func main() {
 	var (
-		kind     = flag.String("kind", "powerlaw", "generator: citation, powerlaw, er")
-		nodes    = flag.Int("nodes", 1000, "node count")
-		edges    = flag.Int("edges", 0, "edge count (er only; default 3x nodes)")
-		labels   = flag.Int("labels", 200, "label alphabet size")
-		seed     = flag.Int64("seed", 1, "random seed")
-		out      = flag.String("out", "", "output graph file (stdout when empty)")
-		queries  = flag.Int("queries", 0, "also extract this many queries")
-		qsize    = flag.Int("qsize", 20, "query size (nodes)")
-		qdup     = flag.Bool("qdup", false, "allow duplicate labels in queries")
+		kind    = flag.String("kind", "powerlaw", "generator: citation, powerlaw, er")
+		nodes   = flag.Int("nodes", 1000, "node count")
+		edges   = flag.Int("edges", 0, "edge count (er only; default 3x nodes)")
+		labels  = flag.Int("labels", 200, "label alphabet size")
+		seed    = flag.Int64("seed", 1, "random seed")
+		out     = flag.String("out", "", "output graph file (stdout when empty)")
+		queries = flag.Int("queries", 0, "also extract this many queries")
+		qsize   = flag.Int("qsize", 20, "query size (nodes)")
+		qdup    = flag.Bool("qdup", false, "allow duplicate labels in queries")
 	)
 	flag.Parse()
 

@@ -2,16 +2,19 @@
 //
 // It loads a data graph (building the closure at startup) or a prepared
 // snapshot (see ktpm -save), then answers concurrent queries against the
-// one shared database:
+// one shared database — optionally partitioned across shards that
+// scatter-gather each top-k query:
 //
 //	ktpmd -graph g.txt -addr :8080
-//	ktpmd -db g.snap -concurrency 8 -cache 4096
+//	ktpmd -db g.snap -concurrency 8 -cache 4096 -shards 4 -partition label
 //
 //	curl 'localhost:8080/query?q=a(b,c(d))&k=5'
 //	curl 'localhost:8080/explain?q=a(b)'
 //	curl 'localhost:8080/stats'
+//	curl 'localhost:8080/metrics'
 //
-// See package ktpm/internal/server for the endpoint contract.
+// See package ktpm/internal/server for the endpoint contract, and
+// docs/API.md for the full HTTP reference.
 package main
 
 import (
@@ -41,6 +44,8 @@ func main() {
 		cacheSize   = flag.Int("cache", 0, "result cache entries (0 = default 1024, negative disables)")
 		blockSize   = flag.Int("block-size", 0, "store block size (0 = default)")
 		maxK        = flag.Int("max-k", 0, "largest accepted k (0 = default 1000)")
+		shards      = flag.Int("shards", 1, "partition the match space across N shards and scatter-gather top-k (1 = single database)")
+		partition   = flag.String("partition", "hash", "shard partitioner: hash or label")
 	)
 	flag.Parse()
 	if (*graphPath == "") == (*dbPath == "") {
@@ -48,13 +53,40 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *shards < 1 {
+		fmt.Fprintln(os.Stderr, "ktpmd: -shards must be at least 1")
+		os.Exit(2)
+	}
+	partitioner, ok := ktpm.ParsePartitioner(*partition)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "ktpmd: unknown partitioner %q (want hash or label)\n", *partition)
+		os.Exit(2)
+	}
 
 	db, err := loadDatabase(*graphPath, *dbPath, *blockSize)
 	if err != nil {
 		log.Fatalf("ktpmd: %v", err)
 	}
+	// The sharded path wraps the same closure; every endpoint keeps its
+	// contract, and /stats and /metrics additionally report per-shard
+	// counters.
+	var backend server.Backend = db
+	if *shards > 1 {
+		sdb, err := db.Shard(*shards, partitioner)
+		if err != nil {
+			log.Fatalf("ktpmd: %v", err)
+		}
+		backend = sdb
+		ss := sdb.ShardStats()
+		sizes := make([]int, len(ss.PerShard))
+		for i, ps := range ss.PerShard {
+			sizes[i] = ps.Vertices
+		}
+		log.Printf("ktpmd: scatter-gather across %d shards (%s partitioner), vertices per shard %v",
+			ss.Shards, ss.Partitioner, sizes)
+	}
 
-	srv := server.New(db, server.Config{
+	srv := server.New(backend, server.Config{
 		Concurrency:    *concurrency,
 		QueueDepth:     *queueDepth,
 		RequestTimeout: *timeout,

@@ -1,0 +1,42 @@
+package ktpm
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestDocLinks fails the build when a relative markdown link in README.md
+// or docs/*.md points at a missing file. The docs are part of the public
+// surface; CI runs this via go test and the lint job.
+func TestDocLinks(t *testing.T) {
+	files := []string{"README.md"}
+	docs, err := filepath.Glob("docs/*.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) == 0 {
+		t.Fatal("no docs/*.md files found")
+	}
+	files = append(files, docs...)
+	// Capture the target of ](...) up to a closing paren or #fragment.
+	linkRe := regexp.MustCompile(`\]\(([^)#]+)`)
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range linkRe.FindAllStringSubmatch(string(data), -1) {
+			target := strings.TrimSpace(m[1])
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue // external
+			}
+			resolved := filepath.Join(filepath.Dir(f), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s links to %q, which does not resolve (%v)", f, target, err)
+			}
+		}
+	}
+}

@@ -98,7 +98,7 @@ func NewWithOptions(r *rtg.Graph, opt Options) *Enumerator {
 	q := r.Q
 	nT := int32(q.NumNodes())
 	e := &Enumerator{
-		opt: opt,
+		opt:         opt,
 		r:           r,
 		q:           q,
 		nT:          nT,

@@ -62,6 +62,19 @@ const (
 // Options configures the enumerator.
 type Options struct {
 	Bound Bound
+	// RootFilter, when non-nil, restricts enumeration to matches whose
+	// root position binds a data node the filter accepts; candidates for
+	// non-root positions are unaffected. Because every match binds the
+	// root to exactly one data node, filters over disjoint vertex sets
+	// partition the match space — the property the shard package uses to
+	// scatter-gather top-k: each shard's emission stays sorted by score
+	// and the shards' unions reconstruct the unrestricted enumeration.
+	RootFilter func(v int32) bool
+}
+
+// admitsRoot reports whether data node v may bind the root position.
+func (o *Options) admitsRoot(v int32) bool {
+	return o.RootFilter == nil || o.RootFilter(v)
 }
 
 // Match is one enumerated match; Nodes holds the matched data node per
@@ -160,6 +173,9 @@ func New(s *store.Store, q *query.Tree, opt Options) *Enumerator {
 		// match scoring only its own node weight.
 		roots := make([]heap.Entry, 0, g.NumNodes())
 		for _, v := range e.rootCandidates() {
+			if !opt.admitsRoot(v) {
+				continue
+			}
 			nd := e.getNode(0, v)
 			nd.active, nd.popped, nd.inRoots = true, true, true
 			nd.bsBar = int64(g.NodeWeight(v))
@@ -336,6 +352,11 @@ func (e *Enumerator) activate(nd *laNode) {
 			return
 		}
 		nd.ev = int64(d)
+	} else if !e.opt.admitsRoot(nd.v) {
+		// A filtered-out root binding belongs to another shard: it never
+		// enters Qg or the root list, so no match rooted here is emitted.
+		// Its subtree still loads normally on behalf of admitted roots.
+		return
 	}
 	e.qg.Push(int(nd.gid), e.lbOf(nd))
 }

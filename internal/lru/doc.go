@@ -1,0 +1,17 @@
+// Package lru provides a fixed-capacity least-recently-used cache with
+// hit/miss/eviction counters, the result-memoization layer of the ktpmd
+// query service.
+//
+// The cache is generic over its value type and keyed by strings; the
+// server keys entries by (canonical query, k, algorithm), which is sound
+// because sibling order never changes a query's answer. Top-k answers are
+// immutable once computed (the backend is read-only after startup), so
+// entries never expire; they only fall out under capacity pressure, and
+// the counters let /stats and /metrics expose the cache's effectiveness.
+//
+// A capacity of zero or less disables the cache outright — Get always
+// misses and Put is a no-op — which keeps call sites free of nil checks
+// and gives benchmarks a cold-cache mode.
+//
+// All methods are safe for concurrent use.
+package lru

@@ -1,11 +1,3 @@
-// Package lru provides a fixed-capacity least-recently-used cache with
-// hit/miss/eviction counters, the result-memoization layer of the ktpmd
-// query service. Top-k answers are immutable once computed (the database
-// is read-only after startup), so entries never expire; they only fall out
-// by capacity pressure, and the counters let /stats expose the cache's
-// effectiveness.
-//
-// All methods are safe for concurrent use.
 package lru
 
 import (
@@ -55,6 +47,24 @@ func (c *Cache[V]) Get(key string) (V, bool) {
 	}
 	c.hits++
 	c.order.MoveToFront(el)
+	return el.Value.(*entry[V]).val, true
+}
+
+// Peek returns the value cached under key without touching recency or
+// the hit/miss counters. It exists for internal double-checks (the
+// server's flight-leader recheck) that must not skew the cache-
+// effectiveness statistics a paired Get already recorded.
+func (c *Cache[V]) Peek(key string) (V, bool) {
+	var zero V
+	if c.cap <= 0 {
+		return zero, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return zero, false
+	}
 	return el.Value.(*entry[V]).val, true
 }
 

@@ -104,3 +104,36 @@ func TestConcurrentAccess(t *testing.T) {
 		t.Fatal("no counter activity recorded")
 	}
 }
+
+func TestPeekDoesNotTouchCountersOrRecency(t *testing.T) {
+	c := New[int](2)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if v, ok := c.Peek("a"); !ok || v != 1 {
+		t.Fatalf("Peek(a) = %d, %v", v, ok)
+	}
+	if _, ok := c.Peek("zz"); ok {
+		t.Fatal("Peek(zz) hit")
+	}
+	st := c.Stats()
+	if st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("Peek moved counters: %+v", st)
+	}
+	// Peek must not refresh recency: "a" is still the oldest and gets
+	// evicted by the next insert.
+	c.Put("c", 3)
+	if _, ok := c.Peek("a"); ok {
+		t.Fatal("Peek refreshed recency; 'a' survived eviction")
+	}
+	if _, ok := c.Peek("b"); !ok {
+		t.Fatal("'b' evicted instead of 'a'")
+	}
+}
+
+func TestPeekDisabled(t *testing.T) {
+	c := New[int](0)
+	c.Put("a", 1)
+	if _, ok := c.Peek("a"); ok {
+		t.Fatal("disabled cache Peek hit")
+	}
+}

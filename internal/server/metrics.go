@@ -1,0 +1,74 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// handleMetrics exposes the same counters as /stats in the Prometheus
+// text exposition format (version 0.0.4), hand-rendered so the daemon
+// stays dependency-free. Counter semantics mirror StatsResponse; the
+// per-shard series carry a shard="i" label when the backend is sharded.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var b strings.Builder
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+
+	gauge("ktpmd_uptime_seconds", "Seconds since the server started.", time.Since(s.start).Seconds())
+	g := s.db.Graph()
+	gauge("ktpmd_graph_nodes", "Data graph node count.", float64(g.NumNodes()))
+	gauge("ktpmd_graph_edges", "Data graph edge count.", float64(g.NumEdges()))
+
+	counter("ktpmd_queries_total", "Successful /query responses, including cache hits.", s.queries.Load())
+	counter("ktpmd_explains_total", "Successful /explain responses.", s.explains.Load())
+	counter("ktpmd_errors_total", "Responses with any 4xx/5xx status.", s.errors.Load())
+	counter("ktpmd_coalesced_total", "Queries served by joining another request's in-flight computation.", s.coalesced.Load())
+	counter("ktpmd_rejected_total", "Requests shed with 503 by admission control.", s.rejected.Load())
+	counter("ktpmd_timed_out_total", "Requests expired with 504.", s.timedOut.Load())
+	counter("ktpmd_client_disconnects_total", "Requests whose client went away before the result (499).", s.clientGone.Load())
+
+	cs := s.cache.Stats()
+	counter("ktpmd_cache_hits_total", "Result cache hits.", cs.Hits)
+	counter("ktpmd_cache_misses_total", "Result cache misses.", cs.Misses)
+	counter("ktpmd_cache_evictions_total", "Result cache evictions.", cs.Evictions)
+	gauge("ktpmd_cache_entries", "Result cache current entries.", float64(cs.Entries))
+	gauge("ktpmd_cache_capacity", "Result cache capacity.", float64(cs.Capacity))
+
+	gauge("ktpmd_executor_workers", "Worker pool size.", float64(s.cfg.Concurrency))
+	gauge("ktpmd_executor_queue_depth", "Admission queue capacity.", float64(s.cfg.QueueDepth))
+	gauge("ktpmd_executor_in_flight", "Queries currently executing.", float64(s.exec.inFlight.Load()))
+	gauge("ktpmd_executor_queued", "Queries admitted but not yet started.", float64(s.exec.queued.Load()))
+	counter("ktpmd_executor_canceled_total", "Queued tasks dropped after their deadline expired.", s.exec.canceled.Load())
+
+	io := s.db.IOStats()
+	counter("ktpmd_io_blocks_read_total", "Simulated random block reads from incoming lists.", io.BlocksRead)
+	counter("ktpmd_io_entries_read_total", "Simulated entries delivered (blocks plus tables).", io.EntriesRead)
+	counter("ktpmd_io_table_entries_read_total", "Simulated entries delivered by summary-table scans.", io.TableEntriesRead)
+	counter("ktpmd_io_tables_read_total", "Simulated summary-table loads.", io.TablesRead)
+
+	if ss, ok := s.db.(shardStater); ok {
+		st := ss.ShardStats()
+		gauge("ktpmd_shards", "Shard count of the sharded backend.", float64(st.Shards))
+		fmt.Fprintf(&b, "# HELP ktpmd_shard_vertices Data-graph vertices owned by each shard.\n# TYPE ktpmd_shard_vertices gauge\n")
+		for i, ps := range st.PerShard {
+			fmt.Fprintf(&b, "ktpmd_shard_vertices{shard=%q,partitioner=%q} %d\n", fmt.Sprint(i), st.Partitioner, ps.Vertices)
+		}
+		fmt.Fprintf(&b, "# HELP ktpmd_shard_merged_total Matches each shard contributed to scatter-gather merges.\n# TYPE ktpmd_shard_merged_total counter\n")
+		for i, ps := range st.PerShard {
+			fmt.Fprintf(&b, "ktpmd_shard_merged_total{shard=%q} %d\n", fmt.Sprint(i), ps.Merged)
+		}
+		fmt.Fprintf(&b, "# HELP ktpmd_shard_blocks_read_total Simulated block reads per shard store.\n# TYPE ktpmd_shard_blocks_read_total counter\n")
+		for i, ps := range st.PerShard {
+			fmt.Fprintf(&b, "ktpmd_shard_blocks_read_total{shard=%q} %d\n", fmt.Sprint(i), ps.IO.BlocksRead)
+		}
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write([]byte(b.String()))
+}

@@ -1,26 +1,3 @@
-// Package server implements the ktpmd query service: an HTTP JSON API
-// over one shared read-only ktpm.Database.
-//
-// Endpoints:
-//
-//	GET/POST /query?q=a(b,c)&k=10&algo=topk-en  — top-k matches
-//	GET/POST /explain?q=a(b,c)                  — query plan, no enumeration
-//	GET      /stats                             — cache/executor/I-O counters
-//	GET      /healthz                           — liveness probe
-//
-// Three serving concerns layer over the library:
-//
-//   - Concurrency: a fixed worker pool executes queries, so at most
-//     Config.Concurrency enumerations are resident at once regardless of
-//     the HTTP connection count.
-//   - Admission control: a bounded queue in front of the pool sheds
-//     overload with 503 instead of queueing unboundedly, and each request
-//     carries a deadline (504 on expiry; a request that times out while
-//     still queued is dropped without ever occupying a worker).
-//   - Result caching: answers are memoized in an LRU keyed by
-//     (canonical query, k, algorithm). The database is immutable after
-//     startup, so cached answers never go stale; the canonical key means
-//     "a(b,c)" and "a(c,b)" share one entry.
 package server
 
 import (
@@ -38,6 +15,25 @@ import (
 	"ktpm"
 	"ktpm/internal/lru"
 )
+
+// Backend is the query surface the server serves: parsing, top-k
+// execution, plans, and counters over one immutable prepared graph. Both
+// *ktpm.Database and *ktpm.ShardedDatabase implement it, which is how
+// ktpmd -shards routes /query and /explain through the scatter-gather
+// path without any endpoint noticing.
+type Backend interface {
+	ParseQuery(s string) (*ktpm.Query, error)
+	TopKWith(q *ktpm.Query, k int, opt ktpm.Options) ([]ktpm.Match, error)
+	Explain(q *ktpm.Query) (*ktpm.Plan, error)
+	Graph() *ktpm.Graph
+	IOStats() ktpm.IOStats
+}
+
+// shardStater is the optional Backend extension a sharded backend
+// implements; /stats and /metrics surface its per-shard counters.
+type shardStater interface {
+	ShardStats() ktpm.ShardingStats
+}
 
 // Config tunes the service. The zero value serves with sensible defaults.
 type Config struct {
@@ -119,9 +115,9 @@ type QueryResponse struct {
 	ElapsedMS float64 `json:"elapsed_ms"`
 }
 
-// Server is the HTTP query service over one shared database.
+// Server is the HTTP query service over one shared backend.
 type Server struct {
-	db    *ktpm.Database
+	db    Backend
 	cfg   Config
 	exec  *executor
 	cache *lru.Cache[cachedResult]
@@ -135,12 +131,13 @@ type Server struct {
 	flightMu sync.Mutex
 	flights  map[string]*flightCall
 
-	queries   atomic.Int64 // /query requests that produced matches (incl. cached)
-	explains  atomic.Int64
-	errors    atomic.Int64 // 4xx/5xx responses of any kind
-	rejected  atomic.Int64 // 503: admission queue full
-	timedOut  atomic.Int64 // 504: deadline expired
-	coalesced atomic.Int64 // /query requests served by another request's flight
+	queries    atomic.Int64 // /query requests that produced matches (incl. cached)
+	explains   atomic.Int64
+	errors     atomic.Int64 // 4xx/5xx responses of any kind
+	rejected   atomic.Int64 // 503: admission queue full
+	timedOut   atomic.Int64 // 504: deadline expired
+	clientGone atomic.Int64 // 499: client disconnected before the result
+	coalesced  atomic.Int64 // /query requests served by another request's flight
 }
 
 // flightCall is one in-progress /query computation, shared by every
@@ -154,7 +151,7 @@ type flightCall struct {
 
 // New builds a Server over db. The caller owns db's lifetime; Close stops
 // the worker pool.
-func New(db *ktpm.Database, cfg Config) *Server {
+func New(db Backend, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		db:      db,
@@ -168,6 +165,7 @@ func New(db *ktpm.Database, cfg Config) *Server {
 	s.mux.HandleFunc("/query", s.handleQuery)
 	s.mux.HandleFunc("/explain", s.handleExplain)
 	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	return s
 }
@@ -258,9 +256,17 @@ func (s *Server) writeExecError(w http.ResponseWriter, err error) bool {
 		w.Header().Set("Retry-After", "1")
 		s.writeError(w, http.StatusServiceUnavailable, "admission queue full, retry later")
 		return false
-	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+	case errors.Is(err, context.DeadlineExceeded):
 		s.timedOut.Add(1)
-		s.writeError(w, http.StatusGatewayTimeout, "request exceeded %v: %v", s.cfg.RequestTimeout, err)
+		s.writeError(w, http.StatusGatewayTimeout, "request exceeded %v", s.cfg.RequestTimeout)
+		return false
+	case errors.Is(err, context.Canceled):
+		// The client went away before the result was ready; nobody reads
+		// this response. Counted separately from deadline expiry so client
+		// churn does not masquerade as server timeouts in /metrics. 499 is
+		// the de-facto "client closed request" status.
+		s.clientGone.Add(1)
+		s.writeError(w, 499, "client canceled the request")
 		return false
 	default:
 		s.writeError(w, http.StatusInternalServerError, "query failed: %v", err)
@@ -291,6 +297,19 @@ func (s *Server) runQuery(r *http.Request, key string, cq *ktpm.Query, k int, al
 	fc := &flightCall{done: make(chan struct{})}
 	s.flights[key] = fc
 	s.flightMu.Unlock()
+
+	// A finished flight fills the cache before deregistering, so a
+	// request that missed the cache in the handler but reached flightMu
+	// after that deregistration would otherwise redo completed work.
+	// Peek, not Get: the handler's miss is already counted.
+	if res, hit := s.cache.Peek(key); hit {
+		s.flightMu.Lock()
+		delete(s.flights, key)
+		s.flightMu.Unlock()
+		fc.res = res
+		close(fc.done)
+		return res, false, nil
+	}
 
 	// The flight runs under its own deadline, detached from the leader's
 	// request: the computation is shared, so one client's disconnect must
@@ -431,9 +450,16 @@ type StatsResponse struct {
 		Queued     int64 `json:"queued"`
 		Rejected   int64 `json:"rejected"`
 		TimedOut   int64 `json:"timed_out"`
-		Canceled   int64 `json:"canceled"`
+		// ClientDisconnects counts requests whose client went away before
+		// the result was ready (499), distinct from deadline expiry.
+		ClientDisconnects int64 `json:"client_disconnects"`
+		Canceled          int64 `json:"canceled"`
 	} `json:"executor"`
 	IO ktpm.IOStats `json:"io"`
+	// Sharding reports per-shard vertex counts, merge contributions, and
+	// I/O counters when the backend is a ShardedDatabase; omitted for a
+	// single database.
+	Sharding *ktpm.ShardingStats `json:"sharding,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -453,8 +479,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Executor.Queued = s.exec.queued.Load()
 	resp.Executor.Rejected = s.rejected.Load()
 	resp.Executor.TimedOut = s.timedOut.Load()
+	resp.Executor.ClientDisconnects = s.clientGone.Load()
 	resp.Executor.Canceled = s.exec.canceled.Load()
 	resp.IO = s.db.IOStats()
+	if ss, ok := s.db.(shardStater); ok {
+		st := ss.ShardStats()
+		resp.Sharding = &st
+	}
 	s.writeJSON(w, http.StatusOK, resp)
 }
 

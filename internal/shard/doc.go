@@ -1,0 +1,41 @@
+// Package shard partitions the match space of one prepared database
+// across N shards and scatter-gathers top-k queries over them.
+//
+// # Partitioning axis
+//
+// Every tree-pattern match binds the query root to exactly one data node,
+// so assigning each data-graph vertex to one shard (the Partitioner
+// interface) induces a partition of the match space itself: shard i owns
+// precisely the matches whose root binding it owns. Restricting the lazy
+// enumerator with a root filter (lazy.Options.RootFilter) therefore makes
+// the shards' emissions disjoint, each sorted by score, and their union
+// exactly the unrestricted enumeration — the invariant the merge relies
+// on. Candidates for non-root query positions are never restricted; a
+// match rooted in shard i may bind descendants to vertices owned by any
+// shard.
+//
+// # Per-shard stores
+//
+// The transitive closure is computed once and shared read-only. Each
+// shard owns a store.Replica: the immutable closure layout is shared, but
+// derived-table caches, the wildcard-merge cache, and the simulated-I/O
+// counters are private, so concurrent per-shard enumerations neither
+// contend on one cache mutex nor mix their accounting. /stats reports the
+// per-shard counters individually and in aggregate.
+//
+// # Scatter-gather merge
+//
+// TopK runs one enumerator goroutine per shard, each feeding a bounded
+// channel (the streaming half: a shard computes at most a small buffer
+// ahead of what the coordinator has consumed). The coordinator repeatedly
+// takes the smallest head — a k-way merge — and stops pulling from a
+// shard once that shard's best possible remaining score cannot beat the
+// current k-th result; because per-shard emission is sorted, a shard's
+// head score is exactly that best possible remaining score, so the
+// threshold test is the paper's early-termination argument lifted from
+// block loading to shard gathering. After the k-th score s_k is known the
+// coordinator drains every head still equal to s_k and orders equal
+// scores by their node bindings, which makes the returned slice a pure
+// function of the match space and k: byte-identical across shard counts
+// and partitioners.
+package shard

@@ -1,0 +1,262 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+
+	"ktpm/internal/graph"
+	"ktpm/internal/lazy"
+	"ktpm/internal/query"
+	"ktpm/internal/store"
+)
+
+// Partitioner assigns every data-graph vertex to one of n shards, fixing
+// which shard enumerates the matches rooted at that vertex.
+type Partitioner interface {
+	// Partition returns the shard assignment: out[v] in [0, n) for every
+	// node v of g. Implementations must be deterministic — the assignment
+	// is part of the database's identity, and /stats reports it.
+	Partition(g *graph.Graph, n int) []int32
+	// Name identifies the strategy in flags, logs, and /stats.
+	Name() string
+}
+
+// Hash spreads vertices by a multiplicative hash of their IDs. It ignores
+// labels: total vertex counts balance well, but a rare label's candidates
+// can clump onto few shards.
+type Hash struct{}
+
+// Name implements Partitioner.
+func (Hash) Name() string { return "hash" }
+
+// Partition implements Partitioner.
+func (Hash) Partition(g *graph.Graph, n int) []int32 {
+	out := make([]int32, g.NumNodes())
+	for v := range out {
+		// Knuth's multiplicative hash: decorrelates the dense sequential
+		// IDs from the modulus so contiguous generator output (which often
+		// correlates with topology) spreads across shards.
+		h := uint32(v) * 2654435761
+		out[v] = int32(h % uint32(n))
+	}
+	return out
+}
+
+// LabelBalanced deals each label's vertices round-robin across shards, so
+// the root-candidate set of any query label splits near-evenly (counts
+// differ by at most one) regardless of label skew. This is the
+// label-aware strategy: the scatter-gather's critical path is the slowest
+// shard, and per-label balance bounds it for every possible root label.
+type LabelBalanced struct{}
+
+// Name implements Partitioner.
+func (LabelBalanced) Name() string { return "label" }
+
+// Partition implements Partitioner.
+func (LabelBalanced) Partition(g *graph.Graph, n int) []int32 {
+	out := make([]int32, g.NumNodes())
+	next := make([]int32, g.NumLabels())
+	for v := int32(0); int(v) < g.NumNodes(); v++ {
+		l := g.Label(v)
+		out[v] = next[l]
+		next[l] = (next[l] + 1) % int32(n)
+	}
+	return out
+}
+
+// Parse resolves the flag spelling of a partitioner name ("hash",
+// "label", case-insensitive); ok is false for unknown names, including
+// the empty string — callers that want a default decide it themselves.
+func Parse(name string) (Partitioner, bool) {
+	switch strings.ToLower(name) {
+	case "hash":
+		return Hash{}, true
+	case "label":
+		return LabelBalanced{}, true
+	}
+	return nil, false
+}
+
+// mergeBuffer bounds how many matches a shard may compute ahead of the
+// coordinator. Small keeps abandoned work bounded once the threshold
+// stops a shard; large would only help if match materialization were
+// slower than the merge, which it is not.
+const mergeBuffer = 32
+
+// DB is a root-partitioned view over one prepared closure: n shards, each
+// holding a private store replica and the set of vertices it owns.
+type DB struct {
+	n      int
+	name   string
+	assign []int32        // assign[v] = shard owning vertex v
+	sizes  []int          // vertices per shard
+	stores []*store.Store // per-shard replicas of the base store
+	merged []atomic.Int64 // matches each shard contributed to gathers
+}
+
+// New partitions base's graph into n shards using p. The base store is
+// left untouched (its caller may keep serving unsharded queries from it);
+// each shard receives a private replica.
+func New(base *store.Store, n int, p Partitioner) (*DB, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("shard: shard count %d, want >= 1", n)
+	}
+	g := base.Graph()
+	assign := p.Partition(g, n)
+	if len(assign) != g.NumNodes() {
+		return nil, fmt.Errorf("shard: partitioner %s assigned %d of %d vertices", p.Name(), len(assign), g.NumNodes())
+	}
+	d := &DB{
+		n:      n,
+		name:   p.Name(),
+		assign: assign,
+		sizes:  make([]int, n),
+		stores: make([]*store.Store, n),
+		merged: make([]atomic.Int64, n),
+	}
+	for v, s := range assign {
+		if s < 0 || int(s) >= n {
+			return nil, fmt.Errorf("shard: partitioner %s put vertex %d in shard %d of %d", p.Name(), v, s, n)
+		}
+		d.sizes[s]++
+	}
+	for i := 0; i < n; i++ {
+		d.stores[i] = base.Replica()
+	}
+	return d, nil
+}
+
+// NumShards returns n.
+func (d *DB) NumShards() int { return d.n }
+
+// PartitionerName returns the name of the partitioner that built d.
+func (d *DB) PartitionerName() string { return d.name }
+
+// ShardSize returns how many vertices shard i owns.
+func (d *DB) ShardSize(i int) int { return d.sizes[i] }
+
+// Merged returns how many matches shard i has contributed to TopK merges.
+func (d *DB) Merged(i int) int64 { return d.merged[i].Load() }
+
+// ShardCounters returns shard i's private simulated-I/O counters.
+func (d *DB) ShardCounters(i int) store.Counters { return d.stores[i].Counters() }
+
+// Counters returns the shards' I/O counters summed.
+func (d *DB) Counters() store.Counters {
+	var total store.Counters
+	for _, s := range d.stores {
+		c := s.Counters()
+		total.BlocksRead += c.BlocksRead
+		total.EntriesRead += c.EntriesRead
+		total.TableEntriesRead += c.TableEntriesRead
+		total.TablesRead += c.TablesRead
+	}
+	return total
+}
+
+// TopK scatter-gathers the k best matches of t across the shards. Every
+// shard enumerates its slice of the match space concurrently (Topk-EN
+// with a root filter) into a bounded channel; the coordinator k-way
+// merges by score and stops pulling from a shard once its head — the best
+// score the shard can still produce — cannot beat the current k-th
+// result. Equal scores are ordered by node bindings, so for a fixed store
+// contents the result is byte-identical for every shard count and
+// partitioner: all matches scoring strictly below the k-th score are
+// always included, and ties at the k-th score are broken lexicographically.
+func (d *DB) TopK(t *query.Tree, k int) []*lazy.Match {
+	if k <= 0 {
+		return nil
+	}
+	done := make(chan struct{})
+	defer close(done) // stops producers still buffering past the threshold
+	chans := make([]chan *lazy.Match, d.n)
+	for i := 0; i < d.n; i++ {
+		ch := make(chan *lazy.Match, mergeBuffer)
+		chans[i] = ch
+		go func(shardID int32, ch chan<- *lazy.Match) {
+			defer close(ch)
+			e := lazy.New(d.stores[shardID], t, lazy.Options{
+				RootFilter: func(v int32) bool { return d.assign[v] == shardID },
+			})
+			for {
+				m, ok := e.Next()
+				if !ok {
+					return
+				}
+				select {
+				case ch <- m:
+				case <-done:
+					return
+				}
+			}
+		}(int32(i), ch)
+	}
+	heads := make([]*lazy.Match, d.n)
+	for i, ch := range chans {
+		heads[i] = <-ch // nil once a shard closes exhausted
+	}
+	// Gather in global score order. out stays non-decreasing by score, so
+	// out[k-1] is the current k-th result; a head strictly above it can
+	// never contribute (per-shard emission is sorted), while heads equal
+	// to it are drained so the tie-breaking below sees the whole tie
+	// group. Draining compacts periodically — sort, keep the k smallest —
+	// so a huge equal-score group (uniform-weight graphs tie
+	// astronomically many matches) costs O(k) memory, not one entry per
+	// tie: a compacted-away match is beaten by k gathered matches and no
+	// later arrival can resurrect it.
+	var out []*lazy.Match
+	compactAt := 2*k + 64
+	for {
+		best := -1
+		for i, h := range heads {
+			if h != nil && (best < 0 || h.Score < heads[best].Score) {
+				best = i
+			}
+		}
+		if best < 0 {
+			break // all shards exhausted
+		}
+		if len(out) >= k && heads[best].Score > out[k-1].Score {
+			break // threshold: no shard can still beat the k-th result
+		}
+		out = append(out, heads[best])
+		d.merged[best].Add(1)
+		heads[best] = <-chans[best]
+		if len(out) >= compactAt {
+			out = keepSmallest(out, k)
+		}
+	}
+	// Canonical tie order: equal scores sort by node bindings. Everything
+	// below the k-th score was gathered in full and the k-th score's tie
+	// group was drained (compaction only ever drops matches already
+	// beaten by k others), so the first k are a pure function of the
+	// match space — independent of sharding.
+	return keepSmallest(out, k)
+}
+
+// keepSmallest sorts ms by lessMatch and truncates to the k smallest.
+// Sorting keeps ms non-decreasing by score, which the merge loop's
+// threshold test relies on after a compaction.
+func keepSmallest(ms []*lazy.Match, k int) []*lazy.Match {
+	sort.Slice(ms, func(i, j int) bool { return lessMatch(ms[i], ms[j]) })
+	if len(ms) > k {
+		ms = ms[:k]
+	}
+	return ms
+}
+
+// lessMatch orders matches by (score, node bindings lexicographic); two
+// distinct matches always differ in some binding, so the order is total.
+func lessMatch(a, b *lazy.Match) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	for i := range a.Nodes {
+		if a.Nodes[i] != b.Nodes[i] {
+			return a.Nodes[i] < b.Nodes[i]
+		}
+	}
+	return false
+}

@@ -170,6 +170,26 @@ func New(c *closure.Closure, blockSize int) *Store {
 	return s
 }
 
+// Replica returns a store sharing s's immutable closure layout (incoming
+// lists, label index, underlying graph) with private derived-table caches,
+// wildcard-merge cache, and I/O counters. The shard package gives every
+// shard its own replica so concurrent per-shard enumerations neither
+// contend on one cache mutex nor mix their I/O accounting; the memory cost
+// is the lazily re-derived summary tables, not the closure layout itself.
+// The primary layout must already be complete, i.e. s must come from New
+// (or be a replica itself).
+func (s *Store) Replica() *Store {
+	return &Store{
+		g:         s.g,
+		blockSize: s.blockSize,
+		inLists:   s.inLists,
+		byLabel:   s.byLabel,
+		mergedIn:  make(map[int32][]InEdge),
+		dCache:    make(map[tableKey][]DEntry),
+		eCache:    make(map[tableKey][]EEntry),
+	}
+}
+
 // Graph returns the underlying data graph.
 func (s *Store) Graph() *graph.Graph { return s.g }
 

@@ -33,6 +33,13 @@
 // Queries support '//' (ancestor-descendant) and '/' (parent-child) edges,
 // duplicate labels, and wildcard (*) nodes; see ParseQuery. Top-k matching
 // of general graph-shaped patterns (kGPM) is exposed via GraphTopK.
+//
+// # Scaling out
+//
+// Database.Shard partitions the match space across N shards by root
+// binding and scatter-gathers TopK over them with a streaming k-way
+// merge; see ShardedDatabase. A Database and every ShardedDatabase built
+// from it are safe for concurrent use.
 package ktpm
 
 import (
@@ -304,6 +311,8 @@ func ParseAlgorithm(name string) (Algorithm, bool) {
 	return 0, false
 }
 
+// String returns the paper's spelling of the algorithm name ("Topk-EN",
+// "Topk", "DP-B", "DP-P"); ParseAlgorithm accepts it back.
 func (a Algorithm) String() string {
 	switch a {
 	case AlgoTopkEN:
@@ -330,9 +339,6 @@ type Match struct {
 	Score int64
 }
 
-// Binding returns the data node matched to the query position with the
-// given label; ok is false when no position carries the label. Intended
-// for distinct-label queries, where the binding is unique.
 func (m *Match) binding(q *Query, label string) (int32, bool) {
 	for i := 0; i < q.NumNodes(); i++ {
 		if q.LabelOf(i) == label {
@@ -342,7 +348,9 @@ func (m *Match) binding(q *Query, label string) (int32, bool) {
 	return 0, false
 }
 
-// Binding is the exported form of binding.
+// Binding returns the data node matched to the query position with the
+// given label; ok is false when no position carries the label. Intended
+// for distinct-label queries, where the binding is unique.
 func (m *Match) Binding(q *Query, label string) (int32, bool) { return m.binding(q, label) }
 
 // TopK returns the k best matches with the default algorithm (Topk-EN).

@@ -1,0 +1,199 @@
+package ktpm
+
+import (
+	"fmt"
+	"strings"
+
+	"ktpm/internal/graph"
+	"ktpm/internal/shard"
+)
+
+// Partitioner assigns every data-graph vertex to one of n shards of a
+// ShardedDatabase, fixing which shard enumerates the matches rooted at
+// that vertex. Implementations must be deterministic.
+type Partitioner interface {
+	// Partition returns the shard assignment: out[v] in [0, n) for every
+	// node v of g.
+	Partition(g *Graph, n int) []int32
+	// Name identifies the strategy in flags, logs, and /stats.
+	Name() string
+}
+
+// PartitionByHash returns the default partitioner: vertices spread by a
+// multiplicative hash of their IDs. Total vertex counts balance well, but
+// a rare label's candidates can clump onto few shards.
+func PartitionByHash() Partitioner { return hashPartitioner{} }
+
+// PartitionByLabel returns the label-aware partitioner: each label's
+// vertices are dealt round-robin across shards, so the root-candidate set
+// of any query label splits near-evenly regardless of label skew.
+func PartitionByLabel() Partitioner { return labelPartitioner{} }
+
+// ParsePartitioner resolves the CLI/service spelling of a partitioner
+// name ("hash", "label", case-insensitive); ok is false for unknown
+// names, including the empty string. It accepts the same names as
+// shard.Parse (TestParsePartitionerCoversShardParse keeps them in sync).
+func ParsePartitioner(name string) (Partitioner, bool) {
+	switch strings.ToLower(name) {
+	case "hash":
+		return hashPartitioner{}, true
+	case "label":
+		return labelPartitioner{}, true
+	}
+	return nil, false
+}
+
+type hashPartitioner struct{}
+
+func (hashPartitioner) Partition(g *Graph, n int) []int32 { return shard.Hash{}.Partition(g.g, n) }
+func (hashPartitioner) Name() string                      { return shard.Hash{}.Name() }
+
+type labelPartitioner struct{}
+
+func (labelPartitioner) Partition(g *Graph, n int) []int32 {
+	return shard.LabelBalanced{}.Partition(g.g, n)
+}
+func (labelPartitioner) Name() string { return shard.LabelBalanced{}.Name() }
+
+// partitionerAdapter lets a user-supplied Partitioner (over the public
+// Graph) drive the internal shard machinery.
+type partitionerAdapter struct{ p Partitioner }
+
+func (a partitionerAdapter) Partition(g *graph.Graph, n int) []int32 {
+	return a.p.Partition(&Graph{g: g}, n)
+}
+func (a partitionerAdapter) Name() string { return a.p.Name() }
+
+// ShardedDatabase partitions a Database's match space across n shards and
+// scatter-gathers TopK across them: every match binds the query root to
+// exactly one data node, so assigning each vertex to one shard splits the
+// match space disjointly; each shard enumerates its slice concurrently
+// (over a private store replica, so shards share no locks and keep their
+// own I/O counters) and a bounded streaming k-way merge gathers the
+// global top k, ceasing to pull from a shard once its best possible
+// remaining score cannot beat the current k-th result.
+//
+// Results are deterministic: all matches scoring strictly below the k-th
+// score are included and equal scores order by node bindings, so the
+// answer is byte-identical for every shard count and partitioner. A
+// ShardedDatabase is safe for concurrent use, like the Database it wraps,
+// which remains valid and may keep serving unsharded queries.
+type ShardedDatabase struct {
+	db *Database
+	sd *shard.DB
+}
+
+// Shard partitions db's match space across n shards using p (nil means
+// PartitionByHash). The transitive closure is shared, not recomputed:
+// only per-shard store caches and counters are allocated.
+func (db *Database) Shard(n int, p Partitioner) (*ShardedDatabase, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("ktpm: shard count %d, want >= 1", n)
+	}
+	if p == nil {
+		p = PartitionByHash()
+	}
+	sd, err := shard.New(db.st, n, partitionerAdapter{p})
+	if err != nil {
+		return nil, fmt.Errorf("ktpm: %w", err)
+	}
+	return &ShardedDatabase{db: db, sd: sd}, nil
+}
+
+// NumShards returns the shard count.
+func (s *ShardedDatabase) NumShards() int { return s.sd.NumShards() }
+
+// Graph returns the underlying data graph.
+func (s *ShardedDatabase) Graph() *Graph { return s.db.Graph() }
+
+// ParseQuery parses the compact tree syntax; see Database.ParseQuery.
+func (s *ShardedDatabase) ParseQuery(qs string) (*Query, error) { return s.db.ParseQuery(qs) }
+
+// Explain analyzes q without enumerating matches; see Database.Explain.
+// The plan describes the shared closure, which sharding does not change.
+func (s *ShardedDatabase) Explain(q *Query) (*Plan, error) { return s.db.Explain(q) }
+
+// TopK returns the k best matches, scatter-gathered across the shards
+// with Topk-EN.
+func (s *ShardedDatabase) TopK(q *Query, k int) ([]Match, error) {
+	return s.TopKWith(q, k, Options{})
+}
+
+// TopKWith returns the k best matches using the selected algorithm.
+// AlgoTopkEN (the default) scatter-gathers across the shards; the
+// materialized and DP baselines exist for single-database comparison
+// benchmarks and are served unsharded by the wrapped Database. All
+// algorithms return the same score sequence.
+func (s *ShardedDatabase) TopKWith(q *Query, k int, opt Options) ([]Match, error) {
+	if q == nil || q.t == nil {
+		return nil, fmt.Errorf("ktpm: nil query")
+	}
+	if k < 0 {
+		return nil, fmt.Errorf("ktpm: negative k")
+	}
+	if opt.Algorithm != AlgoTopkEN {
+		return s.db.TopKWith(q, k, opt)
+	}
+	ms := s.sd.TopK(q.t, k)
+	out := make([]Match, len(ms))
+	for i, m := range ms {
+		out[i] = Match{Nodes: m.Nodes, Score: m.Score}
+	}
+	return out, nil
+}
+
+// IOStats returns the simulated-I/O counters summed over every shard
+// store plus the wrapped Database's own store (which serves the non-default
+// algorithms).
+func (s *ShardedDatabase) IOStats() IOStats {
+	c := s.sd.Counters()
+	base := s.db.IOStats()
+	return IOStats{
+		BlocksRead:       base.BlocksRead + c.BlocksRead,
+		EntriesRead:      base.EntriesRead + c.EntriesRead,
+		TableEntriesRead: base.TableEntriesRead + c.TableEntriesRead,
+		TablesRead:       base.TablesRead + c.TablesRead,
+	}
+}
+
+// ShardStats describes one shard of a ShardedDatabase in /stats.
+type ShardStats struct {
+	// Vertices is how many data-graph vertices the shard owns, i.e. how
+	// many root bindings it is responsible for.
+	Vertices int `json:"vertices"`
+	// Merged counts the matches this shard has contributed to
+	// scatter-gather merges.
+	Merged int64 `json:"merged"`
+	// IO is the shard store's private simulated-I/O counters.
+	IO IOStats `json:"io"`
+}
+
+// ShardingStats summarizes a ShardedDatabase for /stats.
+type ShardingStats struct {
+	Shards      int          `json:"shards"`
+	Partitioner string       `json:"partitioner"`
+	PerShard    []ShardStats `json:"per_shard"`
+}
+
+// ShardStats returns the per-shard counters.
+func (s *ShardedDatabase) ShardStats() ShardingStats {
+	st := ShardingStats{
+		Shards:      s.sd.NumShards(),
+		Partitioner: s.sd.PartitionerName(),
+		PerShard:    make([]ShardStats, s.sd.NumShards()),
+	}
+	for i := range st.PerShard {
+		c := s.sd.ShardCounters(i)
+		st.PerShard[i] = ShardStats{
+			Vertices: s.sd.ShardSize(i),
+			Merged:   s.sd.Merged(i),
+			IO: IOStats{
+				BlocksRead:       c.BlocksRead,
+				EntriesRead:      c.EntriesRead,
+				TableEntriesRead: c.TableEntriesRead,
+				TablesRead:       c.TablesRead,
+			},
+		}
+	}
+	return st
+}
