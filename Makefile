@@ -1,0 +1,17 @@
+# Development targets. CI runs the same commands; see .github/workflows/ci.yml.
+
+.PHONY: test bench-smoke bench-json
+
+test:
+	go build ./... && go test ./...
+
+# One iteration of every benchmark (no unit tests), so benches cannot
+# rot unnoticed. CI invokes this target.
+bench-smoke:
+	go test -run xxx -bench=. -benchtime=1x ./...
+
+# Regenerate the committed shard-plane sweep numbers (BENCH_topk.json):
+# ns/op, allocs/op, and summary-table derives across shard counts with the
+# shared derived plane versus detached per-shard planes.
+bench-json:
+	go run ./cmd/benchkit -exp topk -json BENCH_topk.json

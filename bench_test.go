@@ -16,12 +16,12 @@ import (
 	"ktpm/internal/closure"
 	"ktpm/internal/core"
 	"ktpm/internal/dp"
-	"ktpm/internal/gen"
 	"ktpm/internal/kgpm"
 	"ktpm/internal/lazy"
 	"ktpm/internal/pll"
 	"ktpm/internal/query"
 	"ktpm/internal/rtg"
+	"ktpm/internal/shard"
 	"ktpm/internal/store"
 )
 
@@ -306,25 +306,22 @@ var (
 	shardBenchErr     error
 )
 
-// setupShardBench prepares the sharding bench graph: a weighted power-law
-// graph (MaxWeight spreads shortest-path scores the way million-node
-// scale does — see gen.PowerLawConfig — keeping equal-score tie groups
-// small, the regime the k-way merge's canonical tie-drain is designed
-// for) with a T10 random-walk workload and a deep k.
+// setupShardBench prepares the sharding bench workload —
+// bench.TopKWorkload, shared with the benchkit topk sweep so
+// BENCH_topk.json measures exactly what these benchmarks measure: a
+// weighted power-law graph (MaxWeight spreads shortest-path scores the
+// way million-node scale does, keeping equal-score tie groups small, the
+// regime the k-way merge's canonical tie-drain is designed for) with a
+// random-walk workload and a deep k.
 func setupShardBench(b *testing.B) {
 	b.Helper()
 	shardBenchOnce.Do(func() {
-		g := gen.PowerLaw(gen.PowerLawConfig{
-			Nodes: 2000, AvgOutDegree: 5, Labels: 150,
-			Window: 50, Communities: 10, MaxWeight: 8, Seed: 21,
-		})
-		c := closure.Compute(g, closure.Options{})
-		shardBenchDB = &Database{g: g, c: c, st: store.New(c, 0)}
-		qs, err := gen.QuerySet(g, 4, 10, true, 12345)
+		g, c, qs, err := bench.TopKWorkload()
 		if err != nil {
 			shardBenchErr = err
 			return
 		}
+		shardBenchDB = &Database{g: g, c: c, st: store.New(c, 0)}
 		for _, t := range qs {
 			q, perr := shardBenchDB.ParseQuery(t.String())
 			if perr != nil {
@@ -356,6 +353,7 @@ func BenchmarkShardedTopK(b *testing.B) {
 	queries := shardBenchQueries
 	const k = 1500
 	b.Run("single", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := db.TopK(queries[i%len(queries)], k); err != nil {
 				b.Fatal(err)
@@ -368,11 +366,53 @@ func BenchmarkShardedTopK(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.Run(fmt.Sprintf("shards=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := sdb.TopK(queries[i%len(queries)], k); err != nil {
 					b.Fatal(err)
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkShardPlaneSweep is the shard-count × plane-sharing sweep: the
+// same workload as BenchmarkShardedTopK over {1,2,4,8} shards whose
+// replicas either share the base store's derived-data plane (production
+// path) or carry detached private planes (the pre-plane behavior). Each
+// sub-benchmark builds a fresh store so the reported tables/op — summary
+// tables derived from the simulated disk, amortized over b.N — counts the
+// configuration's own derives: flat in the shard count when shared,
+// linear when detached. Run with -benchmem: the shared plane also shows
+// up as fewer allocs/op at high shard counts.
+func BenchmarkShardPlaneSweep(b *testing.B) {
+	setupShardBench(b)
+	queries := shardBenchQueries
+	const k = 1500
+	for _, sharing := range []string{"shared", "detached"} {
+		for _, n := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/shards=%d", sharing, n), func(b *testing.B) {
+				st := store.New(shardBenchDB.c, 0) // fresh derived plane
+				var sdb *shard.DB
+				var err error
+				if sharing == "shared" {
+					sdb, err = shard.New(st, n, shard.LabelBalanced{})
+				} else {
+					sdb, err = shard.NewDetached(st, n, shard.LabelBalanced{})
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					sdb.TopK(queries[i%len(queries)].t, k)
+				}
+				b.StopTimer()
+				c := sdb.Counters()
+				b.ReportMetric(float64(c.TablesRead)/float64(b.N), "tables/op")
+				b.ReportMetric(float64(c.TableHits)/float64(b.N), "hits/op")
+			})
+		}
 	}
 }

@@ -5,9 +5,10 @@
 //
 //	benchkit                 # everything (several minutes)
 //	benchkit -exp fig6       # one experiment: table2 table3 fig6 fig7
-//	                         # fig8 fig9 ablations
+//	                         # fig8 fig9 ablations topk
 //	benchkit -queries 3      # queries averaged per data point
 //	benchkit -quick          # smaller k sweep and fewer datasets
+//	benchkit -exp topk -json BENCH_topk.json   # shard-plane sweep (make bench-json)
 //
 // Output is plain text, one aligned table per paper artifact — the source
 // for EXPERIMENTS.md.
@@ -25,9 +26,11 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: all, table2, table3, fig6, fig7, fig8, fig9, ablations")
-		queries = flag.Int("queries", 5, "queries per data point")
-		quick   = flag.Bool("quick", false, "reduced sweeps for a fast pass")
+		exp      = flag.String("exp", "all", "experiment: all, table2, table3, fig6, fig7, fig8, fig9, ablations, topk")
+		queries  = flag.Int("queries", 5, "queries per data point")
+		quick    = flag.Bool("quick", false, "reduced sweeps for a fast pass")
+		jsonPath = flag.String("json", "", "also write the topk sweep as JSON to this path (see make bench-json)")
+		topkOps  = flag.Int("topk-ops", 5, "iterations per configuration of the topk sweep")
 	)
 	flag.Parse()
 	bench.QueriesPerSet = *queries
@@ -37,6 +40,15 @@ func main() {
 	if *quick {
 		ks = []int{10, 100}
 		gdSets, gsSets = bench.GD[:3], bench.GS[:3]
+	}
+	known := []string{"all", "table2", "table3", "fig6", "fig7", "fig8", "fig9", "ablations", "topk"}
+	valid := false
+	for _, name := range known {
+		valid = valid || *exp == name
+	}
+	if !valid {
+		fmt.Fprintf(os.Stderr, "benchkit: unknown experiment %q (want one of %s)\n", *exp, strings.Join(known, " "))
+		os.Exit(2)
 	}
 	want := func(name string) bool { return *exp == "all" || *exp == name }
 	t0 := time.Now()
@@ -96,9 +108,20 @@ func main() {
 		bench.RunAblationLazyQ(gs, ks).Fprint(os.Stdout)
 		bench.RunAblationOracle([]bench.Dataset{gdSets[0], gsSets[0]}).Fprint(os.Stdout)
 	}
-	if !strings.Contains("all table2 table3 fig6 fig7 fig8 fig9 ablations", *exp) {
-		fmt.Fprintf(os.Stderr, "benchkit: unknown experiment %q\n", *exp)
-		os.Exit(2)
+	if want("topk") {
+		rep, err := bench.RunTopKSweep(*topkOps)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchkit: topk sweep: %v\n", err)
+			os.Exit(1)
+		}
+		rep.Table().Fprint(os.Stdout)
+		if *jsonPath != "" {
+			if err := rep.WriteJSON(*jsonPath); err != nil {
+				fmt.Fprintf(os.Stderr, "benchkit: writing %s: %v\n", *jsonPath, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "benchkit: wrote %s\n", *jsonPath)
+		}
 	}
 	fmt.Fprintf(os.Stderr, "benchkit: done in %v\n", time.Since(t0).Round(time.Millisecond))
 }

@@ -23,7 +23,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -42,6 +44,8 @@ func main() {
 		queueDepth  = flag.Int("queue", 0, "admission queue depth (0 = default 64)")
 		timeout     = flag.Duration("timeout", 0, "per-request timeout (0 = default 10s)")
 		cacheSize   = flag.Int("cache", 0, "result cache entries (0 = default 1024, negative disables)")
+		cacheMin    = flag.Int("cache-min-entries", 0, "cache a result only if computing it read at least N store entries (0 = cache everything)")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this loopback address (e.g. 127.0.0.1:6060 or :6060; empty disables)")
 		blockSize   = flag.Int("block-size", 0, "store block size (0 = default)")
 		maxK        = flag.Int("max-k", 0, "largest accepted k (0 = default 1000)")
 		shards      = flag.Int("shards", 1, "partition the match space across N shards and scatter-gather top-k (1 = single database)")
@@ -87,13 +91,18 @@ func main() {
 	}
 
 	srv := server.New(backend, server.Config{
-		Concurrency:    *concurrency,
-		QueueDepth:     *queueDepth,
-		RequestTimeout: *timeout,
-		CacheEntries:   *cacheSize,
-		MaxK:           *maxK,
+		Concurrency:     *concurrency,
+		QueueDepth:      *queueDepth,
+		RequestTimeout:  *timeout,
+		CacheEntries:    *cacheSize,
+		CacheMinEntries: *cacheMin,
+		MaxK:            *maxK,
 	})
 	defer srv.Close()
+
+	if *pprofAddr != "" {
+		go servePprof(*pprofAddr)
+	}
 
 	hs := &http.Server{Addr: *addr, Handler: srv}
 	done := make(chan struct{})
@@ -115,6 +124,36 @@ func main() {
 		log.Fatalf("ktpmd: %v", err)
 	}
 	<-done
+}
+
+// servePprof serves net/http/pprof on its own listener, separate from the
+// query mux so profiling endpoints are never reachable through the public
+// service port. A bare ":port" binds 127.0.0.1; binding a non-loopback
+// host is allowed but warned about, since the profile endpoints expose
+// heap contents.
+func servePprof(addr string) {
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		log.Printf("ktpmd: bad -pprof address %q: %v", addr, err)
+		return
+	}
+	if host == "" {
+		host = "127.0.0.1"
+		addr = net.JoinHostPort(host, port)
+	}
+	if ip := net.ParseIP(host); host != "localhost" && (ip == nil || !ip.IsLoopback()) {
+		log.Printf("ktpmd: warning: -pprof %s is not a loopback address; profiles expose process memory", addr)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	log.Printf("ktpmd: pprof on http://%s/debug/pprof/", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		log.Printf("ktpmd: pprof listener: %v", err)
+	}
 }
 
 func loadDatabase(graphPath, dbPath string, blockSize int) (*ktpm.Database, error) {

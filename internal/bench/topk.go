@@ -1,0 +1,191 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"ktpm/internal/closure"
+	"ktpm/internal/gen"
+	"ktpm/internal/graph"
+	"ktpm/internal/lazy"
+	"ktpm/internal/query"
+	"ktpm/internal/shard"
+	"ktpm/internal/store"
+)
+
+// TopKRow is one configuration of the sharded top-k benchmark as recorded
+// in BENCH_topk.json: timing, allocation, and simulated-I/O accounting for
+// one (shard count, plane sharing) point of the sweep. TablesRead is the
+// headline number — flat across shard counts under the shared derived
+// plane, linear under detached (per-shard) planes.
+type TopKRow struct {
+	Name        string  `json:"name"`
+	Shards      int     `json:"shards"`
+	Sharing     string  `json:"sharing"` // "shared", "detached", or "single"
+	Ops         int     `json:"ops"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	// TablesRead counts summary tables derived from the simulated disk
+	// over the whole run (not per op): the shared plane derives each
+	// distinct table once regardless of shard count.
+	TablesRead int64 `json:"tables_read"`
+	// TableHits counts table loads served by the derived plane.
+	TableHits  int64 `json:"table_hits"`
+	BlocksRead int64 `json:"blocks_read"`
+}
+
+// TopKReport is the BENCH_topk.json document.
+type TopKReport struct {
+	Workload struct {
+		Graph   string `json:"graph"`
+		Queries int    `json:"queries"`
+		K       int    `json:"k"`
+		Ops     int    `json:"ops_per_config"`
+	} `json:"workload"`
+	GOOS   string     `json:"goos"`
+	GOARCH string     `json:"goarch"`
+	CPUs   int        `json:"cpus"`
+	Rows   []*TopKRow `json:"rows"`
+}
+
+// TopKWorkload is the single source of truth for the sharded top-k
+// benchmark workload, shared by BenchmarkShardedTopK /
+// BenchmarkShardPlaneSweep (bench_test.go) and the benchkit topk sweep
+// behind BENCH_topk.json: a weighted power-law graph whose spread-out
+// scores keep tie groups small, with a distinct-label T4 workload and a
+// deep k so Lawler enumeration dominates.
+func TopKWorkload() (*graph.Graph, *closure.Closure, []*query.Tree, error) {
+	g := gen.PowerLaw(gen.PowerLawConfig{
+		Nodes: 2000, AvgOutDegree: 5, Labels: 150,
+		Window: 50, Communities: 10, MaxWeight: 8, Seed: 21,
+	})
+	c := closure.Compute(g, closure.Options{})
+	qs, err := gen.QuerySet(g, 4, 10, true, 12345)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return g, c, qs, nil
+}
+
+// runTopKConfig measures one sweep point on a fresh store (fresh derived
+// plane, so TablesRead counts this configuration's own derives).
+func runTopKConfig(c *closure.Closure, qs []*query.Tree, k, ops, shards int, sharing string) (*TopKRow, error) {
+	st := store.New(c, 0)
+	var db *shard.DB
+	var err error
+	switch sharing {
+	case "shared":
+		db, err = shard.New(st, shards, shard.LabelBalanced{})
+	case "detached":
+		db, err = shard.NewDetached(st, shards, shard.LabelBalanced{})
+	case "single":
+	default:
+		return nil, fmt.Errorf("bench: unknown sharing mode %q", sharing)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	t0 := time.Now()
+	for i := 0; i < ops; i++ {
+		q := qs[i%len(qs)]
+		if db != nil {
+			db.TopK(q, k)
+		} else {
+			lazy.TopK(st, q, k, lazy.Options{})
+		}
+	}
+	elapsed := time.Since(t0)
+	runtime.ReadMemStats(&ms1)
+
+	cnt := st.Counters()
+	if db != nil {
+		cnt = db.Counters()
+	}
+	name := "single"
+	if db != nil {
+		name = fmt.Sprintf("shards=%d/%s", shards, sharing)
+	}
+	return &TopKRow{
+		Name:        name,
+		Shards:      shards,
+		Sharing:     sharing,
+		Ops:         ops,
+		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(ops),
+		AllocsPerOp: float64(ms1.Mallocs-ms0.Mallocs) / float64(ops),
+		BytesPerOp:  float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(ops),
+		TablesRead:  cnt.TablesRead,
+		TableHits:   cnt.TableHits,
+		BlocksRead:  cnt.BlocksRead,
+	}, nil
+}
+
+// RunTopKSweep runs the shard-count × plane-sharing sweep behind
+// BENCH_topk.json: the unsharded baseline, then {1,2,4,8} shards with the
+// shared derived plane and with detached per-shard planes. ops is the
+// iteration count per configuration (0 means 5).
+func RunTopKSweep(ops int) (*TopKReport, error) {
+	if ops <= 0 {
+		ops = 5
+	}
+	const k = 1500
+	_, c, qs, err := TopKWorkload()
+	if err != nil {
+		return nil, err
+	}
+	rep := &TopKReport{GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, CPUs: runtime.NumCPU()}
+	rep.Workload.Graph = "powerlaw n=2000 deg=5 labels=150 maxw=8 seed=21"
+	rep.Workload.Queries = len(qs)
+	rep.Workload.K = k
+	rep.Workload.Ops = ops
+
+	row, err := runTopKConfig(c, qs, k, ops, 1, "single")
+	if err != nil {
+		return nil, err
+	}
+	rep.Rows = append(rep.Rows, row)
+	for _, sharing := range []string{"shared", "detached"} {
+		for _, n := range []int{1, 2, 4, 8} {
+			row, err := runTopKConfig(c, qs, k, ops, n, sharing)
+			if err != nil {
+				return nil, err
+			}
+			rep.Rows = append(rep.Rows, row)
+		}
+	}
+	return rep, nil
+}
+
+// Table renders the report in the benchkit text format.
+func (r *TopKReport) Table() *Table {
+	t := &Table{
+		Title:  fmt.Sprintf("Sharded top-k sweep (k=%d, %d queries, %d ops/config)", r.Workload.K, r.Workload.Queries, r.Workload.Ops),
+		Header: []string{"config", "ms/op", "allocs/op", "KB/op", "tables", "hits", "blocks"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Name,
+			fmt.Sprintf("%.1f", row.NsPerOp/1e6),
+			fmt.Sprintf("%.0f", row.AllocsPerOp),
+			fmt.Sprintf("%.0f", row.BytesPerOp/1024),
+			fmt.Sprint(row.TablesRead),
+			fmt.Sprint(row.TableHits),
+			fmt.Sprint(row.BlocksRead))
+	}
+	return t
+}
+
+// WriteJSON writes the report to path, creating or truncating it.
+func (r *TopKReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

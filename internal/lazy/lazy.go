@@ -101,7 +101,9 @@ type laNode struct {
 	u, v int32
 	gid  int32
 	// lists[pos] collects loaded child edges toward u's pos-th child.
-	lists []*heap.ChildList
+	// Stored by value (carved from the enumerator's slab) so creating a
+	// node does not allocate one ChildList header per child position.
+	lists []heap.ChildList
 	// initChild dedups the E-table seed edge against later block loads.
 	initChild []int32
 	nonEmpty  int
@@ -136,6 +138,126 @@ type Enumerator struct {
 	queue    *heap.Min
 	pending  []*candidate
 	emitted  int
+
+	// Slab allocators for the enumeration hot path: laNodes, their child
+	// lists and initChild arrays, matches, and match node buffers are
+	// carved from chunked backing arrays so discovering a run-time-graph
+	// node or emitting a match costs O(1) allocations amortized instead
+	// of several each. Chunks are never reallocated, so pointers and
+	// subslices into them stay valid for the enumerator's lifetime.
+	nodeSlab   []laNode
+	nodeChunk  int
+	listSlab   []heap.ChildList
+	listChunk  int
+	i32Slab    []int32
+	i32Chunk   int
+	matchSlab  []Match
+	matchChunk int
+	// mi32Slab backs Match.gids/Nodes only. Match buffers escape to
+	// callers (and from there into ktpmd's result cache), so they get a
+	// slab of their own: a retained Match pins at most other match
+	// buffers from the same enumeration, never per-node scratch like
+	// initChild, which lives in i32Slab.
+	mi32Slab  []int32
+	mi32Chunk int
+	// candFree recycles candidates popped from the queue (dead after
+	// materialization); candSlab feeds misses.
+	candFree []*candidate
+	candSlab []candidate
+	// inSubtree is materialize's reusable scratch, cleared per call.
+	inSubtree []bool
+}
+
+// nextChunk doubles a slab's chunk size from start up to cap, so small
+// queries pay a small fixed overhead while large enumerations amortize
+// allocation to O(1) per element.
+func nextChunk(cur, start, max int) int {
+	if cur == 0 {
+		return start
+	}
+	if cur*2 > max {
+		return max
+	}
+	return cur * 2
+}
+
+// newNode carves one laNode from the slab.
+func (e *Enumerator) newNode() *laNode {
+	if len(e.nodeSlab) == 0 {
+		e.nodeChunk = nextChunk(e.nodeChunk, 32, 1024)
+		e.nodeSlab = make([]laNode, e.nodeChunk)
+	}
+	nd := &e.nodeSlab[0]
+	e.nodeSlab = e.nodeSlab[1:]
+	return nd
+}
+
+// carveLists carves n zero-valued (empty) ChildLists from the slab.
+func (e *Enumerator) carveLists(n int) []heap.ChildList {
+	if n == 0 {
+		return nil
+	}
+	if len(e.listSlab) < n {
+		e.listChunk = nextChunk(e.listChunk, 32, 512)
+		if n > e.listChunk {
+			e.listChunk = n
+		}
+		e.listSlab = make([]heap.ChildList, e.listChunk)
+	}
+	out := e.listSlab[:n:n]
+	e.listSlab = e.listSlab[n:]
+	return out
+}
+
+// carveI32 carves an n-element int32 buffer from the scratch slab.
+func (e *Enumerator) carveI32(n int) []int32 {
+	if n == 0 {
+		return nil
+	}
+	if len(e.i32Slab) < n {
+		e.i32Chunk = nextChunk(e.i32Chunk, 128, 4096)
+		if n > e.i32Chunk {
+			e.i32Chunk = n
+		}
+		e.i32Slab = make([]int32, e.i32Chunk)
+	}
+	out := e.i32Slab[:n:n]
+	e.i32Slab = e.i32Slab[n:]
+	return out
+}
+
+// carveMatchI32 carves an n-element int32 buffer from the match-only slab.
+func (e *Enumerator) carveMatchI32(n int) []int32 {
+	if len(e.mi32Slab) < n {
+		e.mi32Chunk = nextChunk(e.mi32Chunk, 128, 4096)
+		if n > e.mi32Chunk {
+			e.mi32Chunk = n
+		}
+		e.mi32Slab = make([]int32, e.mi32Chunk)
+	}
+	out := e.mi32Slab[:n:n]
+	e.mi32Slab = e.mi32Slab[n:]
+	return out
+}
+
+// newCandidate returns a zeroed candidate with the given fields, reusing
+// one retired by Next when possible. A candidate has exactly one owner at
+// a time (pending, then queue, then popped), so recycling after
+// materialization cannot alias a live reference.
+func (e *Enumerator) newCandidate(parent *Match, pivot, excl int32) *candidate {
+	var c *candidate
+	if n := len(e.candFree); n > 0 {
+		c = e.candFree[n-1]
+		e.candFree = e.candFree[:n-1]
+	} else {
+		if len(e.candSlab) == 0 {
+			e.candSlab = make([]candidate, 64)
+		}
+		c = &e.candSlab[0]
+		e.candSlab = e.candSlab[1:]
+	}
+	*c = candidate{parent: parent, pivot: pivot, excl: excl}
+	return c
 }
 
 // New initializes the enumerator: loads the D tables for every query edge
@@ -156,6 +278,7 @@ func New(s *store.Store, q *query.Tree, opt Options) *Enumerator {
 		rootList:    heap.NewEmptyChildList(),
 		queue:       &heap.Min{},
 	}
+	e.inSubtree = make([]bool, nT)
 	for u := int32(0); u < nT; u++ {
 		e.byKey[u] = make(map[int32]int32)
 		if lb := int64(nT) - 1 - int64(q.Nodes[u].SubtreeSize); lb > 0 {
@@ -184,7 +307,7 @@ func New(s *store.Store, q *query.Tree, opt Options) *Enumerator {
 		for _, ent := range roots {
 			e.rootList.Insert(ent)
 		}
-		e.pending = append(e.pending, &candidate{pivot: -1})
+		e.pending = append(e.pending, e.newCandidate(nil, -1, 0))
 		return e
 	}
 	// D tables for every query edge. Leaf nodes activate after the bound
@@ -260,7 +383,7 @@ func New(s *store.Store, q *query.Tree, opt Options) *Enumerator {
 			}
 		}
 	}
-	e.pending = append(e.pending, &candidate{pivot: -1})
+	e.pending = append(e.pending, e.newCandidate(nil, -1, 0))
 	return e
 }
 
@@ -289,14 +412,12 @@ func (e *Enumerator) getNode(u, v int32) *laNode {
 		return e.nodes[gid]
 	}
 	nc := len(e.q.Nodes[u].Children)
-	nd := &laNode{
-		u: u, v: v,
-		gid:       int32(len(e.nodes)),
-		lists:     make([]*heap.ChildList, nc),
-		initChild: make([]int32, nc),
-	}
-	for i := range nd.lists {
-		nd.lists[i] = heap.NewEmptyChildList()
+	nd := e.newNode()
+	nd.u, nd.v = u, v
+	nd.gid = int32(len(e.nodes))
+	nd.lists = e.carveLists(nc) // zero-valued ChildLists are empty lists
+	nd.initChild = e.carveI32(nc)
+	for i := range nd.initChild {
 		nd.initChild[i] = -1
 	}
 	e.nodes = append(e.nodes, nd)
@@ -316,7 +437,7 @@ func (e *Enumerator) lbOf(nd *laNode) int64 {
 // insertEntry adds a loaded child edge into nd's pos-th list, maintaining
 // activation state and the Line-13 key update.
 func (e *Enumerator) insertEntry(nd *laNode, pos int, entry heap.Entry) {
-	list := nd.lists[pos]
+	list := &nd.lists[pos]
 	oldMin, hadMin := list.Min()
 	list.Insert(entry)
 	if !hadMin {
@@ -342,8 +463,8 @@ func (e *Enumerator) activate(nd *laNode) {
 	// bs'(v) = node weight of v plus Equation 3 over the loaded lists;
 	// keys already carry each child's own bs', so node weights compose.
 	nd.bsBar = int64(e.g.NodeWeight(nd.v))
-	for _, l := range nd.lists {
-		min, _ := l.Min()
+	for i := range nd.lists {
+		min, _ := nd.lists[i].Min()
 		nd.bsBar += min.Key
 	}
 	if nd.u > 0 {
@@ -417,7 +538,7 @@ func (e *Enumerator) listAt(m *Match, x int32) *heap.ChildList {
 		return e.rootList
 	}
 	p := e.q.Nodes[x].Parent
-	return e.nodes[m.gids[p]].lists[e.posInParent[x]]
+	return &e.nodes[m.gids[p]].lists[e.posInParent[x]]
 }
 
 // candScore evaluates a candidate against the current (possibly partial)
@@ -468,14 +589,24 @@ func (e *Enumerator) recheckPending() {
 // materialize recovers the full match, as in package core but over lazily
 // discovered nodes.
 func (e *Enumerator) materialize(c *candidate) *Match {
-	m := &Match{
-		gids:  make([]int32, e.nT),
-		Nodes: make([]int32, e.nT),
+	if len(e.matchSlab) == 0 {
+		e.matchChunk = nextChunk(e.matchChunk, 16, 512)
+		e.matchSlab = make([]Match, e.matchChunk)
+	}
+	m := &e.matchSlab[0]
+	e.matchSlab = e.matchSlab[1:]
+	buf := e.carveMatchI32(2 * int(e.nT)) // gids and Nodes share one allocation
+	*m = Match{
+		gids:  buf[:e.nT:e.nT],
+		Nodes: buf[e.nT:],
 		Score: c.score,
 		pivot: c.pivot,
 		excl:  c.excl,
 	}
-	inSubtree := make([]bool, e.nT)
+	inSubtree := e.inSubtree
+	for i := range inSubtree {
+		inSubtree[i] = false
+	}
 	var from int32
 	if c.parent == nil {
 		best, _ := e.rootList.Kth(0)
@@ -516,10 +647,10 @@ func (e *Enumerator) materialize(c *candidate) *Match {
 // recheckPending promote whichever are already confirmed.
 func (e *Enumerator) divide(m *Match) {
 	if m.pivot >= 0 {
-		e.pending = append(e.pending, &candidate{parent: m, pivot: m.pivot, excl: m.excl + 1})
+		e.pending = append(e.pending, e.newCandidate(m, m.pivot, m.excl+1))
 	}
 	for x := m.pivot + 1; x < e.nT; x++ {
-		e.pending = append(e.pending, &candidate{parent: m, pivot: x, excl: 1})
+		e.pending = append(e.pending, e.newCandidate(m, x, 1))
 	}
 	e.recheckPending()
 }
@@ -544,6 +675,7 @@ func (e *Enumerator) Next() (*Match, bool) {
 	}
 	c := e.queue.Pop().Val.(*candidate)
 	m := e.materialize(c)
+	e.candFree = append(e.candFree, c) // dead once materialized
 	e.divide(m)
 	e.emitted++
 	return m, true

@@ -39,6 +39,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("ktpmd_cache_evictions_total", "Result cache evictions.", cs.Evictions)
 	gauge("ktpmd_cache_entries", "Result cache current entries.", float64(cs.Entries))
 	gauge("ktpmd_cache_capacity", "Result cache capacity.", float64(cs.Capacity))
+	gauge("ktpmd_cache_admission_min_entries", "Cost-aware admission threshold in store entries (0 = admit all).", float64(s.cfg.CacheMinEntries))
+	counter("ktpmd_cache_admitted_total", "Results cached after passing cost-aware admission.", s.cacheAdmitted.Load())
+	counter("ktpmd_cache_bypassed_total", "Results returned but not cached: cost below the admission threshold.", s.cacheBypassed.Load())
 
 	gauge("ktpmd_executor_workers", "Worker pool size.", float64(s.cfg.Concurrency))
 	gauge("ktpmd_executor_queue_depth", "Admission queue capacity.", float64(s.cfg.QueueDepth))
@@ -50,7 +53,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("ktpmd_io_blocks_read_total", "Simulated random block reads from incoming lists.", io.BlocksRead)
 	counter("ktpmd_io_entries_read_total", "Simulated entries delivered (blocks plus tables).", io.EntriesRead)
 	counter("ktpmd_io_table_entries_read_total", "Simulated entries delivered by summary-table scans.", io.TableEntriesRead)
-	counter("ktpmd_io_tables_read_total", "Simulated summary-table loads.", io.TablesRead)
+	counter("ktpmd_io_tables_read_total", "Summary tables derived from the simulated disk (once per distinct table process-wide).", io.TablesRead)
+	counter("ktpmd_io_table_hits_total", "Table loads served from the shared derived plane without disk I/O.", io.TableHits)
 
 	if ss, ok := s.db.(shardStater); ok {
 		st := ss.ShardStats()

@@ -47,6 +47,15 @@ type Config struct {
 	// CacheEntries is the result-cache capacity; 0 means 1024, negative
 	// disables caching.
 	CacheEntries int
+	// CacheMinEntries is the cost-aware admission threshold: a result is
+	// cached only when computing it read at least this many store entries
+	// (simulated I/O), so cheap queries do not evict expensive ones. 0
+	// admits every result. The cost is measured as the database-wide
+	// EntriesRead delta around the computation, which under concurrent
+	// traffic may include other queries' reads — an overestimate that only
+	// ever biases toward admission, never wrongly bypasses an expensive
+	// query.
+	CacheMinEntries int
 	// DefaultK is used when a /query request omits k; 0 means 10.
 	DefaultK int
 	// MaxK rejects larger k values (one request cannot ask for an
@@ -130,6 +139,9 @@ type Server struct {
 	// enumerations and monopolize the pool.
 	flightMu sync.Mutex
 	flights  map[string]*flightCall
+
+	cacheAdmitted atomic.Int64 // results cached after passing admission
+	cacheBypassed atomic.Int64 // results not cached: below CacheMinEntries
 
 	queries    atomic.Int64 // /query requests that produced matches (incl. cached)
 	explains   atomic.Int64
@@ -324,6 +336,10 @@ func (s *Server) runQuery(r *http.Request, key string, cq *ktpm.Query, k int, al
 		callErr error
 	)
 	err := s.exec.Do(fctx, func() {
+		var costBefore int64
+		if s.cfg.CacheMinEntries > 0 {
+			costBefore = s.db.IOStats().EntriesRead
+		}
 		ms, err := s.db.TopKWith(cq, k, ktpm.Options{Algorithm: algo})
 		if err != nil {
 			callErr = err
@@ -339,10 +355,22 @@ func (s *Server) runQuery(r *http.Request, key string, cq *ktpm.Query, k int, al
 		for i, m := range ms {
 			out.Matches[i] = MatchJSON{Score: m.Score, Nodes: m.Nodes}
 		}
+		res = out
+		if s.cfg.CacheEntries <= 0 {
+			return // cache disabled: admission would be bookkeeping fiction
+		}
+		// Cost-aware admission: only results whose enumeration did real
+		// store I/O earn a cache slot (see Config.CacheMinEntries).
+		if s.cfg.CacheMinEntries > 0 {
+			if cost := s.db.IOStats().EntriesRead - costBefore; cost < int64(s.cfg.CacheMinEntries) {
+				s.cacheBypassed.Add(1)
+				return
+			}
+		}
 		// Cache from inside the task: even if every waiter times out, the
 		// completed work still warms the cache for the retry.
 		s.cache.Put(key, out)
-		res = out
+		s.cacheAdmitted.Add(1)
 	})
 	if err == nil {
 		fc.res, fc.err = res, callErr
@@ -443,7 +471,16 @@ type StatsResponse struct {
 	// request's in-flight computation.
 	Coalesced int64     `json:"coalesced"`
 	Cache     lru.Stats `json:"cache"`
-	Executor  struct {
+	// CacheAdmission reports the cost-aware admission policy: results are
+	// cached only when their computation read at least MinEntries store
+	// entries (0 = admit everything). Admitted counts results cached,
+	// Bypassed counts results returned but judged too cheap to cache.
+	CacheAdmission struct {
+		MinEntries int   `json:"min_entries"`
+		Admitted   int64 `json:"admitted"`
+		Bypassed   int64 `json:"bypassed"`
+	} `json:"cache_admission"`
+	Executor struct {
 		Workers    int   `json:"workers"`
 		QueueDepth int   `json:"queue_depth"`
 		InFlight   int64 `json:"in_flight"`
@@ -473,6 +510,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Errors = s.errors.Load()
 	resp.Coalesced = s.coalesced.Load()
 	resp.Cache = s.cache.Stats()
+	resp.CacheAdmission.MinEntries = s.cfg.CacheMinEntries
+	resp.CacheAdmission.Admitted = s.cacheAdmitted.Load()
+	resp.CacheAdmission.Bypassed = s.cacheBypassed.Load()
 	resp.Executor.Workers = s.cfg.Concurrency
 	resp.Executor.QueueDepth = s.cfg.QueueDepth
 	resp.Executor.InFlight = s.exec.inFlight.Load()

@@ -193,6 +193,44 @@ func TestQueryCacheEviction(t *testing.T) {
 	}
 }
 
+// TestCacheAdmissionThreshold checks cost-aware admission: with an
+// unreachable CacheMinEntries every result is bypassed (repeats recompute),
+// with a trivial threshold every result is admitted (repeats hit), and
+// /stats reports the split.
+func TestCacheAdmissionThreshold(t *testing.T) {
+	s, _ := newTestServer(t, Config{CacheMinEntries: 1 << 30})
+	for i := 0; i < 2; i++ {
+		rec, qr := getQuery(t, s, "/query?q=C(E,S)&k=5")
+		if rec.Code != http.StatusOK || qr.Cached {
+			t.Fatalf("run %d: status %d cached %v, want uncached (bypassed)", i, rec.Code, qr.Cached)
+		}
+	}
+	_, stats := get(t, s, "/stats")
+	adm := stats["cache_admission"].(map[string]any)
+	if adm["min_entries"].(float64) != 1<<30 {
+		t.Errorf("min_entries = %v", adm["min_entries"])
+	}
+	if got := adm["bypassed"].(float64); got != 2 {
+		t.Errorf("bypassed = %v, want 2", got)
+	}
+	if got := adm["admitted"].(float64); got != 0 {
+		t.Errorf("admitted = %v, want 0", got)
+	}
+
+	s2, _ := newTestServer(t, Config{CacheMinEntries: 1})
+	if _, qr := getQuery(t, s2, "/query?q=C(E,S)&k=5"); qr.Cached {
+		t.Fatal("first run cached")
+	}
+	if _, qr := getQuery(t, s2, "/query?q=C(E,S)&k=5"); !qr.Cached {
+		t.Fatal("admitted result did not serve the repeat from cache")
+	}
+	_, stats = get(t, s2, "/stats")
+	adm = stats["cache_admission"].(map[string]any)
+	if adm["admitted"].(float64) != 1 || adm["bypassed"].(float64) != 0 {
+		t.Errorf("admission split = %v, want 1 admitted / 0 bypassed", adm)
+	}
+}
+
 func TestExplainEndToEnd(t *testing.T) {
 	s, db := newTestServer(t, Config{})
 	rec, _ := get(t, s, "/explain?q="+url.QueryEscape("C(S,E)"))

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"ktpm/internal/graph"
+	"ktpm/internal/heap"
 	"ktpm/internal/lazy"
 	"ktpm/internal/query"
 	"ktpm/internal/store"
@@ -98,8 +99,22 @@ type DB struct {
 
 // New partitions base's graph into n shards using p. The base store is
 // left untouched (its caller may keep serving unsharded queries from it);
-// each shard receives a private replica.
+// each shard receives a replica sharing the base's derived-data plane, so
+// summary tables and wildcard merges are derived once process-wide no
+// matter the shard count, while I/O counters stay per shard.
 func New(base *store.Store, n int, p Partitioner) (*DB, error) {
+	return build(base, n, p, (*store.Store).Replica)
+}
+
+// NewDetached is New with every shard on a private derived-data plane:
+// each shard re-derives the tables it touches, the pre-plane behavior.
+// Kept for benchmarks quantifying the shared plane; production callers
+// want New.
+func NewDetached(base *store.Store, n int, p Partitioner) (*DB, error) {
+	return build(base, n, p, (*store.Store).PrivateReplica)
+}
+
+func build(base *store.Store, n int, p Partitioner, replica func(*store.Store) *store.Store) (*DB, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("shard: shard count %d, want >= 1", n)
 	}
@@ -123,7 +138,7 @@ func New(base *store.Store, n int, p Partitioner) (*DB, error) {
 		d.sizes[s]++
 	}
 	for i := 0; i < n; i++ {
-		d.stores[i] = base.Replica()
+		d.stores[i] = replica(base)
 	}
 	return d, nil
 }
@@ -152,6 +167,7 @@ func (d *DB) Counters() store.Counters {
 		total.EntriesRead += c.EntriesRead
 		total.TableEntriesRead += c.TableEntriesRead
 		total.TablesRead += c.TablesRead
+		total.TableHits += c.TableHits
 	}
 	return total
 }
@@ -193,9 +209,19 @@ func (d *DB) TopK(t *query.Tree, k int) []*lazy.Match {
 			}
 		}(int32(i), ch)
 	}
+	// Shard heads live in an indexed min-heap keyed by head score, so each
+	// merge step costs O(log shards) instead of a linear scan over every
+	// shard — the difference matters once shard counts grow past a
+	// handful. Ties between shard heads may pop in any order; the final
+	// canonical sort makes the output independent of that order because
+	// every head at or below the k-th score is drained regardless.
 	heads := make([]*lazy.Match, d.n)
+	hq := heap.NewIndexed(d.n)
 	for i, ch := range chans {
-		heads[i] = <-ch // nil once a shard closes exhausted
+		if m := <-ch; m != nil { // nil once a shard closes exhausted
+			heads[i] = m
+			hq.Push(i, m.Score)
+		}
 	}
 	// Gather in global score order. out stays non-decreasing by score, so
 	// out[k-1] is the current k-th result; a head strictly above it can
@@ -208,22 +234,20 @@ func (d *DB) TopK(t *query.Tree, k int) []*lazy.Match {
 	// later arrival can resurrect it.
 	var out []*lazy.Match
 	compactAt := 2*k + 64
-	for {
-		best := -1
-		for i, h := range heads {
-			if h != nil && (best < 0 || h.Score < heads[best].Score) {
-				best = i
-			}
-		}
-		if best < 0 {
-			break // all shards exhausted
-		}
-		if len(out) >= k && heads[best].Score > out[k-1].Score {
+	for hq.Len() > 0 {
+		best, score := hq.Peek()
+		if len(out) >= k && score > out[k-1].Score {
 			break // threshold: no shard can still beat the k-th result
 		}
 		out = append(out, heads[best])
 		d.merged[best].Add(1)
-		heads[best] = <-chans[best]
+		if m := <-chans[best]; m != nil {
+			heads[best] = m
+			hq.Update(best, m.Score)
+		} else {
+			heads[best] = nil
+			hq.Remove(best)
+		}
 		if len(out) >= compactAt {
 			out = keepSmallest(out, k)
 		}

@@ -17,6 +17,24 @@
 // and I/O-versus-CPU comparisons. Entries carry a Direct flag marking
 // closure pairs realized by a single data-graph edge, the admission rule
 // for '/' query edges; wildcard label arguments transparently merge tables.
+//
+// # Layout, plane, replica
+//
+// A Store is three layers with different sharing disciplines:
+//
+//   - layout: the immutable closure image (incoming lists, label index,
+//     graph). Built once by New, never mutated, shared by everyone.
+//   - plane: the derived data — D/E summary tables and wildcard-merged
+//     incoming lists. In the paper these are materialized on disk next to
+//     the closure, so deriving one is offline work paid once; here each
+//     is derived exactly once process-wide and published through atomic
+//     pointers (copy-on-write maps for the summary tables, per-node
+//     slots for wildcard merges), so reads are lock-free and the mutex
+//     is held only while a first derive publishes.
+//   - counters: simulated-I/O accounting, private to each Store value.
+//     Replica returns a Store sharing the layout and plane with fresh
+//     counters, which is how the shard package keeps per-shard /stats
+//     accounting without re-deriving any table per shard.
 package store
 
 import (
@@ -58,9 +76,9 @@ type EEntry struct {
 }
 
 // Counters accumulates simulated I/O. Block reads (the L^α_v incoming
-// lists) are random accesses; table reads (the D/E summaries, loaded
-// wholesale at initialization) are sequential scans. The experiment
-// harness prices them differently when modeling disk cost.
+// lists) are random accesses; table reads (the D/E summaries) are
+// sequential scans. The experiment harness prices them differently when
+// modeling disk cost.
 type Counters struct {
 	// BlocksRead counts random block reads from incoming lists.
 	BlocksRead int64
@@ -68,8 +86,15 @@ type Counters struct {
 	EntriesRead int64
 	// TableEntriesRead counts entries delivered by LoadD/LoadE only.
 	TableEntriesRead int64
-	// TablesRead counts LoadD/LoadE calls.
+	// TablesRead counts summary tables materialized from the simulated
+	// disk: the first LoadD/LoadE for a given (α, β, childOnly) anywhere
+	// in the process derives the table and charges the calling replica;
+	// later loads are served from the shared derived plane at memory
+	// speed and count under TableHits instead.
 	TablesRead int64
+	// TableHits counts LoadD/LoadE calls answered by the shared derived
+	// plane without touching the simulated disk.
+	TableHits int64
 }
 
 func (c *Counters) addBlock(entries int64) {
@@ -77,17 +102,20 @@ func (c *Counters) addBlock(entries int64) {
 	atomic.AddInt64(&c.EntriesRead, entries)
 }
 
-func (c *Counters) addTable(entries int64) {
-	atomic.AddInt64(&c.TablesRead, 1)
+// addTable charges one logical table load: every load delivers its entries
+// to the query, but only the process-wide first derive is disk I/O.
+func (c *Counters) addTable(entries int64, derived bool) {
+	if derived {
+		atomic.AddInt64(&c.TablesRead, 1)
+	} else {
+		atomic.AddInt64(&c.TableHits, 1)
+	}
 	atomic.AddInt64(&c.EntriesRead, entries)
 	atomic.AddInt64(&c.TableEntriesRead, entries)
 }
 
-// Store is a simulated disk image of one closure. The primary layout is
-// immutable after New; derived-table caches and the wildcard merge cache
-// populate lazily under a mutex and the counters update atomically, so a
-// single Store safely serves concurrent queries.
-type Store struct {
+// layout is the immutable closure image shared by every replica.
+type layout struct {
 	g         *graph.Graph
 	blockSize int
 
@@ -97,16 +125,39 @@ type Store struct {
 	// byLabel[l] lists the nodes with label l, ascending, so table scans
 	// touch only their own rows.
 	byLabel [][]int32
+}
 
-	// mu guards the lazily populated caches below.
+// plane holds the shared derived data: each entry is derived exactly once
+// process-wide and published through an atomic pointer, so readers never
+// take the mutex. mu serializes only first derives; a derive re-checks
+// under the lock before computing, so concurrent first requests for one
+// table do the work once.
+type plane struct {
 	mu sync.Mutex
-	// mergedIn caches wildcard (all-label) incoming lists per node.
-	mergedIn map[int32][]InEdge
-	// dCache / eCache hold the derived summary tables; in the paper they
-	// are materialized on disk next to the closure, so deriving them is
-	// offline work paid once, not query time.
-	dCache map[tableKey][]DEntry
-	eCache map[tableKey][]EEntry
+	// merged caches wildcard (all-label) incoming lists, indexed by node.
+	// A fixed-size pointer array rather than a COW map: wildcard derives
+	// touch one node at a time and a query can touch most of the graph,
+	// so per-entry map republication would cost O(V) copying per node —
+	// O(V²) for a graph-wide wildcard — where a slot store is O(1).
+	merged []atomic.Pointer[[]InEdge]
+	// dTabs / eTabs hold the derived summary tables, published
+	// copy-on-write (table counts are small — one per label pair a
+	// workload touches — so republication cost is negligible).
+	dTabs atomic.Pointer[map[tableKey][]DEntry]
+	eTabs atomic.Pointer[map[tableKey][]EEntry]
+}
+
+func newPlane(numNodes int) *plane {
+	return &plane{merged: make([]atomic.Pointer[[]InEdge], numNodes)}
+}
+
+// Store is a simulated disk image of one closure: an immutable layout, a
+// shared derived-data plane, and private I/O counters. A single Store
+// safely serves concurrent queries (derived reads are lock-free, counters
+// atomic); Replica adds independent accounting over the same data.
+type Store struct {
+	lay *layout
+	pl  *plane
 
 	counters Counters
 }
@@ -125,18 +176,15 @@ func New(c *closure.Closure, blockSize int) *Store {
 		blockSize = DefaultBlockSize
 	}
 	g := c.Graph()
-	s := &Store{
+	lay := &layout{
 		g:         g,
 		blockSize: blockSize,
 		inLists:   make(map[int64][]InEdge),
-		mergedIn:  make(map[int32][]InEdge),
 		byLabel:   make([][]int32, g.NumLabels()),
-		dCache:    make(map[tableKey][]DEntry),
-		eCache:    make(map[tableKey][]EEntry),
 	}
 	for v := int32(0); int(v) < g.NumNodes(); v++ {
 		l := g.Label(v)
-		s.byLabel[l] = append(s.byLabel[l], v)
+		lay.byLabel[l] = append(lay.byLabel[l], v)
 	}
 	// Direct-edge lookup: (u,v) -> weight of the direct edge.
 	direct := make(map[int64]int32)
@@ -162,39 +210,36 @@ func New(c *closure.Closure, blockSize int) *Store {
 					Direct: ok && w == e.Dist,
 				})
 			}
-			s.inLists[key(alpha, to)] = lst
+			lay.inLists[key(alpha, to)] = lst
 			i = j
 		}
 		return true
 	})
-	return s
+	return &Store{lay: lay, pl: newPlane(g.NumNodes())}
 }
 
-// Replica returns a store sharing s's immutable closure layout (incoming
-// lists, label index, underlying graph) with private derived-table caches,
-// wildcard-merge cache, and I/O counters. The shard package gives every
-// shard its own replica so concurrent per-shard enumerations neither
-// contend on one cache mutex nor mix their I/O accounting; the memory cost
-// is the lazily re-derived summary tables, not the closure layout itself.
-// The primary layout must already be complete, i.e. s must come from New
-// (or be a replica itself).
+// Replica returns a store sharing s's immutable closure layout AND its
+// derived-data plane, with private I/O counters. The shard package gives
+// every shard a replica so per-shard /stats accounting stays isolated
+// while every derived table is still computed at most once process-wide;
+// the marginal memory cost of a replica is one Counters value.
 func (s *Store) Replica() *Store {
-	return &Store{
-		g:         s.g,
-		blockSize: s.blockSize,
-		inLists:   s.inLists,
-		byLabel:   s.byLabel,
-		mergedIn:  make(map[int32][]InEdge),
-		dCache:    make(map[tableKey][]DEntry),
-		eCache:    make(map[tableKey][]EEntry),
-	}
+	return &Store{lay: s.lay, pl: s.pl}
+}
+
+// PrivateReplica returns a store sharing only s's immutable layout, with a
+// fresh derived-data plane of its own: it re-derives every table it
+// touches, the pre-plane behavior. Kept for benchmarks that quantify what
+// the shared plane saves; production paths should use Replica.
+func (s *Store) PrivateReplica() *Store {
+	return &Store{lay: s.lay, pl: newPlane(s.lay.g.NumNodes())}
 }
 
 // Graph returns the underlying data graph.
-func (s *Store) Graph() *graph.Graph { return s.g }
+func (s *Store) Graph() *graph.Graph { return s.lay.g }
 
 // BlockSize returns the configured block size.
-func (s *Store) BlockSize() int { return s.blockSize }
+func (s *Store) BlockSize() int { return s.lay.blockSize }
 
 // Counters returns a snapshot of the accumulated I/O counters.
 func (s *Store) Counters() Counters {
@@ -203,6 +248,7 @@ func (s *Store) Counters() Counters {
 		EntriesRead:      atomic.LoadInt64(&s.counters.EntriesRead),
 		TableEntriesRead: atomic.LoadInt64(&s.counters.TableEntriesRead),
 		TablesRead:       atomic.LoadInt64(&s.counters.TablesRead),
+		TableHits:        atomic.LoadInt64(&s.counters.TableHits),
 	}
 }
 
@@ -212,24 +258,70 @@ func (s *Store) ResetCounters() {
 	atomic.StoreInt64(&s.counters.EntriesRead, 0)
 	atomic.StoreInt64(&s.counters.TableEntriesRead, 0)
 	atomic.StoreInt64(&s.counters.TablesRead, 0)
+	atomic.StoreInt64(&s.counters.TableHits, 0)
+}
+
+// cowPut republishes src extended with (k, v). Callers must hold pl.mu —
+// concurrent publishers would lose each other's entries. Readers loading
+// the old pointer keep a consistent (if slightly stale) map; the next load
+// sees the new one.
+func cowPut[K comparable, V any](p *atomic.Pointer[map[K]V], k K, v V) {
+	old := p.Load()
+	var next map[K]V
+	if old == nil {
+		next = make(map[K]V, 8)
+	} else {
+		next = make(map[K]V, len(*old)+1)
+		for kk, vv := range *old {
+			next[kk] = vv
+		}
+	}
+	next[k] = v
+	p.Store(&next)
+}
+
+// cowGet reads the current published map without locking.
+func cowGet[K comparable, V any](p *atomic.Pointer[map[K]V], k K) (V, bool) {
+	m := p.Load()
+	if m == nil {
+		var zero V
+		return zero, false
+	}
+	v, ok := (*m)[k]
+	return v, ok
 }
 
 // inList returns the full incoming list of v from label alpha, resolving
 // the wildcard by merging all labels. No I/O is counted here; counting
 // happens at block granularity in LoadBlock and at table granularity in
-// LoadD/LoadE.
+// LoadD/LoadE. The wildcard merge is derived once process-wide and read
+// lock-free afterwards.
 func (s *Store) inList(alpha, v int32) []InEdge {
 	if alpha != label.Wildcard {
-		return s.inLists[key(alpha, v)]
+		return s.lay.inLists[key(alpha, v)]
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if lst, ok := s.mergedIn[v]; ok {
-		return lst
+	if p := s.pl.merged[v].Load(); p != nil {
+		return *p
 	}
+	// First-writer-wins, no lock: racing first touches both derive (the
+	// inputs are immutable, so the results are identical) and the loser
+	// adopts the winner's list. Wildcard merges happen per node during
+	// enumeration, so serializing them behind the plane mutex would make
+	// concurrent cold wildcard queries convoy; a rare duplicated merge is
+	// cheaper. This also keeps table derives (which run under pl.mu and
+	// resolve wildcard lists mid-derive) free of reentrancy concerns.
+	merged := s.mergeWildcard(v)
+	if !s.pl.merged[v].CompareAndSwap(nil, &merged) {
+		return *s.pl.merged[v].Load()
+	}
+	return merged
+}
+
+// mergeWildcard derives the all-label incoming list of v from the layout.
+func (s *Store) mergeWildcard(v int32) []InEdge {
 	var merged []InEdge
-	for a := int32(0); int(a) < s.g.NumLabels(); a++ {
-		merged = append(merged, s.inLists[key(a, v)]...)
+	for a := int32(0); int(a) < s.lay.g.NumLabels(); a++ {
+		merged = append(merged, s.lay.inLists[key(a, v)]...)
 	}
 	sort.Slice(merged, func(i, j int) bool {
 		if merged[i].Dist != merged[j].Dist {
@@ -237,14 +329,13 @@ func (s *Store) inList(alpha, v int32) []InEdge {
 		}
 		return merged[i].From < merged[j].From
 	})
-	s.mergedIn[v] = merged
 	return merged
 }
 
 // NumBlocks returns how many blocks the incoming list L^alpha_v spans.
 func (s *Store) NumBlocks(alpha, v int32) int {
 	n := len(s.inList(alpha, v))
-	return (n + s.blockSize - 1) / s.blockSize
+	return (n + s.lay.blockSize - 1) / s.lay.blockSize
 }
 
 // LoadBlock reads the idx-th block of L^alpha_v (alpha may be the
@@ -252,11 +343,11 @@ func (s *Store) NumBlocks(alpha, v int32) int {
 // final block; a list with no entries returns (nil, true) at idx 0.
 func (s *Store) LoadBlock(alpha, v int32, idx int) (entries []InEdge, last bool) {
 	lst := s.inList(alpha, v)
-	lo := idx * s.blockSize
+	lo := idx * s.lay.blockSize
 	if lo >= len(lst) {
 		return nil, true
 	}
-	hi := lo + s.blockSize
+	hi := lo + s.lay.blockSize
 	if hi > len(lst) {
 		hi = len(lst)
 	}
@@ -267,63 +358,69 @@ func (s *Store) LoadBlock(alpha, v int32, idx int) (entries []InEdge, last bool)
 // LoadD reads the D^alpha_beta table: per target node with label beta, the
 // minimum incoming distance from label alpha. childOnly restricts to
 // direct edges (the '/' variant); wildcard alpha/beta merge labels. The
-// returned slice is the cached table; callers must not modify it.
+// first call anywhere in the process derives the table (TablesRead);
+// later calls on any replica read the shared plane (TableHits). The
+// returned slice is the published table; callers must not modify it.
 func (s *Store) LoadD(alpha, beta int32, childOnly bool) []DEntry {
-	key := tableKey{alpha, beta, childOnly}
-	s.mu.Lock()
-	out, ok := s.dCache[key]
-	s.mu.Unlock()
+	k := tableKey{alpha, beta, childOnly}
+	out, ok := cowGet(&s.pl.dTabs, k)
+	derived := false
 	if !ok {
-		s.forTargets(beta, func(v int32) {
-			for _, e := range s.inList(alpha, v) {
-				if childOnly && !e.Direct {
-					continue
+		s.pl.mu.Lock()
+		if out, ok = cowGet(&s.pl.dTabs, k); !ok {
+			derived = true
+			s.forTargets(beta, func(v int32) {
+				for _, e := range s.inList(alpha, v) {
+					if childOnly && !e.Direct {
+						continue
+					}
+					out = append(out, DEntry{V: v, Min: e.Dist})
+					break // lists are distance-sorted
 				}
-				out = append(out, DEntry{V: v, Min: e.Dist})
-				break // lists are distance-sorted
-			}
-		})
-		s.mu.Lock()
-		s.dCache[key] = out
-		s.mu.Unlock()
+			})
+			cowPut(&s.pl.dTabs, k, out)
+		}
+		s.pl.mu.Unlock()
 	}
-	s.counters.addTable(int64(len(out)))
+	s.counters.addTable(int64(len(out)), derived)
 	return out
 }
 
 // LoadE reads the E^alpha_beta table: per source node with label alpha,
 // the single minimum-distance outgoing edge to label beta. childOnly
 // restricts to direct edges; wildcard beta takes the minimum over all
-// target labels. The returned slice is the cached table; callers must not
-// modify it.
+// target labels. Derivation and counting follow LoadD. The returned slice
+// is the published table; callers must not modify it.
 func (s *Store) LoadE(alpha, beta int32, childOnly bool) []EEntry {
-	key := tableKey{alpha, beta, childOnly}
-	s.mu.Lock()
-	out, ok := s.eCache[key]
-	s.mu.Unlock()
+	k := tableKey{alpha, beta, childOnly}
+	out, ok := cowGet(&s.pl.eTabs, k)
+	derived := false
 	if !ok {
-		best := make(map[int32]EEntry)
-		s.forTargets(beta, func(v int32) {
-			for _, e := range s.inList(alpha, v) {
-				if childOnly && !e.Direct {
-					continue
+		s.pl.mu.Lock()
+		if out, ok = cowGet(&s.pl.eTabs, k); !ok {
+			derived = true
+			best := make(map[int32]EEntry)
+			s.forTargets(beta, func(v int32) {
+				for _, e := range s.inList(alpha, v) {
+					if childOnly && !e.Direct {
+						continue
+					}
+					cur, ok := best[e.From]
+					if !ok || e.Dist < cur.Dist || (e.Dist == cur.Dist && v < cur.To) {
+						best[e.From] = EEntry{From: e.From, To: v, Dist: e.Dist, Direct: e.Direct}
+					}
 				}
-				cur, ok := best[e.From]
-				if !ok || e.Dist < cur.Dist || (e.Dist == cur.Dist && v < cur.To) {
-					best[e.From] = EEntry{From: e.From, To: v, Dist: e.Dist, Direct: e.Direct}
-				}
+			})
+			out = make([]EEntry, 0, len(best))
+			for _, e := range best {
+				out = append(out, e)
 			}
-		})
-		out = make([]EEntry, 0, len(best))
-		for _, e := range best {
-			out = append(out, e)
+			sort.Slice(out, func(i, j int) bool { return out[i].From < out[j].From })
+			cowPut(&s.pl.eTabs, k, out)
 		}
-		sort.Slice(out, func(i, j int) bool { return out[i].From < out[j].From })
-		s.mu.Lock()
-		s.eCache[key] = out
-		s.mu.Unlock()
+		s.pl.mu.Unlock()
 	}
-	s.counters.addTable(int64(len(out)))
+	s.counters.addTable(int64(len(out)), derived)
 	return out
 }
 
@@ -332,15 +429,15 @@ func (s *Store) LoadE(alpha, beta int32, childOnly bool) []EEntry {
 // the store was built (query-only labels) have no targets.
 func (s *Store) forTargets(beta int32, fn func(v int32)) {
 	if beta == label.Wildcard {
-		for v := int32(0); int(v) < s.g.NumNodes(); v++ {
+		for v := int32(0); int(v) < s.lay.g.NumNodes(); v++ {
 			fn(v)
 		}
 		return
 	}
-	if int(beta) >= len(s.byLabel) {
+	if int(beta) >= len(s.lay.byLabel) {
 		return
 	}
-	for _, v := range s.byLabel[beta] {
+	for _, v := range s.lay.byLabel[beta] {
 		fn(v)
 	}
 }
@@ -350,7 +447,7 @@ func (s *Store) forTargets(beta int32, fn func(v int32)) {
 // table.
 func (s *Store) TotalEdges() int64 {
 	var n int64
-	for _, lst := range s.inLists {
+	for _, lst := range s.lay.inLists {
 		n += int64(len(lst))
 	}
 	return n

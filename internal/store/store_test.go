@@ -1,6 +1,8 @@
 package store
 
 import (
+	"reflect"
+	"sync"
 	"testing"
 
 	"ktpm/internal/closure"
@@ -242,6 +244,127 @@ func TestBlockBoundaries(t *testing.T) {
 	}
 	if got != want {
 		t.Fatalf("reassembled %d entries, want %d", got, want)
+	}
+}
+
+// TestSharedPlaneDerivesOnce races many replicas into the same first
+// derives (run with -race, as CI does): every distinct D table, E table,
+// and wildcard merge must be derived exactly once process-wide no matter
+// how many replicas ask concurrently, with every caller seeing the same
+// published slice.
+func TestSharedPlaneDerivesOnce(t *testing.T) {
+	g := gen.ErdosRenyi(120, 600, 6, 77)
+	c := closure.Compute(g, closure.Options{})
+	base := New(c, 8)
+	const replicas = 8
+	stores := make([]*Store, replicas)
+	for i := range stores {
+		stores[i] = base.Replica()
+	}
+	nl := int32(g.NumLabels())
+	type load struct{ alpha, beta int32 }
+	var keys []load
+	for a := int32(0); a < nl; a++ {
+		for b := int32(0); b < nl; b++ {
+			keys = append(keys, load{a, b})
+		}
+	}
+	keys = append(keys, load{label.Wildcard, 0}, load{0, label.Wildcard})
+	dGot := make([][][]DEntry, replicas)
+	eGot := make([][][]EEntry, replicas)
+	var wg sync.WaitGroup
+	for i := 0; i < replicas; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s := stores[i]
+			for _, k := range keys {
+				dGot[i] = append(dGot[i], s.LoadD(k.alpha, k.beta, false))
+				eGot[i] = append(eGot[i], s.LoadE(k.alpha, k.beta, false))
+			}
+			for v := int32(0); int(v) < g.NumNodes(); v += 7 {
+				s.LoadBlock(label.Wildcard, v, 0)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < replicas; i++ {
+		if !reflect.DeepEqual(dGot[i], dGot[0]) || !reflect.DeepEqual(eGot[i], eGot[0]) {
+			t.Fatalf("replica %d saw different derived tables than replica 0", i)
+		}
+	}
+	var derives, hits int64
+	for _, s := range stores {
+		cnt := s.Counters()
+		derives += cnt.TablesRead
+		hits += cnt.TableHits
+	}
+	distinct := int64(2 * len(keys)) // one D and one E table per key
+	if derives != distinct {
+		t.Fatalf("summed TablesRead = %d, want exactly %d distinct derives", derives, distinct)
+	}
+	wantCalls := int64(replicas) * distinct
+	if derives+hits != wantCalls {
+		t.Fatalf("derives %d + hits %d = %d, want %d total loads", derives, hits, derives+hits, wantCalls)
+	}
+	if c := base.Counters(); c.TablesRead != 0 || c.TableHits != 0 {
+		t.Fatalf("base store counters moved (%+v) though only replicas loaded", c)
+	}
+}
+
+// TestReplicaCountersIsolation proves replica accounting never bleeds:
+// I/O charged on one replica must be invisible on the base store and on
+// sibling replicas, while derived data stays shared.
+func TestReplicaCountersIsolation(t *testing.T) {
+	g, c := smallGraph(t)
+	base := New(c, 1)
+	r1, r2 := base.Replica(), base.Replica()
+
+	r1.LoadD(lbl(g, "a"), lbl(g, "d"), false) // first derive: r1 pays it
+	r1.LoadBlock(lbl(g, "a"), 4, 0)
+	c1 := r1.Counters()
+	if c1.TablesRead != 1 || c1.BlocksRead != 1 {
+		t.Fatalf("r1 counters = %+v, want 1 table derive and 1 block", c1)
+	}
+	for name, s := range map[string]*Store{"base": base, "r2": r2} {
+		if cnt := s.Counters(); cnt != (Counters{}) {
+			t.Fatalf("%s counters = %+v, want all zero after r1's I/O", name, cnt)
+		}
+	}
+
+	// The same table from r2 is a plane hit: entries delivered, no derive.
+	d2 := r2.LoadD(lbl(g, "a"), lbl(g, "d"), false)
+	c2 := r2.Counters()
+	if c2.TablesRead != 0 || c2.TableHits != 1 || c2.TableEntriesRead != int64(len(d2)) {
+		t.Fatalf("r2 counters = %+v, want a pure plane hit", c2)
+	}
+	if got := r1.Counters(); got != c1 {
+		t.Fatalf("r1 counters moved from %+v to %+v on r2's load", c1, got)
+	}
+
+	// ResetCounters on a replica must not disturb siblings.
+	r1.ResetCounters()
+	if got := r2.Counters(); got != c2 {
+		t.Fatalf("r2 counters changed by r1's reset: %+v -> %+v", c2, got)
+	}
+}
+
+// TestPrivateReplicaRederives pins the detached mode benchmarks rely on:
+// a PrivateReplica shares only the layout, so it re-derives tables the
+// base already has.
+func TestPrivateReplicaRederives(t *testing.T) {
+	g, c := smallGraph(t)
+	base := New(c, 8)
+	base.LoadD(lbl(g, "a"), lbl(g, "d"), false)
+	pr := base.PrivateReplica()
+	pr.LoadD(lbl(g, "a"), lbl(g, "d"), false)
+	if cnt := pr.Counters(); cnt.TablesRead != 1 || cnt.TableHits != 0 {
+		t.Fatalf("private replica counters = %+v, want its own derive", cnt)
+	}
+	shared := base.Replica()
+	shared.LoadD(lbl(g, "a"), lbl(g, "d"), false)
+	if cnt := shared.Counters(); cnt.TablesRead != 0 || cnt.TableHits != 1 {
+		t.Fatalf("shared replica counters = %+v, want a plane hit", cnt)
 	}
 }
 

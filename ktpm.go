@@ -216,8 +216,14 @@ type IOStats struct {
 	EntriesRead int64
 	// TableEntriesRead counts entries delivered by table scans only.
 	TableEntriesRead int64
-	// TablesRead counts summary-table loads.
+	// TablesRead counts summary tables materialized from the simulated
+	// disk. Each distinct table is derived once process-wide and then
+	// served from the shared derived plane, so this stays flat as shard
+	// or replica counts grow.
 	TablesRead int64
+	// TableHits counts table loads served from the shared derived plane
+	// without touching the simulated disk.
+	TableHits int64
 }
 
 // IOStats returns a snapshot of the accumulated simulated I/O counters.
@@ -230,6 +236,7 @@ func (db *Database) IOStats() IOStats {
 		EntriesRead:      c.EntriesRead,
 		TableEntriesRead: c.TableEntriesRead,
 		TablesRead:       c.TablesRead,
+		TableHits:        c.TableHits,
 	}
 }
 

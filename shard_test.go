@@ -256,6 +256,51 @@ func TestShardedConcurrentQueries(t *testing.T) {
 	}
 }
 
+// TestShardedTablesReadFlat is the shared-plane accounting property: the
+// number of summary tables derived from the simulated disk, summed across
+// all shard replicas, must not grow with the shard count — each distinct
+// table is derived once process-wide. The detached (private-plane) mode
+// pins the old behavior: derives grow linearly in the shard count.
+func TestShardedTablesReadFlat(t *testing.T) {
+	queries := []string{"a(b)", "a(b,c)", "b(c(d))", "a(*,c)"}
+	run := func(d *shard.DB, db *Database) int64 {
+		for _, qs := range queries {
+			q, err := db.ParseQuery(qs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d.TopK(q.t, 10)
+		}
+		return d.Counters().TablesRead
+	}
+	derives := make(map[int]int64)
+	for _, n := range []int{1, 2, 4, 8} {
+		db := randomDatabase(t, 90, 3)
+		sdb, err := shard.New(db.st, n, partitionerAdapter{PartitionByLabel()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		derives[n] = run(sdb, db)
+	}
+	if derives[1] == 0 {
+		t.Fatal("workload derived no tables; the property is vacuous")
+	}
+	for n, d := range derives {
+		if d != derives[1] {
+			t.Fatalf("shards=%d derived %d tables, shards=1 derived %d; want flat", n, d, derives[1])
+		}
+	}
+	// Same workload, private planes: every shard re-derives its own copy.
+	db := randomDatabase(t, 90, 3)
+	det, err := shard.NewDetached(db.st, 4, partitionerAdapter{PartitionByLabel()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := run(det, db); d != 4*derives[1] {
+		t.Fatalf("detached shards=4 derived %d tables, want %d (4x the shared plane)", d, 4*derives[1])
+	}
+}
+
 // TestPartitioners checks the assignment invariants the shard layer
 // relies on: every vertex lands in range, and the label-aware strategy
 // splits every label's candidates with counts differing by at most one.

@@ -153,6 +153,7 @@ func (s *ShardedDatabase) IOStats() IOStats {
 		EntriesRead:      base.EntriesRead + c.EntriesRead,
 		TableEntriesRead: base.TableEntriesRead + c.TableEntriesRead,
 		TablesRead:       base.TablesRead + c.TablesRead,
+		TableHits:        base.TableHits + c.TableHits,
 	}
 }
 
@@ -192,6 +193,7 @@ func (s *ShardedDatabase) ShardStats() ShardingStats {
 				EntriesRead:      c.EntriesRead,
 				TableEntriesRead: c.TableEntriesRead,
 				TablesRead:       c.TablesRead,
+				TableHits:        c.TableHits,
 			},
 		}
 	}
