@@ -1,6 +1,6 @@
 # Development targets. CI runs the same commands; see .github/workflows/ci.yml.
 
-.PHONY: test bench-smoke bench-json
+.PHONY: test bench-smoke bench-json bench-json-check
 
 test:
 	go build ./... && go test ./...
@@ -10,8 +10,16 @@ test:
 bench-smoke:
 	go test -run xxx -bench=. -benchtime=1x ./...
 
-# Regenerate the committed shard-plane sweep numbers (BENCH_topk.json):
-# ns/op, allocs/op, and summary-table derives across shard counts with the
-# shared derived plane versus detached per-shard planes.
+# Regenerate the committed serving sweep numbers (BENCH_topk.json):
+# the shard-plane sweep (ns/op, allocs/op, summary-table derives across
+# shard counts, shared versus detached planes), the gather chunk-size
+# sweep, and the batch amortization sweep.
 bench-json:
-	go run ./cmd/benchkit -exp topk -json BENCH_topk.json
+	go run ./cmd/benchkit -exp topk,batch -json BENCH_topk.json
+
+# Drift check for the committed sweep document: regenerate the sweeps in
+# memory and fail when BENCH_topk.json's schema (key paths, row names)
+# no longer matches what benchkit writes. CI runs this; fix drift by
+# committing a fresh make bench-json.
+bench-json-check:
+	go run ./cmd/benchkit -exp topk,batch -drift BENCH_topk.json

@@ -376,6 +376,75 @@ func BenchmarkShardedTopK(b *testing.B) {
 	}
 }
 
+// BenchmarkStreamGather sweeps the gather transport chunk size: the
+// scatter-gather stream drained to k at chunk sizes 1 (the old per-match
+// transport: one channel synchronization per match) through 128. The
+// committed chunk-size sweep in BENCH_topk.json (benchkit -exp batch)
+// records the same curve; shard.DefaultChunkSize is the knee.
+func BenchmarkStreamGather(b *testing.B) {
+	setupShardBench(b)
+	queries := shardBenchQueries
+	const k = 1500
+	for _, chunk := range []int{1, 8, 32, 128} {
+		sdb, err := shardBenchDB.Shard(4, PartitionByLabel())
+		if err != nil {
+			b.Fatal(err)
+		}
+		sdb.SetGatherChunkSize(chunk)
+		b.Run(fmt.Sprintf("chunk=%d", chunk), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				st, err := sdb.Stream(queries[i%len(queries)])
+				if err != nil {
+					b.Fatal(err)
+				}
+				for n := 0; n < k; n++ {
+					if _, ok := st.Next(); !ok {
+						break
+					}
+				}
+				st.Close()
+			}
+		})
+	}
+}
+
+// BenchmarkBatchTopK measures batch amortization: eight items cycling
+// four distinct queries, answered by individual TopK calls versus one
+// TopKBatch call. The batch path enumerates each distinct query once
+// (in-batch dedup), so it approaches half the loop's cost on this
+// workload; the server's /batch adds HTTP/parse/admission amortization
+// on top.
+func BenchmarkBatchTopK(b *testing.B) {
+	setupShardBench(b)
+	db := shardBenchDB
+	const k = 1500
+	items := make([]BatchItem, 8)
+	for i := range items {
+		items[i] = BatchItem{Query: shardBenchQueries[i%len(shardBenchQueries)], K: k}
+	}
+	b.Run("loop", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, it := range items {
+				if _, err := db.TopK(it.Query, it.K); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, r := range db.TopKBatch(items) {
+				if r.Err != nil {
+					b.Fatal(r.Err)
+				}
+			}
+		}
+	})
+}
+
 // BenchmarkShardPlaneSweep is the shard-count × plane-sharing sweep: the
 // same workload as BenchmarkShardedTopK over {1,2,4,8} shards whose
 // replicas either share the base store's derived-data plane (production

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"ktpm"
+	"ktpm/internal/bench"
+	"ktpm/internal/gen"
+	"ktpm/internal/graph"
+)
+
+// runBatchSweep measures batch amortization: BatchSize queries cycling
+// over the workload's distinct queries, answered either by individual
+// TopK calls ("loop") or one TopKBatch call ("batch"). The batch mode
+// enumerates each distinct query once and shares the result across its
+// duplicates, so per-item cost drops toward unique/BatchSize of the
+// loop's. It lives here rather than internal/bench because it exercises
+// the public ktpm.Database.TopKBatch API, which internal/bench cannot
+// import (the root package's own benchmarks import internal/bench).
+// ops is the iteration count per configuration (0 means 5).
+func runBatchSweep(ops int) ([]*bench.BatchRow, error) {
+	if ops <= 0 {
+		ops = 5
+	}
+	// Rebuild the standard workload graph through the public constructor
+	// (text round-trip) so the sweep measures the real TopKBatch path.
+	g := bench.TopKGraph()
+	var buf bytes.Buffer
+	if err := graph.Encode(&buf, g); err != nil {
+		return nil, err
+	}
+	pg, err := ktpm.LoadGraph(&buf)
+	if err != nil {
+		return nil, err
+	}
+	db, err := ktpm.BuildDatabase(pg, ktpm.DatabaseOptions{})
+	if err != nil {
+		return nil, err
+	}
+	trees, err := gen.QuerySet(g, 4, 10, true, 12345)
+	if err != nil {
+		return nil, err
+	}
+	queries := make([]*ktpm.Query, len(trees))
+	for i, t := range trees {
+		if queries[i], err = db.ParseQuery(t.String()); err != nil {
+			return nil, err
+		}
+	}
+	var rows []*bench.BatchRow
+	for _, size := range []int{1, 8, 32} {
+		items := make([]ktpm.BatchItem, size)
+		for i := range items {
+			items[i] = ktpm.BatchItem{Query: queries[i%len(queries)], K: bench.BatchSweepK}
+		}
+		unique := size
+		if unique > len(queries) {
+			unique = len(queries)
+		}
+		for _, mode := range []string{"loop", "batch"} {
+			t0 := time.Now()
+			for op := 0; op < ops; op++ {
+				if mode == "loop" {
+					for _, it := range items {
+						if _, err := db.TopK(it.Query, it.K); err != nil {
+							return nil, err
+						}
+					}
+				} else {
+					for _, r := range db.TopKBatch(items) {
+						if r.Err != nil {
+							return nil, r.Err
+						}
+					}
+				}
+			}
+			elapsed := time.Since(t0)
+			rows = append(rows, &bench.BatchRow{
+				Name:          fmt.Sprintf("batch=%d/%s", size, mode),
+				BatchSize:     size,
+				UniqueQueries: unique,
+				Mode:          mode,
+				Ops:           ops,
+				NsPerItem:     float64(elapsed.Nanoseconds()) / float64(ops*size),
+			})
+		}
+	}
+	return rows, nil
+}

@@ -5,10 +5,19 @@
 //
 //	benchkit                 # everything (several minutes)
 //	benchkit -exp fig6       # one experiment: table2 table3 fig6 fig7
-//	                         # fig8 fig9 ablations topk
+//	                         # fig8 fig9 ablations topk batch
+//	benchkit -exp topk,batch # comma-separated experiment list
 //	benchkit -queries 3      # queries averaged per data point
 //	benchkit -quick          # smaller k sweep and fewer datasets
-//	benchkit -exp topk -json BENCH_topk.json   # shard-plane sweep (make bench-json)
+//	benchkit -exp topk,batch -json BENCH_topk.json  # serving sweeps (make bench-json)
+//	benchkit -drift BENCH_topk.json                 # schema drift check (make bench-json-check)
+//
+// -json writes the shard-plane, gather chunk-size, and batch
+// amortization sweeps as one document; it implies the topk and batch
+// experiments so the written schema is always complete. -drift
+// regenerates the same sweeps and fails when the committed document's
+// schema (key paths, row names) no longer matches — CI's guard against
+// a stale BENCH_topk.json.
 //
 // Output is plain text, one aligned table per paper artifact — the source
 // for EXPERIMENTS.md.
@@ -26,11 +35,12 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: all, table2, table3, fig6, fig7, fig8, fig9, ablations, topk")
-		queries  = flag.Int("queries", 5, "queries per data point")
-		quick    = flag.Bool("quick", false, "reduced sweeps for a fast pass")
-		jsonPath = flag.String("json", "", "also write the topk sweep as JSON to this path (see make bench-json)")
-		topkOps  = flag.Int("topk-ops", 5, "iterations per configuration of the topk sweep")
+		exp       = flag.String("exp", "all", "experiment, or comma-separated list: all, table2, table3, fig6, fig7, fig8, fig9, ablations, topk, batch")
+		queries   = flag.Int("queries", 5, "queries per data point")
+		quick     = flag.Bool("quick", false, "reduced sweeps for a fast pass")
+		jsonPath  = flag.String("json", "", "write the topk+batch sweeps as one JSON document to this path (implies both experiments; see make bench-json)")
+		driftPath = flag.String("drift", "", "regenerate the topk+batch sweeps and compare their schema (key paths, row names) against this committed JSON document; exit nonzero on drift (implies both experiments; see make bench-json-check)")
+		topkOps   = flag.Int("topk-ops", 5, "iterations per configuration of the topk, chunk, and batch sweeps")
 	)
 	flag.Parse()
 	bench.QueriesPerSet = *queries
@@ -41,16 +51,27 @@ func main() {
 		ks = []int{10, 100}
 		gdSets, gsSets = bench.GD[:3], bench.GS[:3]
 	}
-	known := []string{"all", "table2", "table3", "fig6", "fig7", "fig8", "fig9", "ablations", "topk"}
-	valid := false
-	for _, name := range known {
-		valid = valid || *exp == name
+	known := []string{"all", "table2", "table3", "fig6", "fig7", "fig8", "fig9", "ablations", "topk", "batch"}
+	selected := map[string]bool{}
+	for _, name := range strings.Split(*exp, ",") {
+		name = strings.TrimSpace(name)
+		valid := false
+		for _, k := range known {
+			valid = valid || name == k
+		}
+		if !valid {
+			fmt.Fprintf(os.Stderr, "benchkit: unknown experiment %q (want a comma-separated subset of %s)\n", name, strings.Join(known, " "))
+			os.Exit(2)
+		}
+		selected[name] = true
 	}
-	if !valid {
-		fmt.Fprintf(os.Stderr, "benchkit: unknown experiment %q (want one of %s)\n", *exp, strings.Join(known, " "))
-		os.Exit(2)
+	if *jsonPath != "" || *driftPath != "" {
+		// The JSON document carries every serving sweep; a partial write
+		// would silently drift the committed schema.
+		selected["topk"] = true
+		selected["batch"] = true
 	}
-	want := func(name string) bool { return *exp == "all" || *exp == name }
+	want := func(name string) bool { return selected["all"] || selected[name] }
 	t0 := time.Now()
 
 	var gd, gs *bench.Env
@@ -108,20 +129,47 @@ func main() {
 		bench.RunAblationLazyQ(gs, ks).Fprint(os.Stdout)
 		bench.RunAblationOracle([]bench.Dataset{gdSets[0], gsSets[0]}).Fprint(os.Stdout)
 	}
+	var rep *bench.TopKReport
 	if want("topk") {
-		rep, err := bench.RunTopKSweep(*topkOps)
+		var err error
+		rep, err = bench.RunTopKSweep(*topkOps)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchkit: topk sweep: %v\n", err)
 			os.Exit(1)
 		}
 		rep.Table().Fprint(os.Stdout)
-		if *jsonPath != "" {
-			if err := rep.WriteJSON(*jsonPath); err != nil {
-				fmt.Fprintf(os.Stderr, "benchkit: writing %s: %v\n", *jsonPath, err)
-				os.Exit(1)
-			}
-			fmt.Fprintf(os.Stderr, "benchkit: wrote %s\n", *jsonPath)
+	}
+	if want("batch") {
+		chunkRows, err := bench.RunChunkSweep(*topkOps)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchkit: chunk sweep: %v\n", err)
+			os.Exit(1)
 		}
+		bench.ChunkTable(chunkRows).Fprint(os.Stdout)
+		batchRows, err := runBatchSweep(*topkOps)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchkit: batch sweep: %v\n", err)
+			os.Exit(1)
+		}
+		bench.BatchTable(batchRows).Fprint(os.Stdout)
+		if rep != nil {
+			rep.ChunkSweep = chunkRows
+			rep.BatchSweep = batchRows
+		}
+	}
+	if *jsonPath != "" {
+		if err := rep.WriteJSON(*jsonPath); err != nil {
+			fmt.Fprintf(os.Stderr, "benchkit: writing %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchkit: wrote %s\n", *jsonPath)
+	}
+	if *driftPath != "" {
+		if err := checkDrift(rep, *driftPath); err != nil {
+			fmt.Fprintf(os.Stderr, "benchkit: drift: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchkit: %s schema in sync\n", *driftPath)
 	}
 	fmt.Fprintf(os.Stderr, "benchkit: done in %v\n", time.Since(t0).Round(time.Millisecond))
 }

@@ -9,6 +9,8 @@
 //	ktpmd -db g.snap -concurrency 8 -cache 4096 -shards 4 -partition label
 //
 //	curl 'localhost:8080/query?q=a(b,c(d))&k=5'
+//	curl -d '{"items":[{"q":"a(b)","k":5},{"q":"a(b)","k":5}]}' localhost:8080/batch
+//	curl -N 'localhost:8080/stream?q=a(b)&max=100000'
 //	curl 'localhost:8080/explain?q=a(b)'
 //	curl 'localhost:8080/stats'
 //	curl 'localhost:8080/metrics'
@@ -50,6 +52,7 @@ func main() {
 		maxK        = flag.Int("max-k", 0, "largest accepted k (0 = default 1000)")
 		shards      = flag.Int("shards", 1, "partition the match space across N shards and scatter-gather top-k (1 = single database)")
 		partition   = flag.String("partition", "hash", "shard partitioner: hash or label")
+		chunkSize   = flag.Int("chunk-size", 0, "matches per channel operation in the scatter-gather transport (0 = default 32, chosen from the BENCH_topk.json chunk-size sweep)")
 	)
 	flag.Parse()
 	if (*graphPath == "") == (*dbPath == "") {
@@ -80,14 +83,17 @@ func main() {
 		if err != nil {
 			log.Fatalf("ktpmd: %v", err)
 		}
+		if *chunkSize != 0 {
+			sdb.SetGatherChunkSize(*chunkSize)
+		}
 		backend = sdb
 		ss := sdb.ShardStats()
 		sizes := make([]int, len(ss.PerShard))
 		for i, ps := range ss.PerShard {
 			sizes[i] = ps.Vertices
 		}
-		log.Printf("ktpmd: scatter-gather across %d shards (%s partitioner), vertices per shard %v",
-			ss.Shards, ss.Partitioner, sizes)
+		log.Printf("ktpmd: scatter-gather across %d shards (%s partitioner), vertices per shard %v, gather chunk %d",
+			ss.Shards, ss.Partitioner, sizes, ss.ChunkSize)
 	}
 
 	srv := server.New(backend, server.Config{

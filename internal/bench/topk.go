@@ -38,6 +38,33 @@ type TopKRow struct {
 	BlocksRead int64 `json:"blocks_read"`
 }
 
+// ChunkRow is one point of the gather chunk-size sweep in
+// BENCH_topk.json: scatter-gather TopK latency at a given shard count
+// and transport chunk size (matches per channel operation). Chunk 1
+// reproduces the per-match transport; shard.DefaultChunkSize is chosen
+// from this sweep.
+type ChunkRow struct {
+	Name      string  `json:"name"` // "shards=N/chunk=C"
+	Shards    int     `json:"shards"`
+	ChunkSize int     `json:"chunk_size"`
+	Ops       int     `json:"ops"`
+	NsPerOp   float64 `json:"ns_per_op"`
+}
+
+// BatchRow is one point of the batch amortization sweep in
+// BENCH_topk.json: per-item latency of answering BatchSize queries
+// (cycling UniqueQueries distinct ones) either as individual TopK calls
+// ("loop") or as one TopKBatch call ("batch", which enumerates each
+// distinct query once).
+type BatchRow struct {
+	Name          string  `json:"name"` // "batch=N/mode"
+	BatchSize     int     `json:"batch_size"`
+	UniqueQueries int     `json:"unique_queries"`
+	Mode          string  `json:"mode"` // "loop" or "batch"
+	Ops           int     `json:"ops"`
+	NsPerItem     float64 `json:"ns_per_item"`
+}
+
 // TopKReport is the BENCH_topk.json document.
 type TopKReport struct {
 	Workload struct {
@@ -50,6 +77,22 @@ type TopKReport struct {
 	GOARCH string     `json:"goarch"`
 	CPUs   int        `json:"cpus"`
 	Rows   []*TopKRow `json:"rows"`
+	// ChunkSweep and BatchSweep are filled by the batch experiment
+	// (benchkit -exp batch; -json runs it automatically so the committed
+	// document always carries every section).
+	ChunkSweep []*ChunkRow `json:"chunk_sweep"`
+	BatchSweep []*BatchRow `json:"batch_sweep"`
+}
+
+// TopKGraph builds the workload graph shared by every sweep behind
+// BENCH_topk.json. Exported for cmd/benchkit's batch sweep, which runs
+// against the public ktpm API (this package cannot import ktpm: the
+// root package's own benchmarks import this one).
+func TopKGraph() *graph.Graph {
+	return gen.PowerLaw(gen.PowerLawConfig{
+		Nodes: 2000, AvgOutDegree: 5, Labels: 150,
+		Window: 50, Communities: 10, MaxWeight: 8, Seed: 21,
+	})
 }
 
 // TopKWorkload is the single source of truth for the sharded top-k
@@ -59,10 +102,7 @@ type TopKReport struct {
 // scores keep tie groups small, with a distinct-label T4 workload and a
 // deep k so Lawler enumeration dominates.
 func TopKWorkload() (*graph.Graph, *closure.Closure, []*query.Tree, error) {
-	g := gen.PowerLaw(gen.PowerLawConfig{
-		Nodes: 2000, AvgOutDegree: 5, Labels: 150,
-		Window: 50, Communities: 10, MaxWeight: 8, Seed: 21,
-	})
+	g := TopKGraph()
 	c := closure.Compute(g, closure.Options{})
 	qs, err := gen.QuerySet(g, 4, 10, true, 12345)
 	if err != nil {
@@ -99,7 +139,10 @@ func runTopKConfig(c *closure.Closure, qs []*query.Tree, k, ops, shards int, sha
 		if db != nil {
 			db.TopK(q, k)
 		} else {
-			lazy.TopK(st, q, k, lazy.Options{})
+			// Canonical semantics, like the public Database.TopK: the
+			// tie group at the k-th score is drained and sorted, so the
+			// single row prices the same contract the sharded rows do.
+			lazy.TopKCanonical(st, q, k, lazy.Options{})
 		}
 	}
 	elapsed := time.Since(t0)
@@ -161,6 +204,94 @@ func RunTopKSweep(ops int) (*TopKReport, error) {
 		}
 	}
 	return rep, nil
+}
+
+// RunChunkSweep measures the gather transport's chunk-size sensitivity:
+// scatter-gather TopK over the standard workload at shard counts {1, 4}
+// and chunk sizes {1, 8, 32, 128}, forced through the transport with
+// GatherTopK so the shards=1 rows stay meaningful, plus one
+// "shards=1/inline" row (chunk_size 0) measuring the production
+// single-shard fast path that skips the transport entirely. Chunk 1 is
+// the old per-match transport (one channel synchronization per match);
+// the sweep is what the shard.DefaultChunkSize choice and the ktpmd
+// -chunk-size docs cite. ops is the iteration count per configuration
+// (0 means 5).
+func RunChunkSweep(ops int) ([]*ChunkRow, error) {
+	if ops <= 0 {
+		ops = 5
+	}
+	const k = 1500
+	_, c, qs, err := TopKWorkload()
+	if err != nil {
+		return nil, err
+	}
+	var rows []*ChunkRow
+	for _, shards := range []int{1, 4} {
+		st := store.New(c, 0)
+		db, err := shard.New(st, shards, shard.LabelBalanced{})
+		if err != nil {
+			return nil, err
+		}
+		for _, chunk := range []int{1, 8, 32, 128} {
+			db.SetChunkSize(chunk)
+			t0 := time.Now()
+			for i := 0; i < ops; i++ {
+				db.GatherTopK(qs[i%len(qs)], k, lazy.Options{})
+			}
+			elapsed := time.Since(t0)
+			rows = append(rows, &ChunkRow{
+				Name:      fmt.Sprintf("shards=%d/chunk=%d", shards, chunk),
+				Shards:    shards,
+				ChunkSize: chunk,
+				Ops:       ops,
+				NsPerOp:   float64(elapsed.Nanoseconds()) / float64(ops),
+			})
+		}
+		if shards == 1 {
+			t0 := time.Now()
+			for i := 0; i < ops; i++ {
+				db.TopK(qs[i%len(qs)], k)
+			}
+			elapsed := time.Since(t0)
+			rows = append(rows, &ChunkRow{
+				Name:    "shards=1/inline",
+				Shards:  1,
+				Ops:     ops,
+				NsPerOp: float64(elapsed.Nanoseconds()) / float64(ops),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// BatchSweepK is the batch sweep's per-item k: smaller than the shard
+// sweep's 1500 so the "loop" baseline at batch=32 stays affordable. The
+// sweep itself lives in cmd/benchkit (it exercises the public
+// ktpm.Database.TopKBatch API, which this package cannot import).
+const BatchSweepK = 300
+
+// ChunkTable renders a chunk sweep in the benchkit text format.
+func ChunkTable(rows []*ChunkRow) *Table {
+	t := &Table{
+		Title:  "Gather chunk-size sweep (k=1500)",
+		Header: []string{"config", "ms/op"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Name, fmt.Sprintf("%.1f", r.NsPerOp/1e6))
+	}
+	return t
+}
+
+// BatchTable renders a batch sweep in the benchkit text format.
+func BatchTable(rows []*BatchRow) *Table {
+	t := &Table{
+		Title:  fmt.Sprintf("Batch amortization sweep (k=%d)", BatchSweepK),
+		Header: []string{"config", "ms/item", "unique"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Name, fmt.Sprintf("%.1f", r.NsPerItem/1e6), fmt.Sprint(r.UniqueQueries))
+	}
+	return t
 }
 
 // Table renders the report in the benchkit text format.

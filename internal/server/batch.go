@@ -1,0 +1,257 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"time"
+
+	"ktpm"
+)
+
+// The /batch endpoint amortizes per-request overheads over many queries:
+// one HTTP exchange, one JSON decode, one admission decision (the whole
+// batch is a single executor task, so a batch occupies exactly one
+// worker), and one enumeration per *distinct* item — canonical-identical
+// items are computed once (in-batch singleflight) and every computed
+// item warms the same shared derived-data plane. Items fail
+// independently: a malformed or erroring item carries its own error
+// field while the rest of the batch succeeds. Whole-batch failures are
+// the transport-level ones only: bad JSON (400), admission queue full
+// (503), and the batch-wide deadline (504) — one RequestTimeout covers
+// the entire batch, and a batch that exceeds it fails as a unit.
+
+// BatchRequest is the /batch request body.
+type BatchRequest struct {
+	Items []BatchRequestItem `json:"items"`
+}
+
+// BatchRequestItem is one query of a /batch request; q/k/algo have the
+// same syntax, defaults, and limits as the /query parameters.
+type BatchRequestItem struct {
+	Q    string `json:"q"`
+	K    int    `json:"k"`
+	Algo string `json:"algo"`
+}
+
+// BatchItemResponse is one item's outcome in a BatchResponse, aligned
+// with the request's items by index.
+type BatchItemResponse struct {
+	Query     string      `json:"query"`
+	Canonical string      `json:"canonical,omitempty"`
+	K         int         `json:"k,omitempty"`
+	Algorithm string      `json:"algorithm,omitempty"`
+	Positions []string    `json:"positions,omitempty"`
+	Matches   []MatchJSON `json:"matches,omitempty"`
+	// Cached marks an item served from the result cache.
+	Cached bool `json:"cached,omitempty"`
+	// Deduped marks an item that shared an earlier identical item's
+	// enumeration instead of running its own.
+	Deduped bool `json:"deduped,omitempty"`
+	// Error is the item's failure; other items are unaffected.
+	Error string `json:"error,omitempty"`
+}
+
+// BatchResponse is the /batch response body.
+type BatchResponse struct {
+	Items []BatchItemResponse `json:"items"`
+	// Computed counts items that ran an enumeration; CacheHits and
+	// Deduped count items served without one. Computed + CacheHits +
+	// Deduped + errored items = len(Items).
+	Computed  int     `json:"computed"`
+	CacheHits int     `json:"cache_hits"`
+	Deduped   int     `json:"deduped"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// batchItem is the handler's per-item working state.
+type batchItem struct {
+	resp  BatchItemResponse
+	key   string // cache/dedup key; empty when the item is invalid
+	first int    // index of the first item with the same key, or own index
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", "POST")
+		s.writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	// The body cap scales with the configured batch shape, so an
+	// oversized payload fails the decode instead of buffering unbounded.
+	limit := int64(s.cfg.MaxBatchItems)*int64(s.cfg.MaxQueryLen+256) + 4096
+	var req BatchRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit)).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad batch body: %v", err)
+		return
+	}
+	if len(req.Items) == 0 {
+		s.writeError(w, http.StatusBadRequest, "empty batch: items is required and must not be empty")
+		return
+	}
+	if len(req.Items) > s.cfg.MaxBatchItems {
+		s.writeError(w, http.StatusBadRequest, "batch of %d items exceeds the maximum %d", len(req.Items), s.cfg.MaxBatchItems)
+		return
+	}
+
+	// Validate every item, grouping canonical-identical ones under the
+	// first occurrence (in-batch singleflight). Validation failures stay
+	// per-item: the batch proceeds with whatever parses.
+	items := make([]batchItem, len(req.Items))
+	firstOf := make(map[string]int, len(req.Items))
+	for i, it := range req.Items {
+		items[i].resp.Query = it.Q
+		items[i].first = i
+		canonical, k, algo, errMsg := s.validateBatchItem(it)
+		if errMsg != "" {
+			items[i].resp.Error = errMsg
+			continue
+		}
+		items[i].resp.Canonical = canonical
+		items[i].resp.K = k
+		items[i].resp.Algorithm = algo.String()
+		items[i].key = resultKey(canonical, k, algo)
+		if f, ok := firstOf[items[i].key]; ok {
+			items[i].first = f
+		} else {
+			firstOf[items[i].key] = i
+		}
+	}
+
+	// One cache probe per distinct key; hits serve every group member.
+	type pending struct {
+		first int
+		algo  ktpm.Algorithm
+	}
+	var misses []pending
+	for key, f := range firstOf {
+		if res, hit := s.cache.Get(key); hit {
+			items[f].resp.Positions, items[f].resp.Matches = res.Positions, res.Matches
+			items[f].resp.Cached = true
+			continue
+		}
+		algo, _ := ktpm.ParseAlgorithm(items[f].resp.Algorithm)
+		misses = append(misses, pending{first: f, algo: algo})
+	}
+
+	// One admission decision for the whole batch: all misses run as a
+	// single executor task under one batch-wide deadline. As with /query,
+	// canonical forms are executed so cached position numbering is
+	// reproducible regardless of which sibling order filled the entry.
+	if len(misses) > 0 {
+		batch := make([]ktpm.BatchItem, len(misses))
+		for i, p := range misses {
+			cq, err := s.db.ParseQuery(items[p.first].resp.Canonical)
+			if err != nil {
+				s.writeError(w, http.StatusInternalServerError, "canonical reparse: %v", err)
+				return
+			}
+			batch[i] = ktpm.BatchItem{Query: cq, K: items[p.first].resp.K, Opt: ktpm.Options{Algorithm: p.algo}}
+		}
+		var results []ktpm.BatchResult
+		if !s.execute(w, r, func() { results = s.db.TopKBatch(batch) }) {
+			return
+		}
+		for i, p := range misses {
+			res, it := results[i], &items[p.first]
+			if res.Err != nil {
+				it.resp.Error = res.Err.Error()
+				continue
+			}
+			out := cachedResult{
+				Positions: make([]string, batch[i].Query.NumNodes()),
+				Matches:   make([]MatchJSON, len(res.Matches)),
+			}
+			for j := range out.Positions {
+				out.Positions[j] = batch[i].Query.LabelOf(j)
+			}
+			for j, m := range res.Matches {
+				out.Matches[j] = MatchJSON{Score: m.Score, Nodes: m.Nodes}
+			}
+			it.resp.Positions, it.resp.Matches = out.Positions, out.Matches
+			// The same cost-aware admission as /query, priced per item by
+			// TopKBatch's I/O deltas.
+			if s.cfg.CacheEntries > 0 {
+				if s.cfg.CacheMinEntries > 0 && res.Cost < int64(s.cfg.CacheMinEntries) {
+					s.cacheBypassed.Add(1)
+				} else {
+					s.cache.Put(it.key, out)
+					s.cacheAdmitted.Add(1)
+				}
+			}
+		}
+	}
+
+	// Fan group leaders' outcomes out to their duplicates and assemble
+	// the response.
+	resp := BatchResponse{Items: make([]BatchItemResponse, len(items))}
+	var itemErrs int64
+	for i := range items {
+		it := &items[i]
+		if it.first != i {
+			leader := &items[it.first]
+			it.resp.Positions, it.resp.Matches = leader.resp.Positions, leader.resp.Matches
+			it.resp.Error = leader.resp.Error
+			if it.resp.Error == "" {
+				if leader.resp.Cached {
+					it.resp.Cached = true
+				} else {
+					it.resp.Deduped = true
+					resp.Deduped++
+				}
+			}
+		}
+		if it.resp.Error != "" {
+			itemErrs++
+		} else if it.resp.Cached {
+			resp.CacheHits++
+		} else if !it.resp.Deduped {
+			resp.Computed++
+		}
+		resp.Items[i] = it.resp
+	}
+	s.batches.Add(1)
+	s.batchItems.Add(int64(len(items)))
+	s.batchComputed.Add(int64(resp.Computed))
+	s.batchDeduped.Add(int64(resp.Deduped))
+	s.batchCacheHits.Add(int64(resp.CacheHits))
+	s.batchItemErrs.Add(itemErrs)
+	resp.ElapsedMS = msSince(t0)
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// validateBatchItem applies the /query parameter rules to one batch
+// item, returning the canonical form and resolved k/algo, or a non-empty
+// error message mirroring parseRequest's texts.
+func (s *Server) validateBatchItem(it BatchRequestItem) (canonical string, k int, algo ktpm.Algorithm, errMsg string) {
+	if it.Q == "" {
+		return "", 0, 0, "missing required parameter q"
+	}
+	if len(it.Q) > s.cfg.MaxQueryLen {
+		return "", 0, 0, "query length " + strconv.Itoa(len(it.Q)) + " exceeds the maximum " + strconv.Itoa(s.cfg.MaxQueryLen)
+	}
+	k = it.K
+	if k == 0 {
+		k = s.cfg.DefaultK
+	}
+	if k < 1 {
+		return "", 0, 0, "k must be a positive integer, got " + strconv.Itoa(it.K)
+	}
+	if k > s.cfg.MaxK {
+		return "", 0, 0, "k=" + strconv.Itoa(k) + " exceeds the maximum " + strconv.Itoa(s.cfg.MaxK)
+	}
+	algo = ktpm.AlgoTopkEN
+	if it.Algo != "" {
+		var good bool
+		algo, good = ktpm.ParseAlgorithm(it.Algo)
+		if !good {
+			return "", 0, 0, "unknown algorithm " + strconv.Quote(it.Algo) + " (want topk-en, topk, dp-b, dp-p)"
+		}
+	}
+	q, err := s.db.ParseQuery(it.Q)
+	if err != nil {
+		return "", 0, 0, "bad query: " + err.Error()
+	}
+	return q.Canonical(), k, algo, ""
+}

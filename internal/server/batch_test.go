@@ -1,0 +1,277 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"ktpm"
+)
+
+func postBatch(t testing.TB, s *Server, body string) (*httptest.ResponseRecorder, BatchResponse) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/batch", strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	var br BatchResponse
+	if rec.Code == http.StatusOK {
+		if err := json.Unmarshal(rec.Body.Bytes(), &br); err != nil {
+			t.Fatalf("POST /batch: bad body %q: %v", rec.Body.String(), err)
+		}
+	}
+	return rec, br
+}
+
+func TestBatchEndToEnd(t *testing.T) {
+	s, db := newTestServer(t, Config{})
+	rec, br := postBatch(t, s, `{"items":[
+		{"q":"C(E,S)","k":5},
+		{"q":"C(E)","k":3},
+		{"q":"C(S,E)","k":5}
+	]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	if len(br.Items) != 3 {
+		t.Fatalf("%d items, want 3", len(br.Items))
+	}
+	// Item 2 is canonical-identical to item 0: one enumeration serves both.
+	if br.Computed != 2 || br.Deduped != 1 || br.CacheHits != 0 {
+		t.Fatalf("computed/deduped/cache_hits = %d/%d/%d, want 2/1/0", br.Computed, br.Deduped, br.CacheHits)
+	}
+	if !br.Items[2].Deduped || br.Items[0].Deduped {
+		t.Fatalf("dedup flags wrong: %+v", br.Items)
+	}
+	// Every item agrees with the direct library answer.
+	for i, want := range []struct {
+		q string
+		k int
+	}{{"C(E,S)", 5}, {"C(E)", 3}, {"C(S,E)", 5}} {
+		q, err := db.ParseQuery(want.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms, err := db.TopK(q, want.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(br.Items[i].Matches) != len(ms) {
+			t.Fatalf("item %d: %d matches, want %d", i, len(br.Items[i].Matches), len(ms))
+		}
+		for j := range ms {
+			if br.Items[i].Matches[j].Score != ms[j].Score {
+				t.Fatalf("item %d match %d score %d, want %d", i, j, br.Items[i].Matches[j].Score, ms[j].Score)
+			}
+		}
+	}
+	if br.Items[2].Canonical != "C(E,S)" {
+		t.Fatalf("item 2 canonical = %q", br.Items[2].Canonical)
+	}
+	// A repeat batch is served entirely from the cache.
+	rec, br = postBatch(t, s, `{"items":[{"q":"C(E,S)","k":5},{"q":"C(E)","k":3}]}`)
+	if rec.Code != http.StatusOK || br.CacheHits != 2 || br.Computed != 0 {
+		t.Fatalf("repeat batch: status %d computed %d cache_hits %d, want cached", rec.Code, br.Computed, br.CacheHits)
+	}
+	// And so is a /query for the same key: batch fills the shared cache.
+	if _, qr := getQuery(t, s, "/query?q=C(E,S)&k=5"); !qr.Cached {
+		t.Error("batch result did not warm the /query cache")
+	}
+}
+
+// TestBatchDuplicatesOneEnumeration is the acceptance check: N identical
+// items run exactly one enumeration, observable in /stats through the
+// batch and cache counters.
+func TestBatchDuplicatesOneEnumeration(t *testing.T) {
+	s, _ := newTestServer(t, Config{})
+	items := make([]string, 6)
+	for i := range items {
+		items[i] = `{"q":"C(E,S)","k":4}`
+	}
+	rec, br := postBatch(t, s, `{"items":[`+strings.Join(items, ",")+`]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	if br.Computed != 1 || br.Deduped != 5 {
+		t.Fatalf("computed/deduped = %d/%d, want 1/5", br.Computed, br.Deduped)
+	}
+	_, stats := get(t, s, "/stats")
+	batch := stats["batch"].(map[string]any)
+	if got := batch["computed"].(float64); got != 1 {
+		t.Errorf("stats batch.computed = %v, want 1", got)
+	}
+	if got := batch["deduped"].(float64); got != 5 {
+		t.Errorf("stats batch.deduped = %v, want 5", got)
+	}
+	if got := batch["items"].(float64); got != 6 {
+		t.Errorf("stats batch.items = %v, want 6", got)
+	}
+	// One enumeration means one cache miss (the probe) and one fill.
+	cache := stats["cache"].(map[string]any)
+	if misses := cache["misses"].(float64); misses != 1 {
+		t.Errorf("cache misses = %v, want 1 (one probe per distinct key)", misses)
+	}
+	if entries := cache["entries"].(float64); entries != 1 {
+		t.Errorf("cache entries = %v, want 1", entries)
+	}
+}
+
+// TestBatchPartialSuccess: one malformed item among valid ones fails
+// alone; the batch still answers 200 with the valid results.
+func TestBatchPartialSuccess(t *testing.T) {
+	s, _ := newTestServer(t, Config{MaxK: 50})
+	rec, br := postBatch(t, s, `{"items":[
+		{"q":"C(E)","k":5},
+		{"q":")broken("},
+		{"q":"C(E)","k":0},
+		{"q":"C(E)","k":51},
+		{"q":"C(E)","algo":"quantum"},
+		{"q":"C(S)","k":2}
+	]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d, want 200 (partial success): %s", rec.Code, rec.Body.String())
+	}
+	wantErr := []bool{false, true, false, true, true, false}
+	for i, item := range br.Items {
+		if (item.Error != "") != wantErr[i] {
+			t.Errorf("item %d error = %q, want error=%v", i, item.Error, wantErr[i])
+		}
+	}
+	// k=0 takes the default, so item 2 succeeds with DefaultK.
+	if br.Items[2].K != 10 {
+		t.Errorf("item 2 k = %d, want DefaultK 10", br.Items[2].K)
+	}
+	if len(br.Items[0].Matches) == 0 || len(br.Items[5].Matches) == 0 {
+		t.Error("valid items returned no matches")
+	}
+	_, stats := get(t, s, "/stats")
+	batch := stats["batch"].(map[string]any)
+	if got := batch["item_errors"].(float64); got != 3 {
+		t.Errorf("stats batch.item_errors = %v, want 3", got)
+	}
+}
+
+func TestBatchRejections(t *testing.T) {
+	s, _ := newTestServer(t, Config{MaxBatchItems: 2})
+	cases := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"empty items", `{"items":[]}`, http.StatusBadRequest},
+		{"missing items", `{}`, http.StatusBadRequest},
+		{"bad json", `{"items":`, http.StatusBadRequest},
+		{"too many items", `{"items":[{"q":"C(E)"},{"q":"C(S)"},{"q":"C(E,S)"}]}`, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		if rec, _ := postBatch(t, s, c.body); rec.Code != c.want {
+			t.Errorf("%s: status %d, want %d", c.name, rec.Code, c.want)
+		}
+	}
+	// Method: /batch is POST-only.
+	req := httptest.NewRequest(http.MethodGet, "/batch", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /batch = %d, want 405", rec.Code)
+	}
+}
+
+// TestBatchDeadline: the whole batch runs under one RequestTimeout; with
+// the pool occupied the batch can never start and fails as a unit with
+// 504.
+func TestBatchDeadline(t *testing.T) {
+	s, _ := newTestServer(t, Config{Concurrency: 1, QueueDepth: 4, RequestTimeout: 30 * time.Millisecond})
+	release := occupyWorkers(t, s, 1)
+	defer release()
+	rec, _ := postBatch(t, s, `{"items":[{"q":"C(E,S)","k":5},{"q":"C(E)","k":3}]}`)
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504", rec.Code)
+	}
+	_, stats := get(t, s, "/stats")
+	batch := stats["batch"].(map[string]any)
+	if got := batch["batches"].(float64); got != 0 {
+		t.Errorf("timed-out batch counted as successful: batches = %v", got)
+	}
+	exec := stats["executor"].(map[string]any)
+	if v := exec["timed_out"].(float64); v != 1 {
+		t.Errorf("timed_out = %v, want 1", v)
+	}
+}
+
+// TestBatchQueueFull: admission control sheds whole batches with 503.
+func TestBatchQueueFull(t *testing.T) {
+	s, _ := newTestServer(t, Config{Concurrency: 1, QueueDepth: 1})
+	release := occupyWorkers(t, s, 1)
+	defer release()
+	queued := make(chan error, 1)
+	go func() { queued <- s.exec.Do(context.Background(), func() {}) }()
+	waitFor(t, func() bool { return s.exec.queued.Load() == 1 })
+	rec, _ := postBatch(t, s, `{"items":[{"q":"C(E,S)","k":5}]}`)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", rec.Code)
+	}
+	release()
+	if err := <-queued; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBatchCacheAdmission: the cost-aware admission threshold applies to
+// batch-computed results exactly as to /query results.
+func TestBatchCacheAdmission(t *testing.T) {
+	s, _ := newTestServer(t, Config{CacheMinEntries: 1 << 30})
+	for i := 0; i < 2; i++ {
+		rec, br := postBatch(t, s, `{"items":[{"q":"C(E,S)","k":5}]}`)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("run %d: status %d", i, rec.Code)
+		}
+		if br.CacheHits != 0 || br.Computed != 1 {
+			t.Fatalf("run %d: computed/cache_hits = %d/%d, want recompute (bypassed)", i, br.Computed, br.CacheHits)
+		}
+	}
+	_, stats := get(t, s, "/stats")
+	adm := stats["cache_admission"].(map[string]any)
+	if got := adm["bypassed"].(float64); got != 2 {
+		t.Errorf("bypassed = %v, want 2", got)
+	}
+}
+
+// TestBatchSharded runs /batch against a sharded backend: dedup and
+// caching behave identically and answers are the canonical sharded ones.
+func TestBatchSharded(t *testing.T) {
+	db := testDatabase(t)
+	sdb, err := db.Shard(3, ktpm.PartitionByLabel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(sdb, Config{})
+	t.Cleanup(s.Close)
+	rec, br := postBatch(t, s, `{"items":[{"q":"C(E,S)","k":5},{"q":"C(S,E)","k":5}]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	if br.Computed != 1 || br.Deduped != 1 {
+		t.Fatalf("computed/deduped = %d/%d, want 1/1", br.Computed, br.Deduped)
+	}
+	q, err := sdb.ParseQuery("C(E,S)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sdb.TopK(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Items[0].Matches) != len(want) {
+		t.Fatalf("%d matches, want %d", len(br.Items[0].Matches), len(want))
+	}
+	for i := range want {
+		if br.Items[0].Matches[i].Score != want[i].Score {
+			t.Fatalf("match %d score %d, want %d", i, br.Items[0].Matches[i].Score, want[i].Score)
+		}
+	}
+}

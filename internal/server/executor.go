@@ -92,6 +92,45 @@ func (e *executor) Do(ctx context.Context, fn func()) error {
 	}
 }
 
+// Acquire reserves a worker slot until the returned release function is
+// called, going through the same admission queue as Do: ErrQueueFull
+// when the queue cannot admit it, ctx.Err() when ctx expires before a
+// worker frees up. The streaming endpoint uses this — a stream's
+// enumeration runs in the handler goroutine (it must interleave with
+// response writes), but it still must count against Concurrency so at
+// most that many enumerations are resident.
+func (e *executor) Acquire(ctx context.Context) (release func(), err error) {
+	started := make(chan struct{})
+	stop := make(chan struct{})
+	t := &task{ctx: ctx, fn: func() { close(started); <-stop }, done: make(chan struct{})}
+	e.queued.Add(1)
+	select {
+	case e.tasks <- t:
+	default:
+		e.queued.Add(-1)
+		return nil, ErrQueueFull
+	}
+	select {
+	case <-started:
+		var once sync.Once
+		return func() { once.Do(func() { close(stop) }) }, nil
+	case <-ctx.Done():
+		// The worker's pre-run ctx check races with this expiry: the slot
+		// may still be granted after we give up. Release it whenever that
+		// happens so the worker is never pinned by an abandoned caller; if
+		// the worker instead drops the task (closing done), nothing holds
+		// the slot and the goroutine just exits.
+		go func() {
+			select {
+			case <-started:
+				close(stop)
+			case <-t.done:
+			}
+		}()
+		return nil, ctx.Err()
+	}
+}
+
 // Close drains the queue and stops the workers. Do must not be called
 // after Close.
 func (e *executor) Close() {

@@ -33,6 +33,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("ktpmd_timed_out_total", "Requests expired with 504.", s.timedOut.Load())
 	counter("ktpmd_client_disconnects_total", "Requests whose client went away before the result (499).", s.clientGone.Load())
 
+	counter("ktpmd_batches_total", "Successful /batch responses.", s.batches.Load())
+	counter("ktpmd_batch_items_total", "Items across successful /batch responses.", s.batchItems.Load())
+	counter("ktpmd_batch_computed_total", "Batch items that ran an enumeration.", s.batchComputed.Load())
+	counter("ktpmd_batch_deduped_total", "Batch items served by an identical item in the same batch.", s.batchDeduped.Load())
+	counter("ktpmd_batch_cache_hits_total", "Batch items served from the result cache.", s.batchCacheHits.Load())
+	counter("ktpmd_batch_item_errors_total", "Items that failed inside an otherwise-successful batch.", s.batchItemErrs.Load())
+
+	counter("ktpmd_streams_total", "/stream responses started.", s.streams.Load())
+	counter("ktpmd_stream_matches_total", "NDJSON match lines written by /stream.", s.streamMatches.Load())
+	counter("ktpmd_stream_truncated_max_total", "Streams truncated by the max-matches guard.", s.streamMaxHits.Load())
+	counter("ktpmd_stream_truncated_deadline_total", "Streams truncated by the request deadline.", s.streamDeadlineHits.Load())
+	counter("ktpmd_stream_disconnects_total", "Streams stopped by a mid-stream client disconnect.", s.streamDisconnects.Load())
+
 	cs := s.cache.Stats()
 	counter("ktpmd_cache_hits_total", "Result cache hits.", cs.Hits)
 	counter("ktpmd_cache_misses_total", "Result cache misses.", cs.Misses)
@@ -59,6 +72,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if ss, ok := s.db.(shardStater); ok {
 		st := ss.ShardStats()
 		gauge("ktpmd_shards", "Shard count of the sharded backend.", float64(st.Shards))
+		gauge("ktpmd_shard_gather_chunk_size", "Matches per channel operation in the scatter-gather transport.", float64(st.ChunkSize))
 		fmt.Fprintf(&b, "# HELP ktpmd_shard_vertices Data-graph vertices owned by each shard.\n# TYPE ktpmd_shard_vertices gauge\n")
 		for i, ps := range st.PerShard {
 			fmt.Fprintf(&b, "ktpmd_shard_vertices{shard=%q,partitioner=%q} %d\n", fmt.Sprint(i), st.Partitioner, ps.Vertices)

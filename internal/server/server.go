@@ -17,13 +17,16 @@ import (
 )
 
 // Backend is the query surface the server serves: parsing, top-k
-// execution, plans, and counters over one immutable prepared graph. Both
-// *ktpm.Database and *ktpm.ShardedDatabase implement it, which is how
-// ktpmd -shards routes /query and /explain through the scatter-gather
-// path without any endpoint noticing.
+// execution (single, batched, and streaming), plans, and counters over
+// one immutable prepared graph. Both *ktpm.Database and
+// *ktpm.ShardedDatabase implement it, which is how ktpmd -shards routes
+// /query, /batch, /stream, and /explain through the scatter-gather path
+// without any endpoint noticing.
 type Backend interface {
 	ParseQuery(s string) (*ktpm.Query, error)
 	TopKWith(q *ktpm.Query, k int, opt ktpm.Options) ([]ktpm.Match, error)
+	TopKBatch(items []ktpm.BatchItem) []ktpm.BatchResult
+	OpenStream(q *ktpm.Query, opt ktpm.Options) (ktpm.MatchStream, error)
 	Explain(q *ktpm.Query) (*ktpm.Plan, error)
 	Graph() *ktpm.Graph
 	IOStats() ktpm.IOStats
@@ -66,6 +69,18 @@ type Config struct {
 	// least two bytes), keeping adversarial deeply-nested queries from
 	// exhausting the handler goroutine's stack.
 	MaxQueryLen int
+	// MaxBatchItems rejects /batch requests with more items; 0 means 256.
+	// One batch occupies one worker for its whole run, so the cap bounds
+	// how long a single admission decision can hold the pool.
+	MaxBatchItems int
+	// MaxStreamMatches caps how many matches one /stream response may
+	// carry (and is the default when the request omits max); 0 means
+	// 100000.
+	MaxStreamMatches int
+	// StreamChunk is the NDJSON flush granularity: the response is
+	// flushed (and client disconnect / deadline checked) every this many
+	// matches; 0 means 32.
+	StreamChunk int
 }
 
 func (c Config) withDefaults() Config {
@@ -92,6 +107,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxQueryLen <= 0 {
 		c.MaxQueryLen = 4096
+	}
+	if c.MaxBatchItems <= 0 {
+		c.MaxBatchItems = 256
+	}
+	if c.MaxStreamMatches <= 0 {
+		c.MaxStreamMatches = 100000
+	}
+	if c.StreamChunk <= 0 {
+		c.StreamChunk = 32
 	}
 	return c
 }
@@ -150,6 +174,19 @@ type Server struct {
 	timedOut   atomic.Int64 // 504: deadline expired
 	clientGone atomic.Int64 // 499: client disconnected before the result
 	coalesced  atomic.Int64 // /query requests served by another request's flight
+
+	batches        atomic.Int64 // successful /batch responses
+	batchItems     atomic.Int64 // items across successful batches
+	batchComputed  atomic.Int64 // items that ran an enumeration
+	batchDeduped   atomic.Int64 // items served by an identical item in the same batch
+	batchCacheHits atomic.Int64 // items served from the result cache
+	batchItemErrs  atomic.Int64 // items that failed inside an otherwise-successful batch
+
+	streams            atomic.Int64 // /stream responses started
+	streamMatches      atomic.Int64 // NDJSON match lines written
+	streamMaxHits      atomic.Int64 // streams truncated by the max-matches guard
+	streamDeadlineHits atomic.Int64 // streams truncated by the request deadline
+	streamDisconnects  atomic.Int64 // streams stopped by a mid-stream client disconnect
 }
 
 // flightCall is one in-progress /query computation, shared by every
@@ -175,6 +212,8 @@ func New(db Backend, cfg Config) *Server {
 		flights: make(map[string]*flightCall),
 	}
 	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/batch", s.handleBatch)
+	s.mux.HandleFunc("/stream", s.handleStream)
 	s.mux.HandleFunc("/explain", s.handleExplain)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
@@ -384,6 +423,13 @@ func (s *Server) runQuery(r *http.Request, key string, cq *ktpm.Query, k int, al
 	return fc.res, false, fc.err
 }
 
+// resultKey is the result-cache and dedup identity of a query execution.
+// /query and /batch share cache entries, so every probe and fill site
+// must build keys through this one function.
+func resultKey(canonical string, k int, algo ktpm.Algorithm) string {
+	return canonical + "\x00" + strconv.Itoa(k) + "\x00" + algo.String()
+}
+
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	t0 := time.Now()
 	q, k, algo, ok := s.parseRequest(w, r)
@@ -391,7 +437,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	canonical := q.Canonical()
-	key := canonical + "\x00" + strconv.Itoa(k) + "\x00" + algo.String()
+	key := resultKey(canonical, k, algo)
 	resp := QueryResponse{
 		Query:     r.FormValue("q"),
 		Canonical: canonical,
@@ -471,6 +517,30 @@ type StatsResponse struct {
 	// request's in-flight computation.
 	Coalesced int64     `json:"coalesced"`
 	Cache     lru.Stats `json:"cache"`
+	// Batch reports the /batch pipeline: Items counts items across
+	// successful batches, split into Computed (ran an enumeration),
+	// Deduped (served by an identical item in the same batch), and
+	// CacheHits (served from the result cache); ItemErrors counts items
+	// that failed inside an otherwise-successful batch.
+	Batch struct {
+		Batches    int64 `json:"batches"`
+		Items      int64 `json:"items"`
+		Computed   int64 `json:"computed"`
+		Deduped    int64 `json:"deduped"`
+		CacheHits  int64 `json:"cache_hits"`
+		ItemErrors int64 `json:"item_errors"`
+	} `json:"batch"`
+	// Stream reports the /stream pipeline: Matches counts NDJSON match
+	// lines written; TruncatedMax/TruncatedDeadline count streams cut by
+	// the max-matches guard and the request deadline; Disconnects counts
+	// streams stopped by a mid-stream client disconnect.
+	Stream struct {
+		Streams           int64 `json:"streams"`
+		Matches           int64 `json:"matches"`
+		TruncatedMax      int64 `json:"truncated_max"`
+		TruncatedDeadline int64 `json:"truncated_deadline"`
+		Disconnects       int64 `json:"disconnects"`
+	} `json:"stream"`
 	// CacheAdmission reports the cost-aware admission policy: results are
 	// cached only when their computation read at least MinEntries store
 	// entries (0 = admit everything). Admitted counts results cached,
@@ -510,6 +580,17 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Errors = s.errors.Load()
 	resp.Coalesced = s.coalesced.Load()
 	resp.Cache = s.cache.Stats()
+	resp.Batch.Batches = s.batches.Load()
+	resp.Batch.Items = s.batchItems.Load()
+	resp.Batch.Computed = s.batchComputed.Load()
+	resp.Batch.Deduped = s.batchDeduped.Load()
+	resp.Batch.CacheHits = s.batchCacheHits.Load()
+	resp.Batch.ItemErrors = s.batchItemErrs.Load()
+	resp.Stream.Streams = s.streams.Load()
+	resp.Stream.Matches = s.streamMatches.Load()
+	resp.Stream.TruncatedMax = s.streamMaxHits.Load()
+	resp.Stream.TruncatedDeadline = s.streamDeadlineHits.Load()
+	resp.Stream.Disconnects = s.streamDisconnects.Load()
 	resp.CacheAdmission.MinEntries = s.cfg.CacheMinEntries
 	resp.CacheAdmission.Admitted = s.cacheAdmitted.Load()
 	resp.CacheAdmission.Bypassed = s.cacheBypassed.Load()

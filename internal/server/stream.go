@@ -1,0 +1,223 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"time"
+
+	"ktpm"
+)
+
+// The /stream endpoint serves matches as NDJSON — one JSON object per
+// line — in the order the backend's MatchStream emits them (score order;
+// canonical tie order on a sharded backend). It is the anytime face of
+// the enumerator: clients consume as many results as they want and hang
+// up, and the server computes only what was consumed (plus the bounded
+// chunk look-ahead of the scatter-gather transport). The response is
+// flushed every StreamChunk matches, at which point the client's
+// liveness and the request deadline are also checked. A stream occupies
+// one worker slot (executor.Acquire) for its whole duration, so
+// Concurrency still bounds resident enumerations.
+//
+// One caveat bounds both guarantees: canonical tie order means a whole
+// equal-score group is enumerated before any of it is emitted, so a
+// single st.Next() call — during which no guard runs — can cost
+// O(largest tie group). On score-diverse data groups are small; on
+// uniform-weight data (astronomical tie groups) the guards and the max
+// cap only take effect at group boundaries.
+
+// StreamHeader is the first NDJSON line of a /stream response: the
+// echoed query, its canonical form, and the label of each query
+// position, in the order match lines bind their nodes.
+type StreamHeader struct {
+	Query     string   `json:"query"`
+	Canonical string   `json:"canonical"`
+	Algorithm string   `json:"algorithm"`
+	Positions []string `json:"positions"`
+}
+
+// StreamMatch is one match line of a /stream response: Nodes[i] is the
+// data node bound to query position i of the header's Positions.
+type StreamMatch struct {
+	Score int64   `json:"score"`
+	Nodes []int32 `json:"nodes"`
+}
+
+// StreamTrailer is the final NDJSON line of a /stream response. It is
+// the only line carrying a "done" key, which is how clients tell it from
+// a match.
+type StreamTrailer struct {
+	Done  bool `json:"done"`
+	Count int  `json:"count"`
+	// Complete is true when the match space was exhausted; false when
+	// the stream was cut by the max guard, the deadline, or a disconnect.
+	Complete bool `json:"complete"`
+	// Reason is "exhausted", "max", "deadline", or "disconnect".
+	Reason    string  `json:"reason"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	q, algo, max, ok := s.parseStreamRequest(w, r)
+	if !ok {
+		return
+	}
+	// One admission decision up front: the stream reserves a worker slot
+	// before any enumeration work. Queue-full, deadline-while-queued, and
+	// disconnect-while-queued answer 503/504/499 exactly like /query.
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	release, err := s.exec.Acquire(ctx)
+	if !s.writeExecError(w, err) {
+		return
+	}
+	defer release()
+
+	st, err := s.db.OpenStream(q, ktpm.Options{Algorithm: algo})
+	if err != nil {
+		// Only non-streamable algorithms reach here; the request is wrong,
+		// not the server.
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	defer st.Close()
+
+	s.streams.Add(1)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Accel-Buffering", "no") // proxies must not buffer an anytime stream
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w) // Encode's trailing newline is the NDJSON frame
+	hdr := StreamHeader{
+		Query:     r.FormValue("q"),
+		Canonical: q.Canonical(),
+		Algorithm: algo.String(),
+		Positions: make([]string, q.NumNodes()),
+	}
+	for i := range hdr.Positions {
+		hdr.Positions[i] = q.LabelOf(i)
+	}
+	_ = enc.Encode(hdr)
+	if flusher != nil {
+		flusher.Flush() // the header tells the client the stream is live
+	}
+
+	count := 0
+	reason := "max"
+	clientGone := r.Context().Done()
+	deadline := ctx.Done()
+	for count < max {
+		m, more := st.Next()
+		if !more {
+			reason = "exhausted"
+			break
+		}
+		_ = enc.Encode(StreamMatch{Score: m.Score, Nodes: m.Nodes})
+		count++
+		if count%s.cfg.StreamChunk == 0 {
+			if flusher != nil {
+				flusher.Flush()
+			}
+			// Guards are checked at flush points: a dead client or an
+			// expired deadline stops the enumeration within one chunk.
+			// The client check comes first — the request deadline ctx is
+			// derived from the client's, so a disconnect fires both, and
+			// a single select would pick between them at random.
+			select {
+			case <-clientGone:
+				reason = "disconnect"
+			default:
+				select {
+				case <-deadline:
+					reason = "deadline"
+				default:
+					continue
+				}
+			}
+			break
+		}
+	}
+	if reason == "max" {
+		// The loop reached the cap without seeing the stream end; one
+		// bounded look-ahead probe distinguishes "exactly max matches
+		// exist" (complete) from a genuine truncation, so clients do not
+		// re-enumerate a finished space chasing a phantom remainder.
+		if _, more := st.Next(); !more {
+			reason = "exhausted"
+		}
+	}
+	switch reason {
+	case "disconnect":
+		// The 499 analogue for a response already streaming: the status
+		// line is long gone, so the disconnect is recorded in /stats and
+		// the stream just ends.
+		s.streamDisconnects.Add(1)
+	case "deadline":
+		s.streamDeadlineHits.Add(1)
+	case "max":
+		s.streamMaxHits.Add(1)
+	}
+	s.streamMatches.Add(int64(count))
+	_ = enc.Encode(StreamTrailer{
+		Done:      true,
+		Count:     count,
+		Complete:  reason == "exhausted",
+		Reason:    reason,
+		ElapsedMS: msSince(t0),
+	})
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+// parseStreamRequest validates the /stream parameters: q and algo follow
+// the /query rules; max (how many matches to stream at most) defaults to
+// and is capped by MaxStreamMatches rather than MaxK — streaming exists
+// precisely for results too large for one /query response.
+func (s *Server) parseStreamRequest(w http.ResponseWriter, r *http.Request) (q *ktpm.Query, algo ktpm.Algorithm, max int, ok bool) {
+	if r.Method != http.MethodGet && r.Method != http.MethodPost {
+		w.Header().Set("Allow", "GET, POST")
+		s.writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return nil, 0, 0, false
+	}
+	qs := r.FormValue("q")
+	if qs == "" {
+		s.writeError(w, http.StatusBadRequest, "missing required parameter q")
+		return nil, 0, 0, false
+	}
+	if len(qs) > s.cfg.MaxQueryLen {
+		s.writeError(w, http.StatusBadRequest, "query length %d exceeds the maximum %d", len(qs), s.cfg.MaxQueryLen)
+		return nil, 0, 0, false
+	}
+	max = s.cfg.MaxStreamMatches
+	if ms := r.FormValue("max"); ms != "" {
+		var err error
+		max, err = strconv.Atoi(ms)
+		if err != nil || max < 1 {
+			s.writeError(w, http.StatusBadRequest, "max must be a positive integer, got %q", ms)
+			return nil, 0, 0, false
+		}
+		if max > s.cfg.MaxStreamMatches {
+			s.writeError(w, http.StatusBadRequest, "max=%d exceeds the maximum %d", max, s.cfg.MaxStreamMatches)
+			return nil, 0, 0, false
+		}
+	}
+	algo = ktpm.AlgoTopkEN
+	if name := r.FormValue("algo"); name != "" {
+		var good bool
+		algo, good = ktpm.ParseAlgorithm(name)
+		if !good {
+			s.writeError(w, http.StatusBadRequest, "unknown algorithm %q (want topk-en, topk, dp-b, dp-p)", name)
+			return nil, 0, 0, false
+		}
+	}
+	q, err := s.db.ParseQuery(qs)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad query: %v", err)
+		return nil, 0, 0, false
+	}
+	return q, algo, max, true
+}

@@ -47,6 +47,7 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
 
 	"ktpm/internal/closure"
@@ -334,9 +335,17 @@ func (a Algorithm) String() string {
 	return fmt.Sprintf("Algorithm(%d)", int(a))
 }
 
-// Options tunes a single TopK call.
+// Options tunes a single TopK or Stream call.
 type Options struct {
 	Algorithm Algorithm
+	// RootFilter, when non-nil, restricts results to matches whose root
+	// position binds a data node the filter accepts; other positions are
+	// unaffected. Because every match binds the root to exactly one data
+	// node, filters over disjoint vertex sets partition the match space.
+	// Supported by the Topk-EN paths (TopK, TopKWith, Stream, StreamWith,
+	// and their sharded forms, where it composes with — restricts within —
+	// shard ownership); the materialized and DP algorithms reject it.
+	RootFilter func(v int32) bool
 }
 
 // Match is one result: Nodes[i] is the data node matched to query position
@@ -367,6 +376,11 @@ func (db *Database) TopK(q *Query, k int) ([]Match, error) {
 
 // TopKWith returns the k best matches using the selected algorithm. All
 // algorithms return the same score sequence; they differ in cost.
+// AlgoTopkEN (the default) additionally returns the canonical order —
+// non-decreasing score, equal scores ordered by node bindings, the tie
+// group at the k-th score drained in full — so its result is a pure
+// function of the store contents, byte-identical to what a
+// ShardedDatabase returns at any shard count.
 func (db *Database) TopKWith(q *Query, k int, opt Options) ([]Match, error) {
 	if q == nil || q.t == nil {
 		return nil, fmt.Errorf("ktpm: nil query")
@@ -374,9 +388,12 @@ func (db *Database) TopKWith(q *Query, k int, opt Options) ([]Match, error) {
 	if k < 0 {
 		return nil, fmt.Errorf("ktpm: negative k")
 	}
+	if opt.RootFilter != nil && opt.Algorithm != AlgoTopkEN {
+		return nil, fmt.Errorf("ktpm: RootFilter requires Topk-EN, got %v", opt.Algorithm)
+	}
 	switch opt.Algorithm {
 	case AlgoTopkEN:
-		ms := lazy.TopK(db.st, q.t, k, lazy.Options{})
+		ms := lazy.TopKCanonical(db.st, q.t, k, lazy.Options{RootFilter: opt.RootFilter})
 		out := make([]Match, len(ms))
 		for i, m := range ms {
 			out[i] = Match{Nodes: m.Nodes, Score: m.Score}
@@ -409,24 +426,141 @@ func (db *Database) TopKWith(q *Query, k int, opt Options) ([]Match, error) {
 	return nil, fmt.Errorf("ktpm: unknown algorithm %v", opt.Algorithm)
 }
 
-// Stream incrementally enumerates matches in non-decreasing score order
-// using Topk-EN, for consumers that do not know k up front.
+// MatchStream is an incremental enumeration of matches in non-decreasing
+// score order, for consumers that do not know k up front. Both *Stream
+// (single database) and *ShardStream (scatter-gather) implement it; the
+// server's NDJSON /stream endpoint is written against this interface.
+// Consumers that stop before exhaustion must call Close.
+type MatchStream interface {
+	// Next returns the next match; ok is false when the space is
+	// exhausted or the stream is closed.
+	Next() (Match, bool)
+	// Close releases any resources held by the enumeration. Idempotent.
+	Close()
+}
+
+// Stream incrementally enumerates matches using Topk-EN in the same
+// canonical order TopK returns — non-decreasing score, equal scores
+// ordered by node bindings — for consumers that do not know k up front.
+// Drained to any k it is byte-identical to TopK(q, k).
 type Stream struct {
-	e *lazy.Enumerator
+	cs *lazy.CanonicalStream
 }
 
 // Stream opens an incremental enumeration of q.
 func (db *Database) Stream(q *Query) *Stream {
-	return &Stream{e: lazy.New(db.st, q.t, lazy.Options{})}
+	return &Stream{cs: lazy.NewCanonicalStream(lazy.New(db.st, q.t, lazy.Options{}))}
 }
 
-// Next returns the next match; ok is false when the space is exhausted.
+// StreamWith opens an incremental enumeration of q with options, so
+// RootFilter applies to streaming too. Streaming is inherently lazy:
+// only AlgoTopkEN supports it, and any other Algorithm is an error.
+func (db *Database) StreamWith(q *Query, opt Options) (*Stream, error) {
+	if q == nil || q.t == nil {
+		return nil, fmt.Errorf("ktpm: nil query")
+	}
+	if opt.Algorithm != AlgoTopkEN {
+		return nil, fmt.Errorf("ktpm: streaming requires Topk-EN, got %v", opt.Algorithm)
+	}
+	return &Stream{cs: lazy.NewCanonicalStream(lazy.New(db.st, q.t, lazy.Options{RootFilter: opt.RootFilter}))}, nil
+}
+
+// OpenStream is StreamWith behind the MatchStream interface, the form
+// the server's Backend contract uses so single and sharded databases
+// interchange.
+func (db *Database) OpenStream(q *Query, opt Options) (MatchStream, error) {
+	return db.StreamWith(q, opt)
+}
+
+// Next returns the next match in canonical order; ok is false when the
+// space is exhausted.
 func (s *Stream) Next() (Match, bool) {
-	m, ok := s.e.Next()
+	m, ok := s.cs.Next()
 	if !ok {
 		return Match{}, false
 	}
 	return Match{Nodes: m.Nodes, Score: m.Score}, true
+}
+
+// Close implements MatchStream. A single-database enumeration holds no
+// goroutines or external resources, so this is a no-op; it exists so
+// *Stream satisfies the interface the sharded stream needs.
+func (s *Stream) Close() {}
+
+// BatchItem is one query of a TopKBatch call.
+type BatchItem struct {
+	Query *Query
+	K     int
+	Opt   Options
+}
+
+// BatchResult is one item's outcome in a TopKBatch call.
+type BatchResult struct {
+	// Matches is the item's top-k answer. Items deduplicated against an
+	// earlier identical item share the same underlying slice; treat it as
+	// immutable.
+	Matches []Match
+	// Shared marks an item whose result was reused from an earlier
+	// canonical-identical item in the same batch instead of enumerated.
+	Shared bool
+	// Cost is the database-wide EntriesRead delta observed around this
+	// item's enumeration — the simulated-I/O price of computing it, the
+	// signal cost-aware cache admission keys on. Shared items report the
+	// cost of the enumeration they reused. Under concurrent traffic the
+	// delta may include other queries' reads, an overestimate only.
+	Cost int64
+	// Err is the item's failure; other items are unaffected.
+	Err error
+}
+
+// TopKBatch answers many queries in one call, amortizing per-query
+// overheads: items whose canonical form, k, and algorithm agree are
+// enumerated once and share the result, and every item warms the same
+// derived-data plane, so D/E tables a batch touches repeatedly are
+// derived at most once. Items with a RootFilter are never deduplicated
+// (filter identity is unknowable). Results align with items; a failed
+// item carries its own Err and does not disturb the rest.
+//
+// A shared result's Nodes follow the *first* occurrence's position
+// numbering. Canonical-identical queries can still number positions
+// differently when their sibling order differs; callers that need a
+// fixed numbering should parse Query.Canonical themselves, as the
+// server's /batch endpoint does.
+func (db *Database) TopKBatch(items []BatchItem) []BatchResult {
+	return runBatch(items, db.IOStats, db.TopKWith)
+}
+
+// batchKey is the dedup identity of a batch item; ok is false when the
+// item must not be deduplicated.
+func batchKey(it BatchItem) (string, bool) {
+	if it.Query == nil || it.Query.t == nil || it.Opt.RootFilter != nil {
+		return "", false
+	}
+	return it.Query.Canonical() + "\x00" + strconv.Itoa(it.K) + "\x00" + it.Opt.Algorithm.String(), true
+}
+
+// runBatch is the shared TopKBatch engine: run computes one item, stats
+// snapshots the I/O counters that price it.
+func runBatch(items []BatchItem, stats func() IOStats, run func(*Query, int, Options) ([]Match, error)) []BatchResult {
+	out := make([]BatchResult, len(items))
+	seen := make(map[string]int, len(items)) // key -> index of first occurrence
+	for i, it := range items {
+		key, dedupable := batchKey(it)
+		if dedupable {
+			if first, ok := seen[key]; ok {
+				out[i] = out[first]
+				out[i].Shared = true
+				continue
+			}
+		}
+		before := stats().EntriesRead
+		ms, err := run(it.Query, it.K, it.Opt)
+		out[i] = BatchResult{Matches: ms, Cost: stats().EntriesRead - before, Err: err}
+		if dedupable && err == nil {
+			seen[key] = i
+		}
+	}
+	return out
 }
 
 // CountMatches returns the total number of matches of q — the quantity

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"ktpm/internal/graph"
+	"ktpm/internal/lazy"
 	"ktpm/internal/shard"
 )
 
@@ -123,7 +124,8 @@ func (s *ShardedDatabase) TopK(q *Query, k int) ([]Match, error) {
 // AlgoTopkEN (the default) scatter-gathers across the shards; the
 // materialized and DP baselines exist for single-database comparison
 // benchmarks and are served unsharded by the wrapped Database. All
-// algorithms return the same score sequence.
+// algorithms return the same score sequence. A RootFilter composes with
+// (restricts within) shard ownership on the scatter-gather path.
 func (s *ShardedDatabase) TopKWith(q *Query, k int, opt Options) ([]Match, error) {
 	if q == nil || q.t == nil {
 		return nil, fmt.Errorf("ktpm: nil query")
@@ -134,13 +136,82 @@ func (s *ShardedDatabase) TopKWith(q *Query, k int, opt Options) ([]Match, error
 	if opt.Algorithm != AlgoTopkEN {
 		return s.db.TopKWith(q, k, opt)
 	}
-	ms := s.sd.TopK(q.t, k)
+	ms := s.sd.TopKOpts(q.t, k, lazy.Options{RootFilter: opt.RootFilter})
 	out := make([]Match, len(ms))
 	for i, m := range ms {
 		out[i] = Match{Nodes: m.Nodes, Score: m.Score}
 	}
 	return out, nil
 }
+
+// TopKBatch answers many queries in one call; see Database.TopKBatch.
+// Default-algorithm items scatter-gather across the shards; every item
+// warms the shared derived-data plane, so a batch derives each distinct
+// table at most once no matter how many items touch it.
+func (s *ShardedDatabase) TopKBatch(items []BatchItem) []BatchResult {
+	return runBatch(items, s.IOStats, s.TopKWith)
+}
+
+// SetGatherChunkSize tunes the scatter-gather transport: how many
+// matches a shard accumulates before handing them to the coordinator in
+// one channel operation. Values below 1 restore the default
+// (shard.DefaultChunkSize, chosen from the BENCH_topk.json chunk-size
+// sweep). The chunk size never affects results — only the number of
+// channel synchronizations per query and the bounded work a shard may
+// compute past the termination threshold. Safe to call while serving;
+// in-flight queries keep the size they started with.
+func (s *ShardedDatabase) SetGatherChunkSize(n int) { s.sd.SetChunkSize(n) }
+
+// GatherChunkSize returns the current scatter-gather transport chunk
+// size.
+func (s *ShardedDatabase) GatherChunkSize() int { return s.sd.ChunkSize() }
+
+// ShardStream incrementally enumerates matches scatter-gathered across
+// the shards in the canonical order ShardedDatabase.TopK returns:
+// non-decreasing score, equal scores ordered by node bindings. Drained
+// to any k it is byte-identical to TopK(q, k). Close stops the per-shard
+// producer goroutines; consumers that do not drain to exhaustion must
+// call it (defer st.Close() is the idiom).
+type ShardStream struct {
+	st *shard.Stream
+}
+
+// Stream opens an incremental scatter-gather enumeration of q.
+func (s *ShardedDatabase) Stream(q *Query) (*ShardStream, error) {
+	return s.StreamWith(q, Options{})
+}
+
+// StreamWith is Stream with options: RootFilter composes with shard
+// ownership. Streaming is inherently lazy: only AlgoTopkEN supports it,
+// and any other Algorithm is an error.
+func (s *ShardedDatabase) StreamWith(q *Query, opt Options) (*ShardStream, error) {
+	if q == nil || q.t == nil {
+		return nil, fmt.Errorf("ktpm: nil query")
+	}
+	if opt.Algorithm != AlgoTopkEN {
+		return nil, fmt.Errorf("ktpm: streaming requires Topk-EN, got %v", opt.Algorithm)
+	}
+	return &ShardStream{st: s.sd.Stream(q.t, lazy.Options{RootFilter: opt.RootFilter})}, nil
+}
+
+// OpenStream is StreamWith behind the MatchStream interface; see
+// Database.OpenStream.
+func (s *ShardedDatabase) OpenStream(q *Query, opt Options) (MatchStream, error) {
+	return s.StreamWith(q, opt)
+}
+
+// Next returns the next match in canonical order; ok is false when the
+// space is exhausted or the stream is closed.
+func (ss *ShardStream) Next() (Match, bool) {
+	m, ok := ss.st.Next()
+	if !ok {
+		return Match{}, false
+	}
+	return Match{Nodes: m.Nodes, Score: m.Score}, true
+}
+
+// Close stops the per-shard producers. Idempotent.
+func (ss *ShardStream) Close() { ss.st.Close() }
 
 // IOStats returns the simulated-I/O counters summed over every shard
 // store plus the wrapped Database's own store (which serves the non-default
@@ -171,9 +242,12 @@ type ShardStats struct {
 
 // ShardingStats summarizes a ShardedDatabase for /stats.
 type ShardingStats struct {
-	Shards      int          `json:"shards"`
-	Partitioner string       `json:"partitioner"`
-	PerShard    []ShardStats `json:"per_shard"`
+	Shards      int    `json:"shards"`
+	Partitioner string `json:"partitioner"`
+	// ChunkSize is the gather transport's matches-per-channel-op setting
+	// (ktpmd -chunk-size).
+	ChunkSize int          `json:"chunk_size"`
+	PerShard  []ShardStats `json:"per_shard"`
 }
 
 // ShardStats returns the per-shard counters.
@@ -181,6 +255,7 @@ func (s *ShardedDatabase) ShardStats() ShardingStats {
 	st := ShardingStats{
 		Shards:      s.sd.NumShards(),
 		Partitioner: s.sd.PartitionerName(),
+		ChunkSize:   s.sd.ChunkSize(),
 		PerShard:    make([]ShardStats, s.sd.NumShards()),
 	}
 	for i := range st.PerShard {
