@@ -12,9 +12,10 @@
 //	benchkit -exp topk,batch -json BENCH_topk.json  # serving sweeps (make bench-json)
 //	benchkit -drift BENCH_topk.json                 # schema drift check (make bench-json-check)
 //
-// -json writes the shard-plane, gather chunk-size, and batch
-// amortization sweeps as one document; it implies the topk and batch
-// experiments so the written schema is always complete. -drift
+// -json writes the shard-plane, gather chunk-size, batch amortization,
+// and snapshot startup sweeps as one document; it implies the topk,
+// batch, and startup experiments so the written schema is always
+// complete. -drift
 // regenerates the same sweeps and fails when the committed document's
 // schema (key paths, row names) no longer matches — CI's guard against
 // a stale BENCH_topk.json.
@@ -35,11 +36,11 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment, or comma-separated list: all, table2, table3, fig6, fig7, fig8, fig9, ablations, topk, batch")
+		exp       = flag.String("exp", "all", "experiment, or comma-separated list: all, table2, table3, fig6, fig7, fig8, fig9, ablations, topk, batch, startup")
 		queries   = flag.Int("queries", 5, "queries per data point")
 		quick     = flag.Bool("quick", false, "reduced sweeps for a fast pass")
-		jsonPath  = flag.String("json", "", "write the topk+batch sweeps as one JSON document to this path (implies both experiments; see make bench-json)")
-		driftPath = flag.String("drift", "", "regenerate the topk+batch sweeps and compare their schema (key paths, row names) against this committed JSON document; exit nonzero on drift (implies both experiments; see make bench-json-check)")
+		jsonPath  = flag.String("json", "", "write the topk+batch+startup sweeps as one JSON document to this path (implies all three experiments; see make bench-json)")
+		driftPath = flag.String("drift", "", "regenerate the topk+batch+startup sweeps and compare their schema (key paths, row names) against this committed JSON document; exit nonzero on drift (implies all three experiments; see make bench-json-check)")
 		topkOps   = flag.Int("topk-ops", 5, "iterations per configuration of the topk, chunk, and batch sweeps")
 	)
 	flag.Parse()
@@ -51,7 +52,7 @@ func main() {
 		ks = []int{10, 100}
 		gdSets, gsSets = bench.GD[:3], bench.GS[:3]
 	}
-	known := []string{"all", "table2", "table3", "fig6", "fig7", "fig8", "fig9", "ablations", "topk", "batch"}
+	known := []string{"all", "table2", "table3", "fig6", "fig7", "fig8", "fig9", "ablations", "topk", "batch", "startup"}
 	selected := map[string]bool{}
 	for _, name := range strings.Split(*exp, ",") {
 		name = strings.TrimSpace(name)
@@ -70,6 +71,7 @@ func main() {
 		// would silently drift the committed schema.
 		selected["topk"] = true
 		selected["batch"] = true
+		selected["startup"] = true
 	}
 	want := func(name string) bool { return selected["all"] || selected[name] }
 	t0 := time.Now()
@@ -155,6 +157,17 @@ func main() {
 		if rep != nil {
 			rep.ChunkSweep = chunkRows
 			rep.BatchSweep = batchRows
+		}
+	}
+	if want("startup") {
+		startupRows, err := runStartupSweep(*topkOps)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchkit: startup sweep: %v\n", err)
+			os.Exit(1)
+		}
+		bench.StartupTable(startupRows).Fprint(os.Stdout)
+		if rep != nil {
+			rep.StartupSweep = startupRows
 		}
 	}
 	if *jsonPath != "" {

@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -22,8 +23,11 @@ import (
 func main() {
 	var (
 		graphPath = flag.String("graph", "", "path to the data graph file")
-		dbPath    = flag.String("db", "", "path to a prepared database snapshot (alternative to -graph)")
-		savePath  = flag.String("save", "", "write the prepared database snapshot here and exit")
+		dbPath    = flag.String("db", "", "path to a prepared KTPMTC1 database stream (alternative to -graph)")
+		snapPath  = flag.String("snapshot", "", "path to a KTPMSNAP1 snapshot (alternative to -graph/-db; see -snapshot-mode)")
+		snapMode  = flag.String("snapshot-mode", "mmap", "snapshot table backing: eager, lazy, or mmap")
+		savePath  = flag.String("save", "", "write the prepared KTPMTC1 database stream here")
+		saveSnap  = flag.String("save-snapshot", "", "write a KTPMSNAP1 snapshot here (openable eagerly, lazily, or via mmap)")
 		queryStr  = flag.String("query", "", "query tree, e.g. \"a(b,c(d))\"")
 		k         = flag.Int("k", 10, "number of matches to return")
 		algoName  = flag.String("algo", "topk-en", "algorithm: topk-en, topk, dp-b, dp-p")
@@ -32,7 +36,8 @@ func main() {
 		quiet     = flag.Bool("quiet", false, "print scores only")
 	)
 	flag.Parse()
-	if (*graphPath == "" && *dbPath == "") || (*queryStr == "" && *savePath == "") {
+	if (*graphPath == "" && *dbPath == "" && *snapPath == "") ||
+		(*queryStr == "" && *savePath == "" && *saveSnap == "") {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -40,9 +45,23 @@ func main() {
 	if !ok {
 		fatalf("unknown algorithm %q (want topk-en, topk, dp-b, dp-p)", *algoName)
 	}
+	mode, ok := ktpm.ParseSnapshotMode(*snapMode)
+	if !ok {
+		fatalf("unknown snapshot mode %q (want eager, lazy, mmap)", *snapMode)
+	}
 
 	var db *ktpm.Database
-	if *dbPath != "" {
+	if *snapPath != "" {
+		t0 := time.Now()
+		var err error
+		db, err = ktpm.OpenSnapshot(*snapPath, ktpm.SnapshotOptions{Mode: mode})
+		if err != nil {
+			fatalf("open snapshot: %v", err)
+		}
+		defer db.Close()
+		ss, _ := db.SnapshotStats()
+		fmt.Printf("snapshot opened in %v (%s mode)\n", time.Since(t0).Round(time.Microsecond), ss.Mode)
+	} else if *dbPath != "" {
 		f, err := os.Open(*dbPath)
 		if err != nil {
 			fatalf("open database: %v", err)
@@ -75,20 +94,15 @@ func main() {
 			entries, tables, theta, float64(size)/1e6, time.Since(t0).Round(time.Millisecond))
 	}
 	if *savePath != "" {
-		f, err := os.Create(*savePath)
-		if err != nil {
-			fatalf("create snapshot: %v", err)
-		}
-		if err := ktpm.SaveDatabase(f, db); err != nil {
-			fatalf("save snapshot: %v", err)
-		}
-		if err := f.Close(); err != nil {
-			fatalf("close snapshot: %v", err)
-		}
-		fmt.Printf("database snapshot written to %s\n", *savePath)
-		if *queryStr == "" {
-			return
-		}
+		save(*savePath, db, ktpm.SaveDatabase)
+		fmt.Printf("database stream written to %s\n", *savePath)
+	}
+	if *saveSnap != "" {
+		save(*saveSnap, db, ktpm.SaveSnapshot)
+		fmt.Printf("snapshot written to %s\n", *saveSnap)
+	}
+	if *queryStr == "" && (*savePath != "" || *saveSnap != "") {
+		return
 	}
 
 	q, err := db.ParseQuery(*queryStr)
@@ -122,6 +136,19 @@ func main() {
 	}
 	if *count {
 		fmt.Printf("total matches: %d\n", db.CountMatches(q))
+	}
+}
+
+func save(path string, db *ktpm.Database, write func(io.Writer, *ktpm.Database) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatalf("create %s: %v", path, err)
+	}
+	if err := write(f, db); err != nil {
+		fatalf("save %s: %v", path, err)
+	}
+	if err := f.Close(); err != nil {
+		fatalf("close %s: %v", path, err)
 	}
 }
 

@@ -1,12 +1,16 @@
 // Command ktpmd serves top-k tree-matching queries over HTTP.
 //
-// It loads a data graph (building the closure at startup) or a prepared
-// snapshot (see ktpm -save), then answers concurrent queries against the
-// one shared database — optionally partitioned across shards that
+// It loads a data graph (building the closure at startup), a prepared
+// KTPMTC1 database stream (see ktpm -save), or a KTPMSNAP1 snapshot (see
+// ktpm -save-snapshot) — the latter openable lazily or via mmap so the
+// daemon starts serving in O(directory) time instead of re-materializing
+// the whole closure — then answers concurrent queries against the one
+// shared database, optionally partitioned across shards that
 // scatter-gather each top-k query:
 //
 //	ktpmd -graph g.txt -addr :8080
-//	ktpmd -db g.snap -concurrency 8 -cache 4096 -shards 4 -partition label
+//	ktpmd -db g.ktpmdb -concurrency 8 -cache 4096 -shards 4 -partition label
+//	ktpmd -snapshot g.snap -snapshot-mode mmap
 //
 //	curl 'localhost:8080/query?q=a(b,c(d))&k=5'
 //	curl -d '{"items":[{"q":"a(b)","k":5},{"q":"a(b)","k":5}]}' localhost:8080/batch
@@ -40,7 +44,9 @@ import (
 func main() {
 	var (
 		graphPath   = flag.String("graph", "", "path to the data graph file")
-		dbPath      = flag.String("db", "", "path to a prepared database snapshot (alternative to -graph)")
+		dbPath      = flag.String("db", "", "path to a prepared KTPMTC1 database stream (alternative to -graph)")
+		snapPath    = flag.String("snapshot", "", "path to a KTPMSNAP1 snapshot (alternative to -graph/-db; see -snapshot-mode)")
+		snapMode    = flag.String("snapshot-mode", "mmap", "snapshot table backing: eager (decode all at open), lazy (fault tables on demand), or mmap (zero-copy views, falls back to lazy without mmap)")
 		addr        = flag.String("addr", ":8080", "listen address")
 		concurrency = flag.Int("concurrency", 0, "worker pool size (0 = GOMAXPROCS)")
 		queueDepth  = flag.Int("queue", 0, "admission queue depth (0 = default 64)")
@@ -55,9 +61,20 @@ func main() {
 		chunkSize   = flag.Int("chunk-size", 0, "matches per channel operation in the scatter-gather transport (0 = default 32, chosen from the BENCH_topk.json chunk-size sweep)")
 	)
 	flag.Parse()
-	if (*graphPath == "") == (*dbPath == "") {
-		fmt.Fprintln(os.Stderr, "ktpmd: exactly one of -graph or -db is required")
+	sources := 0
+	for _, p := range []string{*graphPath, *dbPath, *snapPath} {
+		if p != "" {
+			sources++
+		}
+	}
+	if sources != 1 {
+		fmt.Fprintln(os.Stderr, "ktpmd: exactly one of -graph, -db, or -snapshot is required")
 		flag.Usage()
+		os.Exit(2)
+	}
+	mode, ok := ktpm.ParseSnapshotMode(*snapMode)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "ktpmd: unknown snapshot mode %q (want eager, lazy, or mmap)\n", *snapMode)
 		os.Exit(2)
 	}
 	if *shards < 1 {
@@ -70,7 +87,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	db, err := loadDatabase(*graphPath, *dbPath, *blockSize)
+	db, startup, err := loadDatabase(*graphPath, *dbPath, *snapPath, mode, *blockSize)
 	if err != nil {
 		log.Fatalf("ktpmd: %v", err)
 	}
@@ -103,6 +120,7 @@ func main() {
 		CacheEntries:    *cacheSize,
 		CacheMinEntries: *cacheMin,
 		MaxK:            *maxK,
+		Startup:         startup,
 	})
 	defer srv.Close()
 
@@ -112,6 +130,7 @@ func main() {
 
 	hs := &http.Server{Addr: *addr, Handler: srv}
 	done := make(chan struct{})
+	var drained bool // written before close(done), read after <-done
 	go func() {
 		defer close(done)
 		sig := make(chan os.Signal, 1)
@@ -122,6 +141,8 @@ func main() {
 		defer cancel()
 		if err := hs.Shutdown(ctx); err != nil {
 			log.Printf("ktpmd: shutdown: %v", err)
+		} else {
+			drained = true
 		}
 	}()
 
@@ -130,6 +151,17 @@ func main() {
 		log.Fatalf("ktpmd: %v", err)
 	}
 	<-done
+	// Release the snapshot file or mapping only after a clean drain: if
+	// Shutdown timed out, a straggling request may still hold zero-copy
+	// views into the mapping, and unmapping under it would turn a slow
+	// drain into a crash. Process exit releases it either way.
+	if drained {
+		if err := db.Close(); err != nil {
+			log.Printf("ktpmd: closing snapshot: %v", err)
+		}
+	} else if *snapPath != "" {
+		log.Printf("ktpmd: snapshot left open: requests still draining at exit")
+	}
 }
 
 // servePprof serves net/http/pprof on its own listener, separate from the
@@ -162,39 +194,58 @@ func servePprof(addr string) {
 	}
 }
 
-func loadDatabase(graphPath, dbPath string, blockSize int) (*ktpm.Database, error) {
+func loadDatabase(graphPath, dbPath, snapPath string, mode ktpm.SnapshotMode, blockSize int) (*ktpm.Database, server.StartupInfo, error) {
 	opt := ktpm.DatabaseOptions{BlockSize: blockSize}
-	if dbPath != "" {
+	switch {
+	case snapPath != "":
+		t0 := time.Now()
+		db, err := ktpm.OpenSnapshot(snapPath, ktpm.SnapshotOptions{Mode: mode, BlockSize: blockSize})
+		if err != nil {
+			return nil, server.StartupInfo{}, fmt.Errorf("open snapshot: %w", err)
+		}
+		elapsed := time.Since(t0)
+		ss, _ := db.SnapshotStats()
+		entries, tables, _, size := db.ClosureStats()
+		log.Printf("ktpmd: snapshot opened in %v (%s mode): %d entries in %d tables (%.1f MB), %d tables resident",
+			elapsed.Round(time.Microsecond), ss.Mode, entries, tables, float64(size)/1e6, ss.TablesLoaded)
+		return db, server.StartupInfo{
+			Source:       "snapshot",
+			SnapshotMode: ss.Mode,
+			OpenMS:       float64(elapsed.Microseconds()) / 1000,
+		}, nil
+	case dbPath != "":
 		f, err := os.Open(dbPath)
 		if err != nil {
-			return nil, err
+			return nil, server.StartupInfo{}, err
 		}
 		defer f.Close()
 		t0 := time.Now()
 		db, err := ktpm.OpenDatabase(f, opt)
 		if err != nil {
-			return nil, fmt.Errorf("load snapshot: %w", err)
+			return nil, server.StartupInfo{}, fmt.Errorf("load database: %w", err)
 		}
-		log.Printf("ktpmd: snapshot loaded in %v", time.Since(t0).Round(time.Millisecond))
-		return db, nil
+		elapsed := time.Since(t0)
+		log.Printf("ktpmd: database stream loaded in %v", elapsed.Round(time.Millisecond))
+		return db, server.StartupInfo{Source: "db", OpenMS: float64(elapsed.Microseconds()) / 1000}, nil
 	}
 	f, err := os.Open(graphPath)
 	if err != nil {
-		return nil, err
+		return nil, server.StartupInfo{}, err
 	}
 	defer f.Close()
 	g, err := ktpm.LoadGraph(f)
 	if err != nil {
-		return nil, fmt.Errorf("load graph: %w", err)
+		return nil, server.StartupInfo{}, fmt.Errorf("load graph: %w", err)
 	}
 	t0 := time.Now()
 	db, err := ktpm.BuildDatabase(g, opt)
 	if err != nil {
-		return nil, fmt.Errorf("build database: %w", err)
+		return nil, server.StartupInfo{}, fmt.Errorf("build database: %w", err)
 	}
+	elapsed := time.Since(t0)
 	entries, tables, theta, size := db.ClosureStats()
 	log.Printf("ktpmd: graph %d nodes / %d edges; closure %d entries in %d tables (theta %.1f, %.1f MB) in %v",
 		g.NumNodes(), g.NumEdges(), entries, tables, theta, float64(size)/1e6,
-		time.Since(t0).Round(time.Millisecond))
-	return db, nil
+		elapsed.Round(time.Millisecond))
+	return db, server.StartupInfo{Source: "graph", OpenMS: float64(elapsed.Microseconds()) / 1000}, nil
 }

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"strings"
 
-	"ktpm/internal/closure"
 	"ktpm/internal/label"
 	"ktpm/internal/rtg"
 )
@@ -60,14 +59,16 @@ func (db *Database) Explain(q *Query) (*Plan, error) {
 		}
 		pl, cl := q.t.Nodes[parent].Label, node.Label
 		if pl != label.Wildcard && cl != label.Wildcard {
-			ep.TableEntries = len(db.c.Table(pl, cl))
+			ep.TableEntries = db.c.TableLen(pl, cl)
 			ep.ChildCandidates = len(db.g.NodesWithLabel(cl))
 		} else {
 			// A wildcard side touches every table matching the other
-			// side's label; sum them.
-			db.c.Tables(func(a, b int32, entries []closure.Entry) bool {
+			// side's label; sum them. Sizes come from the table directory,
+			// so planning a query never faults tables into a lazily
+			// opened snapshot.
+			db.c.TableLens(func(a, b int32, count int) bool {
 				if (pl == label.Wildcard || a == pl) && (cl == label.Wildcard || b == cl) {
-					ep.TableEntries += len(entries)
+					ep.TableEntries += count
 				}
 				return true
 			})

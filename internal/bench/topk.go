@@ -65,6 +65,53 @@ type BatchRow struct {
 	NsPerItem     float64 `json:"ns_per_item"`
 }
 
+// StartupRow is one point of the snapshot startup sweep in
+// BENCH_topk.json: how long opening a database takes — and how much the
+// first query then pays — per acquisition mode at a given graph size.
+// Mode "build" is BuildDatabase from the raw graph (closure computed at
+// startup); "eager", "lazy", and "mmap" open a prepared KTPMSNAP1
+// snapshot (ktpm.OpenSnapshot). Lazy and mmap open in O(directory) time,
+// which is the headline: open_ms collapses while first_query_ms pays a
+// modest fault-in premium once.
+type StartupRow struct {
+	Name  string `json:"name"` // "n=N/mode"
+	Nodes int    `json:"nodes"`
+	Mode  string `json:"mode"`
+	Ops   int    `json:"ops"`
+	// OpenMS is the mean wall time to open (or build) the database.
+	OpenMS float64 `json:"open_ms"`
+	// FirstQueryMS is the mean wall time of the first TopK on the fresh
+	// database — where lazy modes pay their deferred table faults.
+	FirstQueryMS float64 `json:"first_query_ms"`
+	// SnapshotBytes is the KTPMSNAP1 file size (0 for "build" rows).
+	SnapshotBytes int64 `json:"snapshot_bytes"`
+}
+
+// StartupGraph builds the startup sweep's workload graph at the given
+// node count; at 2000 nodes it is exactly TopKGraph, so the sweep's
+// largest point matches the serving sweeps' graph.
+func StartupGraph(nodes int) *graph.Graph {
+	return gen.PowerLaw(gen.PowerLawConfig{
+		Nodes: nodes, AvgOutDegree: 5, Labels: 150,
+		Window: 50, Communities: 10, MaxWeight: 8, Seed: 21,
+	})
+}
+
+// StartupTable renders a startup sweep in the benchkit text format.
+func StartupTable(rows []*StartupRow) *Table {
+	t := &Table{
+		Title:  "Snapshot startup sweep (open + first query)",
+		Header: []string{"config", "open ms", "1st query ms", "snap MB"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Name,
+			fmt.Sprintf("%.2f", r.OpenMS),
+			fmt.Sprintf("%.2f", r.FirstQueryMS),
+			fmt.Sprintf("%.1f", float64(r.SnapshotBytes)/1e6))
+	}
+	return t
+}
+
 // TopKReport is the BENCH_topk.json document.
 type TopKReport struct {
 	Workload struct {
@@ -77,11 +124,13 @@ type TopKReport struct {
 	GOARCH string     `json:"goarch"`
 	CPUs   int        `json:"cpus"`
 	Rows   []*TopKRow `json:"rows"`
-	// ChunkSweep and BatchSweep are filled by the batch experiment
-	// (benchkit -exp batch; -json runs it automatically so the committed
-	// document always carries every section).
-	ChunkSweep []*ChunkRow `json:"chunk_sweep"`
-	BatchSweep []*BatchRow `json:"batch_sweep"`
+	// ChunkSweep, BatchSweep, and StartupSweep are filled by the batch
+	// and startup experiments (benchkit -exp batch,startup; -json runs
+	// them automatically so the committed document always carries every
+	// section).
+	ChunkSweep   []*ChunkRow   `json:"chunk_sweep"`
+	BatchSweep   []*BatchRow   `json:"batch_sweep"`
+	StartupSweep []*StartupRow `json:"startup_sweep"`
 }
 
 // TopKGraph builds the workload graph shared by every sweep behind

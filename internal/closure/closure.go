@@ -39,6 +39,43 @@ type Entry struct {
 	Dist     int32
 }
 
+// EntrySize is the fixed encoded width of one Entry in every on-disk
+// format this package writes (three little-endian int32s). It is the
+// single source of truth shared by the KTPMTC1 stream codec, the
+// KTPMSNAP1 snapshot writer, and SizeBytes.
+const EntrySize = 12
+
+// TableSource is read access to a closure organized as label-pair tables
+// — the contract the store layout, the run-time graph builder, and the
+// serializers consume. Both the fully in-memory *Closure and the
+// disk-backed *Snapshot implement it. Table may fault data in lazily;
+// TableLen and TableLens answer from the directory without touching
+// entry payloads, so callers that only need sizes stay cheap on lazy
+// sources.
+type TableSource interface {
+	// Graph returns the underlying data graph.
+	Graph() *graph.Graph
+	// NumEntries returns the total closure size.
+	NumEntries() int64
+	// NumTables returns the number of non-empty label-pair tables.
+	NumTables() int
+	// TableLen returns len(Table(alpha, beta)) without loading entries.
+	TableLen(alpha, beta int32) int
+	// TableLens calls fn for every non-empty table with its entry count,
+	// without loading entries.
+	TableLens(fn func(alpha, beta int32, count int) bool)
+	// Table returns the L^α_β entries sorted by (To, Dist, From); the
+	// slice is shared and must not be modified. May fault lazily.
+	Table(alpha, beta int32) []Entry
+	// Tables calls fn for every non-empty label-pair table. On a lazy
+	// source this faults every table it visits.
+	Tables(fn func(alpha, beta int32, entries []Entry) bool)
+	// ComputeStats summarizes the closure for Table 2 reporting.
+	ComputeStats() Stats
+}
+
+var _ TableSource = (*Closure)(nil)
+
 // pairKey packs an ordered label pair into a map key.
 type pairKey struct{ a, b int32 }
 
@@ -294,6 +331,23 @@ func (c *Closure) Table(alpha, beta int32) []Entry {
 	return c.tables[pairKey{alpha, beta}]
 }
 
+// NumTables returns the number of non-empty label-pair tables.
+func (c *Closure) NumTables() int { return len(c.tables) }
+
+// TableLen returns the entry count of L^α_β.
+func (c *Closure) TableLen(alpha, beta int32) int {
+	return len(c.tables[pairKey{alpha, beta}])
+}
+
+// TableLens calls fn for every non-empty table with its entry count.
+func (c *Closure) TableLens(fn func(alpha, beta int32, count int) bool) {
+	for k, tab := range c.tables {
+		if !fn(k.a, k.b, len(tab)) {
+			return
+		}
+	}
+}
+
 // Tables calls fn for every non-empty label-pair table.
 func (c *Closure) Tables(fn func(alpha, beta int32, entries []Entry) bool) {
 	for k, tab := range c.tables {
@@ -327,9 +381,10 @@ func (c *Closure) Theta() float64 {
 	return float64(c.numEntries) / float64(len(c.tables))
 }
 
-// SizeBytes estimates the closure's serialized size using the paper's
-// triple layout (from, to, dist as 4-byte integers).
-func (c *Closure) SizeBytes() int64 { return c.numEntries * 12 }
+// SizeBytes is the closure's serialized payload size: the paper's triple
+// layout (from, to, dist), priced at the real encoded entry width the
+// serializers write.
+func (c *Closure) SizeBytes() int64 { return c.numEntries * EntrySize }
 
 // Stats summarizes the closure for Table 2 reporting.
 type Stats struct {

@@ -1,0 +1,17 @@
+//go:build !unix
+
+package closure
+
+import (
+	"fmt"
+	"os"
+)
+
+// mmapFile always fails on platforms without the unix mmap syscall;
+// OpenSnapshotFile degrades SnapMMap to the portable ReaderAt-backed
+// SnapLazy path.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	return nil, fmt.Errorf("closure: mmap unsupported on this platform")
+}
+
+func munmap(data []byte) error { return nil }

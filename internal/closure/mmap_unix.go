@@ -1,0 +1,25 @@
+//go:build unix
+
+package closure
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mmapFile maps the first size bytes of f read-only. The mapping outlives
+// the descriptor, and one mapping serves every reader in the process —
+// the kernel page cache backs it, so concurrent daemons over the same
+// snapshot share physical pages too.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("closure: cannot mmap %d bytes", size)
+	}
+	if int64(int(size)) != size {
+		return nil, fmt.Errorf("closure: snapshot of %d bytes exceeds the address space", size)
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmap(data []byte) error { return syscall.Munmap(data) }

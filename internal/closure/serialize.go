@@ -19,28 +19,123 @@ import (
 //
 // The graph itself is serialized separately (graph.Encode); Decode
 // validates entry endpoints against the supplied graph.
+//
+// Entries are encoded with the manual fixed-width codec below rather than
+// binary.Write/binary.Read on the []Entry slice: the reflection-based
+// path walks every struct field per element and is several times slower
+// on large closures (see BenchmarkEncode/BenchmarkDecode). The snapshot
+// writer (snapshot.go) shares the same codec, so KTPMTC1 and KTPMSNAP1
+// payload bytes are identical per entry.
 
 var closureMagic = []byte("KTPMTC1\n")
 
-// Encode writes the closure tables.
-func Encode(w io.Writer, c *Closure) error {
+// entryChunk is the scratch granularity of the streaming codec: entries
+// are encoded/decoded through a buffer of at most this many, bounding
+// peak scratch memory at ~768 KB regardless of table size.
+const entryChunk = 1 << 16
+
+// putEntry encodes e into b[:EntrySize] in the on-disk little-endian
+// triple layout.
+func putEntry(b []byte, e Entry) {
+	binary.LittleEndian.PutUint32(b[0:4], uint32(e.From))
+	binary.LittleEndian.PutUint32(b[4:8], uint32(e.To))
+	binary.LittleEndian.PutUint32(b[8:12], uint32(e.Dist))
+}
+
+// getEntry decodes one entry from b[:EntrySize].
+func getEntry(b []byte) Entry {
+	return Entry{
+		From: int32(binary.LittleEndian.Uint32(b[0:4])),
+		To:   int32(binary.LittleEndian.Uint32(b[4:8])),
+		Dist: int32(binary.LittleEndian.Uint32(b[8:12])),
+	}
+}
+
+// writeEntries streams entries to w through buf (grown to at most
+// entryChunk×EntrySize), returning the possibly-grown buffer.
+func writeEntries(w io.Writer, entries []Entry, buf []byte) ([]byte, error) {
+	for len(entries) > 0 {
+		n := len(entries)
+		if n > entryChunk {
+			n = entryChunk
+		}
+		if cap(buf) < n*EntrySize {
+			buf = make([]byte, n*EntrySize)
+		}
+		buf = buf[:n*EntrySize]
+		for i, e := range entries[:n] {
+			putEntry(buf[i*EntrySize:], e)
+		}
+		if _, err := w.Write(buf); err != nil {
+			return buf, err
+		}
+		entries = entries[n:]
+	}
+	return buf, nil
+}
+
+// readEntries fills entries from r through buf, chunked like
+// writeEntries.
+func readEntries(r io.Reader, entries []Entry, buf []byte) ([]byte, error) {
+	for len(entries) > 0 {
+		n := len(entries)
+		if n > entryChunk {
+			n = entryChunk
+		}
+		if cap(buf) < n*EntrySize {
+			buf = make([]byte, n*EntrySize)
+		}
+		buf = buf[:n*EntrySize]
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return buf, err
+		}
+		for i := range entries[:n] {
+			entries[i] = getEntry(buf[i*EntrySize:])
+		}
+		entries = entries[n:]
+	}
+	return buf, nil
+}
+
+// decodeEntriesInto decodes len(entries) entries from the in-memory
+// payload src (len(entries)×EntrySize bytes). Used by the snapshot
+// reader, which has the whole payload resident.
+func decodeEntriesInto(src []byte, entries []Entry) {
+	for i := range entries {
+		entries[i] = getEntry(src[i*EntrySize:])
+	}
+}
+
+// Encode writes the closure tables of src. Any TableSource serves: a
+// snapshot-backed database can be re-encoded to the KTPMTC1 stream
+// without recomputing the closure (this faults every table on a lazy
+// source).
+func Encode(w io.Writer, src TableSource) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(closureMagic); err != nil {
 		return err
 	}
-	if err := binary.Write(bw, binary.LittleEndian, int64(len(c.tables))); err != nil {
+	if err := binary.Write(bw, binary.LittleEndian, int64(src.NumTables())); err != nil {
 		return err
 	}
 	var err error
-	c.Tables(func(alpha, beta int32, entries []Entry) bool {
-		hdr := struct {
-			Alpha, Beta int32
-			Count       int64
-		}{alpha, beta, int64(len(entries))}
-		if err = binary.Write(bw, binary.LittleEndian, hdr); err != nil {
+	var buf []byte
+	hdr := make([]byte, 16)
+	src.Tables(func(alpha, beta int32, entries []Entry) bool {
+		// A lazy source swallows fault-time load failures into an empty
+		// table; cross-check the directory so a damaged source cannot
+		// silently encode as a valid-looking but truncated stream.
+		if want := src.TableLen(alpha, beta); len(entries) != want {
+			err = fmt.Errorf("closure: table (%d,%d) loaded %d of %d entries", alpha, beta, len(entries), want)
 			return false
 		}
-		if err = binary.Write(bw, binary.LittleEndian, entries); err != nil {
+		binary.LittleEndian.PutUint32(hdr[0:4], uint32(alpha))
+		binary.LittleEndian.PutUint32(hdr[4:8], uint32(beta))
+		binary.LittleEndian.PutUint64(hdr[8:16], uint64(len(entries)))
+		if _, err = bw.Write(hdr); err != nil {
+			return false
+		}
+		if buf, err = writeEntries(bw, entries, buf); err != nil {
 			return false
 		}
 		return true
@@ -49,6 +144,23 @@ func Encode(w io.Writer, c *Closure) error {
 		return err
 	}
 	return bw.Flush()
+}
+
+// validateEntries checks every entry of one table against the graph:
+// in-range endpoints, positive distance, and labels agreeing with the
+// table's (alpha, beta) directory key. Shared by the KTPMTC1 and
+// KTPMSNAP1 readers.
+func validateEntries(g *graph.Graph, alpha, beta int32, entries []Entry) error {
+	n := int32(g.NumNodes())
+	for _, e := range entries {
+		if e.From < 0 || e.From >= n || e.To < 0 || e.To >= n || e.Dist <= 0 {
+			return fmt.Errorf("invalid entry %+v", e)
+		}
+		if g.Label(e.From) != alpha || g.Label(e.To) != beta {
+			return fmt.Errorf("entry %+v labels disagree with graph", e)
+		}
+	}
+	return nil
 }
 
 // Decode reads a closure for g written by Encode. The distance index is
@@ -76,35 +188,34 @@ func Decode(r io.Reader, g *graph.Graph, keepDistanceIndex bool) (*Closure, erro
 			c.dist[i] = make(map[int32]int32)
 		}
 	}
-	n := int32(g.NumNodes())
+	n := int64(g.NumNodes())
+	hdr := make([]byte, 16)
+	var buf []byte
 	for t := int64(0); t < numTables; t++ {
-		var hdr struct {
-			Alpha, Beta int32
-			Count       int64
-		}
-		if err := binary.Read(br, binary.LittleEndian, &hdr); err != nil {
+		if _, err := io.ReadFull(br, hdr); err != nil {
 			return nil, fmt.Errorf("closure: table %d header: %w", t, err)
 		}
-		if hdr.Count < 0 || hdr.Count > int64(n)*int64(n) {
-			return nil, fmt.Errorf("closure: table %d: implausible entry count %d", t, hdr.Count)
+		alpha := int32(binary.LittleEndian.Uint32(hdr[0:4]))
+		beta := int32(binary.LittleEndian.Uint32(hdr[4:8]))
+		count := int64(binary.LittleEndian.Uint64(hdr[8:16]))
+		if count < 0 || count > n*n {
+			return nil, fmt.Errorf("closure: table %d: implausible entry count %d", t, count)
 		}
-		entries := make([]Entry, hdr.Count)
-		if err := binary.Read(br, binary.LittleEndian, entries); err != nil {
+		entries := make([]Entry, count)
+		var err error
+		if buf, err = readEntries(br, entries, buf); err != nil {
 			return nil, fmt.Errorf("closure: table %d entries: %w", t, err)
 		}
-		for _, e := range entries {
-			if e.From < 0 || e.From >= n || e.To < 0 || e.To >= n || e.Dist <= 0 {
-				return nil, fmt.Errorf("closure: table %d: invalid entry %+v", t, e)
-			}
-			if g.Label(e.From) != hdr.Alpha || g.Label(e.To) != hdr.Beta {
-				return nil, fmt.Errorf("closure: table %d: entry %+v labels disagree with graph", t, e)
-			}
-			if c.dist != nil {
+		if err := validateEntries(g, alpha, beta, entries); err != nil {
+			return nil, fmt.Errorf("closure: table %d: %w", t, err)
+		}
+		if c.dist != nil {
+			for _, e := range entries {
 				c.dist[e.From][e.To] = e.Dist
 			}
 		}
-		c.tables[pairKey{hdr.Alpha, hdr.Beta}] = entries
-		c.numEntries += hdr.Count
+		c.tables[pairKey{alpha, beta}] = entries
+		c.numEntries += count
 	}
 	return c, nil
 }

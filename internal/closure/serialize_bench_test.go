@@ -1,0 +1,47 @@
+package closure
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"ktpm/internal/gen"
+)
+
+// benchClosure builds a closure big enough that per-entry encode/decode
+// cost dominates the fixed overheads.
+func benchClosure(b *testing.B) (*Closure, []byte) {
+	b.Helper()
+	g := gen.PowerLaw(gen.PowerLawConfig{
+		Nodes: 1500, AvgOutDegree: 5, Labels: 40,
+		Window: 50, Communities: 8, MaxWeight: 8, Seed: 7,
+	})
+	c := Compute(g, Options{})
+	var buf bytes.Buffer
+	if err := Encode(&buf, c); err != nil {
+		b.Fatal(err)
+	}
+	return c, buf.Bytes()
+}
+
+func BenchmarkEncode(b *testing.B) {
+	c, raw := benchClosure(b)
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := Encode(io.Discard, c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	c, raw := benchClosure(b)
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(bytes.NewReader(raw), c.Graph(), false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -54,8 +54,11 @@ type Graph struct {
 	numEdges int64
 }
 
-// Build extracts and prunes the run-time graph for q over c.
-func Build(c *closure.Closure, q *query.Tree) *Graph {
+// Build extracts and prunes the run-time graph for q over c. Building
+// materializes every table a query edge touches, so on a lazy source
+// (a snapshot opened lazy or mmap) the tables fault in here; wildcard
+// edges fault the full directory.
+func Build(c closure.TableSource, q *query.Tree) *Graph {
 	return BuildWithContainment(c, q, nil)
 }
 
@@ -64,7 +67,7 @@ func Build(c *closure.Closure, q *query.Tree) *Graph {
 // contains(queryLabel), which must include the label itself when exact
 // matches are wanted. A nil contains falls back to label equality.
 // Wildcard query nodes ignore contains entirely.
-func BuildWithContainment(c *closure.Closure, q *query.Tree, contains func(queryLabel int32) []int32) *Graph {
+func BuildWithContainment(c closure.TableSource, q *query.Tree, contains func(queryLabel int32) []int32) *Graph {
 	g := c.Graph()
 	nq := q.NumNodes()
 	expand := func(lbl int32) []int32 {
@@ -230,7 +233,7 @@ func BuildWithContainment(c *closure.Closure, q *query.Tree, contains func(query
 // expanding wildcards to unions over label-pair tables.
 // forEachExpanded iterates closure entries over the cross product of two
 // expanded label sets (containment semantics).
-func forEachExpanded(c *closure.Closure, alphas, betas []int32, fn func(closure.Entry)) {
+func forEachExpanded(c closure.TableSource, alphas, betas []int32, fn func(closure.Entry)) {
 	for _, a := range alphas {
 		for _, b := range betas {
 			forEachClosureEntry(c, a, b, fn)
@@ -244,7 +247,7 @@ func sortInt32s(a []int32) {
 	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
 }
 
-func forEachClosureEntry(c *closure.Closure, alpha, beta int32, fn func(closure.Entry)) {
+func forEachClosureEntry(c closure.TableSource, alpha, beta int32, fn func(closure.Entry)) {
 	switch {
 	case alpha != label.Wildcard && beta != label.Wildcard:
 		for _, e := range c.Table(alpha, beta) {

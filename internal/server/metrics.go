@@ -68,6 +68,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("ktpmd_io_table_entries_read_total", "Simulated entries delivered by summary-table scans.", io.TableEntriesRead)
 	counter("ktpmd_io_tables_read_total", "Summary tables derived from the simulated disk (once per distinct table process-wide).", io.TablesRead)
 	counter("ktpmd_io_table_hits_total", "Table loads served from the shared derived plane without disk I/O.", io.TableHits)
+	counter("ktpmd_io_tables_loaded_total", "Closure tables materialized from the table source into the store layout (shared across shard replicas).", io.TablesLoaded)
+
+	gauge("ktpmd_startup_open_ms", "Wall time spent building or opening the database at startup.", s.cfg.Startup.OpenMS)
+	if sn, ok := s.db.(snapshotStater); ok {
+		if st, ok := sn.SnapshotStats(); ok {
+			fmt.Fprintf(&b, "# HELP ktpmd_snapshot_info Snapshot backing of the database (value is always 1).\n# TYPE ktpmd_snapshot_info gauge\nktpmd_snapshot_info{mode=%q} 1\n", st.Mode)
+			gauge("ktpmd_snapshot_tables_loaded", "Closure tables faulted from the snapshot so far.", float64(st.TablesLoaded))
+			gauge("ktpmd_snapshot_tables_total", "Closure tables in the snapshot directory.", float64(st.TablesTotal))
+			gauge("ktpmd_snapshot_bytes_mapped", "Live memory-mapped snapshot bytes (0 unless mode is mmap).", float64(st.BytesMapped))
+		}
+	}
 
 	if ss, ok := s.db.(shardStater); ok {
 		st := ss.ShardStats()

@@ -38,6 +38,28 @@ type shardStater interface {
 	ShardStats() ktpm.ShardingStats
 }
 
+// snapshotStater is the optional Backend extension a snapshot-opened
+// database implements; /stats and /metrics surface its backing mode,
+// faulted-table progress, and mapped bytes.
+type snapshotStater interface {
+	SnapshotStats() (ktpm.SnapshotStats, bool)
+}
+
+// StartupInfo records how the daemon obtained its database, surfaced
+// verbatim in /stats and /metrics so operators can see what a restart
+// would cost. The zero value reports nothing.
+type StartupInfo struct {
+	// Source is "graph" (closure built at startup), "db" (KTPMTC1
+	// stream), or "snapshot" (KTPMSNAP1).
+	Source string `json:"source"`
+	// SnapshotMode is the effective snapshot backing ("eager", "lazy",
+	// "mmap"); empty for non-snapshot sources.
+	SnapshotMode string `json:"snapshot_mode,omitempty"`
+	// OpenMS is the wall time spent building or opening the database
+	// before serving could begin.
+	OpenMS float64 `json:"open_ms"`
+}
+
 // Config tunes the service. The zero value serves with sensible defaults.
 type Config struct {
 	// Concurrency is the worker-pool size; 0 means GOMAXPROCS.
@@ -81,6 +103,9 @@ type Config struct {
 	// flushed (and client disconnect / deadline checked) every this many
 	// matches; 0 means 32.
 	StreamChunk int
+	// Startup describes how the backend database was loaded (ktpmd fills
+	// it); reported in /stats and /metrics.
+	Startup StartupInfo
 }
 
 func (c Config) withDefaults() Config {
@@ -563,6 +588,14 @@ type StatsResponse struct {
 		Canceled          int64 `json:"canceled"`
 	} `json:"executor"`
 	IO ktpm.IOStats `json:"io"`
+	// Startup reports how the database was loaded and how long the open
+	// took (ktpmd -graph builds, -db parses the stream, -snapshot opens
+	// in the configured mode).
+	Startup StartupInfo `json:"startup"`
+	// Snapshot reports the snapshot backing — effective mode, tables
+	// faulted so far out of the directory total, mapped bytes — when the
+	// backend was opened from a KTPMSNAP1 snapshot; omitted otherwise.
+	Snapshot *ktpm.SnapshotStats `json:"snapshot,omitempty"`
 	// Sharding reports per-shard vertex counts, merge contributions, and
 	// I/O counters when the backend is a ShardedDatabase; omitted for a
 	// single database.
@@ -603,6 +636,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Executor.ClientDisconnects = s.clientGone.Load()
 	resp.Executor.Canceled = s.exec.canceled.Load()
 	resp.IO = s.db.IOStats()
+	resp.Startup = s.cfg.Startup
+	if sn, ok := s.db.(snapshotStater); ok {
+		if st, ok := sn.SnapshotStats(); ok {
+			resp.Snapshot = &st
+		}
+	}
 	if ss, ok := s.db.(shardStater); ok {
 		st := ss.ShardStats()
 		resp.Sharding = &st

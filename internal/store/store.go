@@ -22,8 +22,14 @@
 //
 // A Store is three layers with different sharing disciplines:
 //
-//   - layout: the immutable closure image (incoming lists, label index,
-//     graph). Built once by New, never mutated, shared by everyone.
+//   - layout: the closure image (incoming lists, label index, graph),
+//     shared by everyone. The incoming lists derive from a
+//     closure.TableSource: New materializes every table up front
+//     (today's fully-resident behavior), while NewFromSource faults a
+//     (α, β) table in the first time any query touches it — the path
+//     lazy and mmap snapshots ride, where the source serves entries
+//     straight off the file. Once carved, a table's lists are published
+//     copy-on-write and read lock-free forever after.
 //   - plane: the derived data — D/E summary tables and wildcard-merged
 //     incoming lists. In the paper these are materialized on disk next to
 //     the closure, so deriving one is offline work paid once; here each
@@ -114,17 +120,47 @@ func (c *Counters) addTable(entries int64, derived bool) {
 	atomic.AddInt64(&c.TableEntriesRead, entries)
 }
 
-// layout is the immutable closure image shared by every replica.
+// pairKey identifies one (α, β) closure table.
+type pairKey struct{ alpha, beta int32 }
+
+// layout is the closure image shared by every replica. The carved
+// incoming lists grow monotonically as (α, β) tables fault in from the
+// source; reads are lock-free (one atomic load plus map lookups) and the
+// mutex is held only while a first carve publishes.
 type layout struct {
 	g         *graph.Graph
 	blockSize int
+	src       closure.TableSource
 
-	// inLists[(alpha<<32)|v] = incoming edges to v from label alpha,
-	// sorted by (Dist, From).
-	inLists map[int64][]InEdge
 	// byLabel[l] lists the nodes with label l, ascending, so table scans
 	// touch only their own rows.
 	byLabel [][]int32
+	// direct[(u<<32)|v] is the weight of the direct data-graph edge u→v,
+	// consulted while carving to set InEdge.Direct. Dropped once every
+	// table is materialized (it only serves future carves).
+	direct map[int64]int32
+
+	mu sync.Mutex // serializes carves; readers never take it
+	// tabs maps a carved (α, β) pair to its per-target incoming lists,
+	// each sorted by (Dist, From); an empty inner map is a carved pair
+	// with no entries (negative caching), and the sentinel key
+	// {allLabels, β} marks "every (α, β) pair is carved" so wildcard
+	// merges skip the lock. Published copy-on-write: a carve clones the
+	// outer map only — O(carved pairs), never O(lists) — and inner maps
+	// are immutable once published.
+	tabs atomic.Pointer[map[pairKey]map[int32][]InEdge]
+	// faults counts every short carve (a lazy-source load failure),
+	// monotonically. A derivation snapshots it before running and
+	// publishes only if it is unchanged after: any carve it depended on
+	// that came up short bumped the counter inside that window (repeated
+	// failures bump it again), so an incomplete derivation can never be
+	// cached — while faults outside the window, even never-repaired
+	// ones, cost nothing.
+	faults atomic.Int64
+	// tablesLoaded counts carves — closure tables materialized from the
+	// source into incoming lists. Shared by every replica (the layout
+	// is), unlike the per-replica Counters.
+	tablesLoaded atomic.Int64
 }
 
 // plane holds the shared derived data: each entry is derived exactly once
@@ -169,53 +205,211 @@ type tableKey struct {
 
 func key(alpha, v int32) int64 { return int64(alpha)<<32 | int64(uint32(v)) }
 
-// New lays out the closure c with the given block size (0 means
-// DefaultBlockSize).
-func New(c *closure.Closure, blockSize int) *Store {
+// New lays out the closure source with the given block size (0 means
+// DefaultBlockSize), materializing every table up front — the behavior
+// an in-memory closure wants, since its entries are resident anyway.
+func New(src closure.TableSource, blockSize int) *Store {
+	s := NewFromSource(src, blockSize)
+	s.MaterializeAll()
+	return s
+}
+
+// NewFromSource lays out src with the given block size (0 means
+// DefaultBlockSize) without touching any table payload: a (α, β) table
+// is carved into per-target incoming lists the first time a query asks
+// for one of its lists. Construction cost is O(nodes + edges) — the
+// label index and the direct-edge lookup — never O(closure).
+func NewFromSource(src closure.TableSource, blockSize int) *Store {
 	if blockSize <= 0 {
 		blockSize = DefaultBlockSize
 	}
-	g := c.Graph()
+	g := src.Graph()
 	lay := &layout{
 		g:         g,
 		blockSize: blockSize,
-		inLists:   make(map[int64][]InEdge),
+		src:       src,
 		byLabel:   make([][]int32, g.NumLabels()),
+		direct:    make(map[int64]int32),
 	}
 	for v := int32(0); int(v) < g.NumNodes(); v++ {
 		l := g.Label(v)
 		lay.byLabel[l] = append(lay.byLabel[l], v)
 	}
-	// Direct-edge lookup: (u,v) -> weight of the direct edge.
-	direct := make(map[int64]int32)
 	g.Edges(func(e graph.Edge) bool {
-		direct[key(e.From, e.To)] = e.Weight
-		return true
-	})
-	c.Tables(func(alpha, beta int32, entries []closure.Entry) bool {
-		// Closure tables are sorted by (To, Dist, From): contiguous runs
-		// per target node are already in block order.
-		for i := 0; i < len(entries); {
-			j := i
-			to := entries[i].To
-			for j < len(entries) && entries[j].To == to {
-				j++
-			}
-			lst := make([]InEdge, 0, j-i)
-			for _, e := range entries[i:j] {
-				w, ok := direct[key(e.From, e.To)]
-				lst = append(lst, InEdge{
-					From:   e.From,
-					Dist:   e.Dist,
-					Direct: ok && w == e.Dist,
-				})
-			}
-			lay.inLists[key(alpha, to)] = lst
-			i = j
-		}
+		lay.direct[key(e.From, e.To)] = e.Weight
 		return true
 	})
 	return &Store{lay: lay, pl: newPlane(g.NumNodes())}
+}
+
+// MaterializeAll carves every table of the source in one publish, the
+// eager mode. The direct-edge lookup is dropped afterwards: with no
+// carves left to serve it would only hold memory.
+func (s *Store) MaterializeAll() {
+	lay := s.lay
+	lay.mu.Lock()
+	defer lay.mu.Unlock()
+	tabs := cloneTabs(lay.tabs.Load())
+	lay.src.TableLens(func(alpha, beta int32, count int) bool {
+		if _, ok := tabs[pairKey{alpha, beta}]; !ok {
+			lay.carveLocked(alpha, beta, tabs)
+		}
+		return true
+	})
+	// Pairs outside the source's directory are not negative-cached here;
+	// the first wildcard merge per target label batch-carves them (one
+	// outer-map clone) in carveTargets.
+	lay.tabs.Store(&tabs)
+	lay.maybeDropDirectLocked()
+}
+
+// allLabels is the sentinel alpha marking "every (α, beta) pair is
+// carved" in the carved-table map; no real label is negative, and
+// listFor rejects negative alphas before lookup, so the sentinel can
+// never shadow a real table.
+const allLabels int32 = -1
+
+// carveTargets ensures every (α, beta) table is carved, in one clone and
+// publish — the wildcard merge's fault path. Carving the pairs one
+// listFor miss at a time would take and release the lock once per label
+// per node on a cold wildcard query.
+func (lay *layout) carveTargets(beta int32) {
+	if beta < 0 || int(beta) >= len(lay.byLabel) {
+		return
+	}
+	k := pairKey{allLabels, beta}
+	if m := lay.tabs.Load(); m != nil {
+		if _, ok := (*m)[k]; ok {
+			return
+		}
+	}
+	lay.mu.Lock()
+	defer lay.mu.Unlock()
+	if m := lay.tabs.Load(); m != nil {
+		if _, ok := (*m)[k]; ok {
+			return
+		}
+	}
+	tabs := cloneTabs(lay.tabs.Load())
+	whole := true
+	for a := range lay.byLabel {
+		if _, ok := tabs[pairKey{int32(a), beta}]; !ok {
+			whole = lay.carveLocked(int32(a), beta, tabs) && whole
+		}
+	}
+	// The sentinel claims every (α, beta) pair is resident; a short load
+	// leaves it unset so the next wildcard touch retries the fault.
+	if whole {
+		tabs[k] = nil
+	}
+	lay.tabs.Store(&tabs)
+	lay.maybeDropDirectLocked()
+}
+
+// cloneTabs copies the outer carved-table map (nil-safe). Inner maps are
+// immutable once published and are shared, so a clone costs O(carved
+// pairs) regardless of how many lists they hold.
+func cloneTabs(p *map[pairKey]map[int32][]InEdge) map[pairKey]map[int32][]InEdge {
+	if p == nil {
+		return make(map[pairKey]map[int32][]InEdge, 16)
+	}
+	out := make(map[pairKey]map[int32][]InEdge, len(*p)+1)
+	for k, v := range *p {
+		out[k] = v
+	}
+	return out
+}
+
+// carveLocked faults the (alpha, beta) table from the source and adds
+// its per-target lists to tabs. Callers hold lay.mu and publish tabs
+// afterwards. Closure tables are sorted by (To, Dist, From): contiguous
+// runs per target node are already in block order. It reports whether
+// the table arrived whole: a lazy source that hits a fault-time load
+// failure serves the table as empty, and caching that as carved would
+// silently drop the table's edges for the process lifetime — a short
+// load leaves the pair uncarved (bumping the fault counter) so a later
+// touch refaults it.
+func (lay *layout) carveLocked(alpha, beta int32, tabs map[pairKey]map[int32][]InEdge) bool {
+	k := pairKey{alpha, beta}
+	entries := lay.src.Table(alpha, beta)
+	if len(entries) != lay.src.TableLen(alpha, beta) {
+		lay.faults.Add(1)
+		return false
+	}
+	tab := make(map[int32][]InEdge)
+	for i := 0; i < len(entries); {
+		j := i
+		to := entries[i].To
+		for j < len(entries) && entries[j].To == to {
+			j++
+		}
+		lst := make([]InEdge, 0, j-i)
+		for _, e := range entries[i:j] {
+			w, ok := lay.direct[key(e.From, e.To)]
+			lst = append(lst, InEdge{
+				From:   e.From,
+				Dist:   e.Dist,
+				Direct: ok && w == e.Dist,
+			})
+		}
+		tab[to] = lst
+		i = j
+	}
+	tabs[k] = tab
+	if len(entries) > 0 {
+		// Negative carves (no such table in the source) are cached so the
+		// miss never refaults, but only real tables count as loads.
+		lay.tablesLoaded.Add(1)
+	}
+	return true
+}
+
+// maybeDropDirectLocked frees the direct-edge lookup once every real
+// table has carved in: it only serves future carves, so past that point
+// it is O(edges) of dead memory. Callers hold lay.mu.
+func (lay *layout) maybeDropDirectLocked() {
+	if lay.direct != nil && lay.tablesLoaded.Load() >= int64(lay.src.NumTables()) {
+		lay.direct = nil
+	}
+}
+
+// listFor returns the incoming list of v from the concrete label alpha,
+// carving the (alpha, l(v)) table on first touch. The steady-state path
+// is one atomic load and two map lookups.
+func (lay *layout) listFor(alpha, v int32) []InEdge {
+	if alpha < 0 || int(alpha) >= len(lay.byLabel) {
+		// A query-only label interned after the graph was built: no
+		// closure table can exist, and caching the miss would let
+		// adversarial queries grow the carved set without bound.
+		return nil
+	}
+	k := pairKey{alpha, lay.g.Label(v)}
+	if m := lay.tabs.Load(); m != nil {
+		if tab, ok := (*m)[k]; ok {
+			return tab[v]
+		}
+	}
+	lay.mu.Lock()
+	m := lay.tabs.Load()
+	if m != nil {
+		if tab, ok := (*m)[k]; ok {
+			lay.mu.Unlock()
+			return tab[v]
+		}
+	}
+	tabs := cloneTabs(m)
+	// A short load (source fault) publishes nothing; the next touch
+	// refaults.
+	ok := lay.carveLocked(k.alpha, k.beta, tabs)
+	if ok {
+		lay.tabs.Store(&tabs)
+		lay.maybeDropDirectLocked()
+	}
+	lay.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	return tabs[k][v]
 }
 
 // Replica returns a store sharing s's immutable closure layout AND its
@@ -298,7 +492,7 @@ func cowGet[K comparable, V any](p *atomic.Pointer[map[K]V], k K) (V, bool) {
 // lock-free afterwards.
 func (s *Store) inList(alpha, v int32) []InEdge {
 	if alpha != label.Wildcard {
-		return s.lay.inLists[key(alpha, v)]
+		return s.lay.listFor(alpha, v)
 	}
 	if p := s.pl.merged[v].Load(); p != nil {
 		return *p
@@ -310,18 +504,28 @@ func (s *Store) inList(alpha, v int32) []InEdge {
 	// concurrent cold wildcard queries convoy; a rare duplicated merge is
 	// cheaper. This also keeps table derives (which run under pl.mu and
 	// resolve wildcard lists mid-derive) free of reentrancy concerns.
+	faultsBefore := s.lay.faults.Load()
 	merged := s.mergeWildcard(v)
+	if s.lay.faults.Load() != faultsBefore {
+		// A carve came up short while this merge ran, so the result may
+		// be missing that table's edges; serve it best-effort but do not
+		// publish — the next touch refaults and rebuilds.
+		return merged
+	}
 	if !s.pl.merged[v].CompareAndSwap(nil, &merged) {
 		return *s.pl.merged[v].Load()
 	}
 	return merged
 }
 
-// mergeWildcard derives the all-label incoming list of v from the layout.
+// mergeWildcard derives the all-label incoming list of v from the
+// layout, carving any tables not yet faulted (all of v's label's tables
+// in one batch, so a cold wildcard query faults each table once).
 func (s *Store) mergeWildcard(v int32) []InEdge {
+	s.lay.carveTargets(s.lay.g.Label(v))
 	var merged []InEdge
 	for a := int32(0); int(a) < s.lay.g.NumLabels(); a++ {
-		merged = append(merged, s.lay.inLists[key(a, v)]...)
+		merged = append(merged, s.lay.listFor(a, v)...)
 	}
 	sort.Slice(merged, func(i, j int) bool {
 		if merged[i].Dist != merged[j].Dist {
@@ -369,6 +573,7 @@ func (s *Store) LoadD(alpha, beta int32, childOnly bool) []DEntry {
 		s.pl.mu.Lock()
 		if out, ok = cowGet(&s.pl.dTabs, k); !ok {
 			derived = true
+			faultsBefore := s.lay.faults.Load()
 			s.forTargets(beta, func(v int32) {
 				for _, e := range s.inList(alpha, v) {
 					if childOnly && !e.Direct {
@@ -378,7 +583,13 @@ func (s *Store) LoadD(alpha, beta int32, childOnly bool) []DEntry {
 					break // lists are distance-sorted
 				}
 			})
-			cowPut(&s.pl.dTabs, k, out)
+			// A derivation over a short carve is served but never
+			// published: once cached it would outlive the refault that
+			// repairs the layout. Any carve this derivation depended on
+			// that failed did so inside this window.
+			if s.lay.faults.Load() == faultsBefore {
+				cowPut(&s.pl.dTabs, k, out)
+			}
 		}
 		s.pl.mu.Unlock()
 	}
@@ -399,6 +610,7 @@ func (s *Store) LoadE(alpha, beta int32, childOnly bool) []EEntry {
 		s.pl.mu.Lock()
 		if out, ok = cowGet(&s.pl.eTabs, k); !ok {
 			derived = true
+			faultsBefore := s.lay.faults.Load()
 			best := make(map[int32]EEntry)
 			s.forTargets(beta, func(v int32) {
 				for _, e := range s.inList(alpha, v) {
@@ -416,7 +628,11 @@ func (s *Store) LoadE(alpha, beta int32, childOnly bool) []EEntry {
 				out = append(out, e)
 			}
 			sort.Slice(out, func(i, j int) bool { return out[i].From < out[j].From })
-			cowPut(&s.pl.eTabs, k, out)
+			// Like LoadD: never cache a derivation built over a short
+			// carve.
+			if s.lay.faults.Load() == faultsBefore {
+				cowPut(&s.pl.eTabs, k, out)
+			}
 		}
 		s.pl.mu.Unlock()
 	}
@@ -444,11 +660,16 @@ func (s *Store) forTargets(beta int32, fn func(v int32)) {
 
 // TotalEdges returns the total number of stored incoming entries — the
 // m_R upper bound a full load would incur for a query touching every
-// table.
-func (s *Store) TotalEdges() int64 {
-	var n int64
-	for _, lst := range s.lay.inLists {
-		n += int64(len(lst))
-	}
-	return n
-}
+// table. Answered from the source's directory, so it never faults a
+// table in.
+func (s *Store) TotalEdges() int64 { return s.lay.src.NumEntries() }
+
+// TablesLoaded returns how many closure tables have been materialized
+// from the source into the layout's incoming lists. The layout is shared,
+// so every replica reports the same number; after New (or
+// MaterializeAll) it is the full table count, while a store over a lazy
+// snapshot starts at 0 and grows as queries fault tables in.
+func (s *Store) TablesLoaded() int64 { return s.lay.tablesLoaded.Load() }
+
+// Source returns the closure table source backing the layout.
+func (s *Store) Source() closure.TableSource { return s.lay.src }

@@ -384,3 +384,174 @@ func TestQueryOnlyLabelHasNoTargets(t *testing.T) {
 		t.Fatalf("block for query-only label = %v,%v", blk, last)
 	}
 }
+
+// TestLazySourceFaultsOnDemand pins the NewFromSource contract: no table
+// is carved at construction, a block read faults exactly the (α, l(v))
+// table it needs, and the carved lists answer identically to the eager
+// layout's.
+func TestLazySourceFaultsOnDemand(t *testing.T) {
+	g, c := smallGraph(t)
+	eager := New(c, 2)
+	lazy := NewFromSource(c, 2)
+	if n := lazy.TablesLoaded(); n != 0 {
+		t.Fatalf("NewFromSource carved %d tables, want 0", n)
+	}
+	if eager.TablesLoaded() != int64(c.NumTables()) {
+		t.Fatalf("New carved %d tables, want %d", eager.TablesLoaded(), c.NumTables())
+	}
+	a, cL, dL := lbl(g, "a"), lbl(g, "c"), lbl(g, "d")
+	// One block read faults one table.
+	want, wantLast := eager.LoadBlock(a, 4, 0)
+	got, gotLast := lazy.LoadBlock(a, 4, 0)
+	if !reflect.DeepEqual(got, want) || gotLast != wantLast {
+		t.Fatalf("lazy block = %v/%v, eager = %v/%v", got, gotLast, want, wantLast)
+	}
+	if n := lazy.TablesLoaded(); n != 1 {
+		t.Fatalf("one block read carved %d tables, want 1", n)
+	}
+	// A second read of the same table stays resident.
+	lazy.LoadBlock(a, 4, 0)
+	if n := lazy.TablesLoaded(); n != 1 {
+		t.Fatalf("re-read carved more tables: %d", n)
+	}
+	// Summary tables and wildcard merges agree with the eager layout.
+	if got, want := lazy.LoadD(cL, dL, false), eager.LoadD(cL, dL, false); !reflect.DeepEqual(got, want) {
+		t.Fatalf("lazy D = %v, eager = %v", got, want)
+	}
+	gotW, _ := lazy.LoadBlock(label.Wildcard, 4, 0)
+	wantW, _ := eager.LoadBlock(label.Wildcard, 4, 0)
+	if !reflect.DeepEqual(gotW, wantW) {
+		t.Fatalf("lazy wildcard block = %v, eager = %v", gotW, wantW)
+	}
+	if lazy.TotalEdges() != eager.TotalEdges() {
+		t.Fatalf("TotalEdges %d, want %d", lazy.TotalEdges(), eager.TotalEdges())
+	}
+}
+
+// TestLazySourceConcurrentFaults hammers one lazy store from many
+// goroutines (run under -race) and checks every result against the eager
+// layout: concurrent first faults of the same table must carve once and
+// agree.
+func TestLazySourceConcurrentFaults(t *testing.T) {
+	g, c := smallGraph(t)
+	eager := New(c, 2)
+	lazy := NewFromSource(c, 2)
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for v := int32(0); int(v) < g.NumNodes(); v++ {
+				for a := int32(0); int(a) < g.NumLabels(); a++ {
+					for idx := 0; ; idx++ {
+						got, gLast := lazy.LoadBlock(a, v, idx)
+						want, wLast := eager.LoadBlock(a, v, idx)
+						if !reflect.DeepEqual(got, want) || gLast != wLast {
+							errs <- "block mismatch"
+							return
+						}
+						if gLast {
+							break
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if msg, bad := <-errs; bad {
+		t.Fatal(msg)
+	}
+	if n, want := lazy.TablesLoaded(), int64(c.NumTables()); n != want {
+		t.Fatalf("concurrent faults carved %d tables, want %d", n, want)
+	}
+}
+
+// TestLazyReplicaSharesCarves pins that replicas share the carved
+// layout: a table faulted through one replica is resident for all.
+func TestLazyReplicaSharesCarves(t *testing.T) {
+	g, c := smallGraph(t)
+	base := NewFromSource(c, 2)
+	r1, r2 := base.Replica(), base.Replica()
+	a := lbl(g, "a")
+	r1.LoadBlock(a, 4, 0)
+	n := base.TablesLoaded()
+	if n == 0 {
+		t.Fatal("no table carved")
+	}
+	r2.LoadBlock(a, 4, 0)
+	if base.TablesLoaded() != n || r1.TablesLoaded() != n || r2.TablesLoaded() != n {
+		t.Fatal("replicas do not share carved tables")
+	}
+}
+
+// flakySource wraps a closure source and serves one table short (empty
+// while TableLen still reports the real count — the shape of a lazy
+// snapshot's fault-time load failure) until healed.
+type flakySource struct {
+	closure.TableSource
+	failAlpha, failBeta int32
+	healed              bool
+}
+
+func (f *flakySource) Table(alpha, beta int32) []closure.Entry {
+	if !f.healed && alpha == f.failAlpha && beta == f.failBeta {
+		return nil
+	}
+	return f.TableSource.Table(alpha, beta)
+}
+
+// TestShortCarveRefaults pins the failure-path contract: a carve that
+// comes up short (source fault) is served best-effort but never cached —
+// neither the incoming lists, nor the D/E summary tables, nor the
+// wildcard merges derived over it — so once the source heals, every path
+// self-repairs to the eager layout's answers.
+func TestShortCarveRefaults(t *testing.T) {
+	g, c := smallGraph(t)
+	a, d := lbl(g, "a"), lbl(g, "d")
+	src := &flakySource{TableSource: c, failAlpha: a, failBeta: d}
+	lazy := NewFromSource(src, 2)
+	eager := New(c, 2)
+
+	// While the source faults: the failing table reads empty, everything
+	// else is unaffected.
+	if got, _ := lazy.LoadBlock(a, 4, 0); len(got) != 0 {
+		t.Fatalf("failing table served %v", got)
+	}
+	if n := lazy.TablesLoaded(); n != 0 {
+		t.Fatalf("short carve counted as loaded: %d", n)
+	}
+	wantD := eager.LoadD(a, d, false)
+	if bad := lazy.LoadD(a, d, false); len(bad) >= len(wantD) {
+		t.Fatalf("derived D over a short carve has %d rows, eager has %d", len(bad), len(wantD))
+	}
+	badW, _ := lazy.LoadBlock(label.Wildcard, 4, 0)
+	wantW, _ := eager.LoadBlock(label.Wildcard, 4, 0)
+	if reflect.DeepEqual(badW, wantW) {
+		t.Fatal("wildcard merge over a short carve should be missing edges")
+	}
+
+	// Source heals: every path must refault and repair, including the
+	// derived plane and wildcard merges (nothing was cached).
+	src.healed = true
+	gotB, _ := lazy.LoadBlock(a, 4, 0)
+	wantB, _ := eager.LoadBlock(a, 4, 0)
+	if !reflect.DeepEqual(gotB, wantB) {
+		t.Fatalf("after heal: block %v, want %v", gotB, wantB)
+	}
+	if got := lazy.LoadD(a, d, false); !reflect.DeepEqual(got, wantD) {
+		t.Fatalf("after heal: D %v, want %v", got, wantD)
+	}
+	gotW, _ := lazy.LoadBlock(label.Wildcard, 4, 0)
+	if !reflect.DeepEqual(gotW, wantW) {
+		t.Fatalf("after heal: wildcard %v, want %v", gotW, wantW)
+	}
+	// And the repaired derivation is now cached: the next load is a hit.
+	before := lazy.Counters().TableHits
+	lazy.LoadD(a, d, false)
+	if lazy.Counters().TableHits != before+1 {
+		t.Fatal("healed derivation was not published to the plane")
+	}
+}

@@ -40,6 +40,16 @@
 // binding and scatter-gathers TopK over them with a streaming k-way
 // merge; see ShardedDatabase. A Database and every ShardedDatabase built
 // from it are safe for concurrent use.
+//
+// # Snapshots
+//
+// The offline closure computation is paid once: SaveSnapshot writes a
+// page-aligned, offset-indexed KTPMSNAP1 image that OpenSnapshot can
+// reopen eagerly, lazily (tables fault in on first touch), or via mmap
+// (zero-copy table views) — the lazy modes open in O(directory) time,
+// so a daemon restart over a big graph is near-instant. All modes
+// answer queries byte-identically to BuildDatabase. SaveDatabase and
+// OpenDatabase keep reading the older KTPMTC1 stream format.
 package ktpm
 
 import (
@@ -134,13 +144,17 @@ type DatabaseOptions struct {
 }
 
 // Database is a data graph prepared for querying: the transitive closure
-// with shortest distances (Section 3.1) organized both in memory and in
-// the simulated block store (Section 4.1).
+// with shortest distances (Section 3.1) organized both as label-pair
+// tables and in the simulated block store (Section 4.1). The closure is
+// accessed through a closure.TableSource, which is either fully resident
+// (BuildDatabase, OpenDatabase, eager snapshots) or faulted in from disk
+// per table (OpenSnapshot in lazy or mmap mode).
 type Database struct {
-	g   *graph.Graph
-	c   *closure.Closure
-	st  *store.Store
-	opt DatabaseOptions
+	g    *graph.Graph
+	c    closure.TableSource
+	snap *closure.Snapshot // non-nil when opened from a KTPMSNAP1 file
+	st   *store.Store
+	opt  DatabaseOptions
 }
 
 // BuildDatabase precomputes the closure of g. This is the offline step of
@@ -163,7 +177,10 @@ func (db *Database) Graph() *Graph { return &Graph{g: db.g} }
 
 // SaveDatabase writes a self-contained snapshot — the graph plus its
 // precomputed closure — so the offline step is paid once. The layout is a
-// length-prefixed graph text section followed by the binary closure.
+// length-prefixed graph text section followed by the binary KTPMTC1
+// closure stream, which OpenDatabase must parse front to back; prefer
+// SaveSnapshot/OpenSnapshot, whose offset-indexed format also supports
+// lazy and mmap opening. Kept for compatibility with existing files.
 func SaveDatabase(w io.Writer, db *Database) error {
 	var gbuf bytes.Buffer
 	if err := graph.Encode(&gbuf, db.g); err != nil {
@@ -207,6 +224,142 @@ func OpenDatabase(r io.Reader, opt DatabaseOptions) (*Database, error) {
 	}, nil
 }
 
+// SnapshotMode selects how OpenSnapshot backs the closure tables.
+type SnapshotMode int
+
+const (
+	// SnapshotEager decodes the whole snapshot into memory at open —
+	// byte-for-byte the same serving state BuildDatabase reaches, paid up
+	// front.
+	SnapshotEager SnapshotMode = iota
+	// SnapshotLazy opens in O(directory) time; each closure table is
+	// seek-read and decoded the first time a query touches it.
+	SnapshotLazy
+	// SnapshotMMap maps the file and serves zero-copy entry views over
+	// the mapping: no heap copy of table payloads, opening in
+	// O(directory) time, and the OS page cache shares the bytes across
+	// every process mapping the same file. Falls back to SnapshotLazy on
+	// platforms without mmap.
+	SnapshotMMap
+)
+
+// String returns the CLI spelling ("eager", "lazy", "mmap");
+// ParseSnapshotMode accepts it back.
+func (m SnapshotMode) String() string { return closure.SnapMode(m).String() }
+
+// ParseSnapshotMode resolves the CLI/service spelling of a snapshot mode
+// ("eager", "lazy", "mmap", case-insensitive); ok is false for unknown
+// names, including the empty string.
+func ParseSnapshotMode(name string) (SnapshotMode, bool) {
+	switch strings.ToLower(name) {
+	case "eager":
+		return SnapshotEager, true
+	case "lazy":
+		return SnapshotLazy, true
+	case "mmap":
+		return SnapshotMMap, true
+	}
+	return 0, false
+}
+
+// SnapshotOptions configures OpenSnapshot.
+type SnapshotOptions struct {
+	// Mode selects the table backing; the zero value is SnapshotEager.
+	Mode SnapshotMode
+	// BlockSize is the simulated disk block size for the rebuilt store;
+	// 0 means the default.
+	BlockSize int
+}
+
+// SaveSnapshot writes db as a KTPMSNAP1 snapshot: a page-aligned,
+// offset-indexed image of the graph and closure with a table directory
+// up front, openable eagerly, lazily, or via mmap (see OpenSnapshot).
+// Saving from a lazy or mmap database faults every table once; the
+// closure is never recomputed. Output is deterministic for a given
+// closure.
+func SaveSnapshot(w io.Writer, db *Database) error {
+	return closure.WriteSnapshot(w, db.c)
+}
+
+// OpenSnapshot opens a KTPMSNAP1 snapshot written by SaveSnapshot. In
+// SnapshotLazy and SnapshotMMap modes it returns in O(directory) time —
+// the graph and table directory are read, but no closure table is
+// touched until a query faults it — so a daemon over a big graph starts
+// serving immediately. All three modes answer every query byte-identically
+// to the BuildDatabase path, at any shard count.
+//
+// The returned Database is safe for concurrent use like any other, but a
+// lazy or mmap database keeps the file (or mapping) open: call Close
+// once queries have stopped. Corruption in the header, graph, or
+// directory fails here; payload corruption fails at open only in eager
+// mode, and in lazy/mmap modes surfaces as an error from SnapshotStats
+// once the damaged table faults.
+func OpenSnapshot(path string, opt SnapshotOptions) (*Database, error) {
+	snap, err := closure.OpenSnapshotFile(path, closure.SnapMode(opt.Mode))
+	if err != nil {
+		return nil, fmt.Errorf("ktpm: %w", err)
+	}
+	st := store.NewFromSource(snap, opt.BlockSize)
+	if opt.Mode == SnapshotEager {
+		st.MaterializeAll()
+	}
+	return &Database{
+		g:    snap.Graph(),
+		c:    snap,
+		snap: snap,
+		st:   st,
+		opt:  DatabaseOptions{BlockSize: opt.BlockSize},
+	}, nil
+}
+
+// Close releases any resources the database holds on the snapshot file
+// it was opened from: the descriptor (lazy) or the memory mapping
+// (mmap). It must only be called after every query has finished —
+// mmap-mode table views point into the mapping. A no-op for databases
+// built in memory. Idempotent.
+func (db *Database) Close() error {
+	if db.snap != nil {
+		return db.snap.Close()
+	}
+	return nil
+}
+
+// SnapshotStats describes the snapshot backing of a Database opened with
+// OpenSnapshot.
+type SnapshotStats struct {
+	// Mode is the effective backing mode ("eager", "lazy", "mmap") —
+	// what a requested mmap degraded to on platforms without it.
+	Mode string `json:"mode"`
+	// TablesLoaded counts closure tables faulted from the snapshot so
+	// far; directly after a lazy or mmap open it is 0.
+	TablesLoaded int64 `json:"tables_loaded"`
+	// TablesTotal is the directory size.
+	TablesTotal int64 `json:"tables_total"`
+	// BytesMapped is the live mmap size (0 unless Mode is "mmap").
+	BytesMapped int64 `json:"bytes_mapped"`
+	// Err reports a fault-time load failure in lazy/mmap mode (the file
+	// was damaged underneath the open snapshot); empty when healthy.
+	Err string `json:"err,omitempty"`
+}
+
+// SnapshotStats returns the snapshot backing state, and ok=false for
+// databases not opened from a snapshot.
+func (db *Database) SnapshotStats() (SnapshotStats, bool) {
+	if db.snap == nil {
+		return SnapshotStats{}, false
+	}
+	st := SnapshotStats{
+		Mode:         db.snap.Mode().String(),
+		TablesLoaded: db.snap.TablesLoaded(),
+		TablesTotal:  int64(db.snap.NumTables()),
+		BytesMapped:  db.snap.BytesMapped(),
+	}
+	if err := db.snap.Err(); err != nil {
+		st.Err = err.Error()
+	}
+	return st, true
+}
+
 // IOStats is a snapshot of the simulated disk I/O counters accumulated by
 // all queries served from this database (see internal/store): random block
 // reads from incoming lists versus wholesale summary-table scans.
@@ -225,6 +378,16 @@ type IOStats struct {
 	// TableHits counts table loads served from the shared derived plane
 	// without touching the simulated disk.
 	TableHits int64
+	// TablesLoaded counts closure tables materialized from the table
+	// source into the store layout. A database built (or opened) eagerly
+	// reports the full table count from the start; one opened with
+	// OpenSnapshot in lazy or mmap mode starts at 0 and grows as queries
+	// fault tables in. The layout is shared, so this stays flat as shard
+	// or replica counts grow.
+	TablesLoaded int64
+	// SnapshotBytesMapped is the live memory-mapped snapshot size; 0
+	// unless the database was opened with SnapshotMMap.
+	SnapshotBytesMapped int64
 }
 
 // IOStats returns a snapshot of the accumulated simulated I/O counters.
@@ -232,13 +395,18 @@ type IOStats struct {
 // under concurrent queries.
 func (db *Database) IOStats() IOStats {
 	c := db.st.Counters()
-	return IOStats{
+	out := IOStats{
 		BlocksRead:       c.BlocksRead,
 		EntriesRead:      c.EntriesRead,
 		TableEntriesRead: c.TableEntriesRead,
 		TablesRead:       c.TablesRead,
 		TableHits:        c.TableHits,
+		TablesLoaded:     db.st.TablesLoaded(),
 	}
+	if db.snap != nil {
+		out.SnapshotBytesMapped = db.snap.BytesMapped()
+	}
+	return out
 }
 
 // ClosureStats reports the precomputation cost drivers: closure entries,

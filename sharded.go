@@ -225,8 +225,17 @@ func (s *ShardedDatabase) IOStats() IOStats {
 		TableEntriesRead: base.TableEntriesRead + c.TableEntriesRead,
 		TablesRead:       base.TablesRead + c.TablesRead,
 		TableHits:        base.TableHits + c.TableHits,
+		// The layout (and with it the snapshot backing) is shared by every
+		// shard replica, so these are properties of the database, not sums.
+		TablesLoaded:        base.TablesLoaded,
+		SnapshotBytesMapped: base.SnapshotBytesMapped,
 	}
 }
+
+// SnapshotStats reports the wrapped Database's snapshot backing (the
+// layout is shared by every shard replica, so there is exactly one); ok
+// is false when the database was not opened from a snapshot.
+func (s *ShardedDatabase) SnapshotStats() (SnapshotStats, bool) { return s.db.SnapshotStats() }
 
 // ShardStats describes one shard of a ShardedDatabase in /stats.
 type ShardStats struct {
