@@ -13,10 +13,11 @@ bench-smoke:
 # Regenerate the committed serving sweep numbers (BENCH_topk.json):
 # the shard-plane sweep (ns/op, allocs/op, summary-table derives across
 # shard counts, shared versus detached planes), the gather chunk-size
-# sweep, the batch amortization sweep, and the snapshot startup sweep
+# sweep, the batch amortization sweep, the snapshot startup sweep
 # (open wall time + first-query latency for build/eager/lazy/mmap at
-# several graph sizes). -json implies every sweep, so the flags below
-# stay complete automatically.
+# several graph sizes), and the instrumentation overhead sweep
+# (warm-cache /query with observability on versus off). -json implies
+# every sweep, so the flags below stay complete automatically.
 bench-json:
 	go run ./cmd/benchkit -exp topk,batch -json BENCH_topk.json
 

@@ -5,7 +5,7 @@
 //
 //	benchkit                 # everything (several minutes)
 //	benchkit -exp fig6       # one experiment: table2 table3 fig6 fig7
-//	                         # fig8 fig9 ablations topk batch
+//	                         # fig8 fig9 ablations topk batch startup obs
 //	benchkit -exp topk,batch # comma-separated experiment list
 //	benchkit -queries 3      # queries averaged per data point
 //	benchkit -quick          # smaller k sweep and fewer datasets
@@ -13,12 +13,11 @@
 //	benchkit -drift BENCH_topk.json                 # schema drift check (make bench-json-check)
 //
 // -json writes the shard-plane, gather chunk-size, batch amortization,
-// and snapshot startup sweeps as one document; it implies the topk,
-// batch, and startup experiments so the written schema is always
-// complete. -drift
-// regenerates the same sweeps and fails when the committed document's
-// schema (key paths, row names) no longer matches — CI's guard against
-// a stale BENCH_topk.json.
+// snapshot startup, and instrumentation overhead sweeps as one
+// document; it implies the topk, batch, startup, and obs experiments so
+// the written schema is always complete. -drift regenerates the same
+// sweeps and fails when the committed document's schema (key paths, row
+// names) no longer matches — CI's guard against a stale BENCH_topk.json.
 //
 // Output is plain text, one aligned table per paper artifact — the source
 // for EXPERIMENTS.md.
@@ -36,11 +35,11 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment, or comma-separated list: all, table2, table3, fig6, fig7, fig8, fig9, ablations, topk, batch, startup")
+		exp       = flag.String("exp", "all", "experiment, or comma-separated list: all, table2, table3, fig6, fig7, fig8, fig9, ablations, topk, batch, startup, obs")
 		queries   = flag.Int("queries", 5, "queries per data point")
 		quick     = flag.Bool("quick", false, "reduced sweeps for a fast pass")
-		jsonPath  = flag.String("json", "", "write the topk+batch+startup sweeps as one JSON document to this path (implies all three experiments; see make bench-json)")
-		driftPath = flag.String("drift", "", "regenerate the topk+batch+startup sweeps and compare their schema (key paths, row names) against this committed JSON document; exit nonzero on drift (implies all three experiments; see make bench-json-check)")
+		jsonPath  = flag.String("json", "", "write the topk+batch+startup+obs sweeps as one JSON document to this path (implies all four experiments; see make bench-json)")
+		driftPath = flag.String("drift", "", "regenerate the topk+batch+startup+obs sweeps and compare their schema (key paths, row names) against this committed JSON document; exit nonzero on drift (implies all four experiments; see make bench-json-check)")
 		topkOps   = flag.Int("topk-ops", 5, "iterations per configuration of the topk, chunk, and batch sweeps")
 	)
 	flag.Parse()
@@ -52,7 +51,7 @@ func main() {
 		ks = []int{10, 100}
 		gdSets, gsSets = bench.GD[:3], bench.GS[:3]
 	}
-	known := []string{"all", "table2", "table3", "fig6", "fig7", "fig8", "fig9", "ablations", "topk", "batch", "startup"}
+	known := []string{"all", "table2", "table3", "fig6", "fig7", "fig8", "fig9", "ablations", "topk", "batch", "startup", "obs"}
 	selected := map[string]bool{}
 	for _, name := range strings.Split(*exp, ",") {
 		name = strings.TrimSpace(name)
@@ -72,6 +71,7 @@ func main() {
 		selected["topk"] = true
 		selected["batch"] = true
 		selected["startup"] = true
+		selected["obs"] = true
 	}
 	want := func(name string) bool { return selected["all"] || selected[name] }
 	t0 := time.Now()
@@ -131,6 +131,19 @@ func main() {
 		bench.RunAblationLazyQ(gs, ks).Fprint(os.Stdout)
 		bench.RunAblationOracle([]bench.Dataset{gdSets[0], gsSets[0]}).Fprint(os.Stdout)
 	}
+	// The obs sweep measures a ~microsecond effect, so it runs before the
+	// other serving sweeps inflate this process's heap (every extra live
+	// byte makes each GC cycle — and thus the noise floor — bigger).
+	var obsRows []*bench.ObsRow
+	if want("obs") {
+		var err error
+		obsRows, err = runObsSweep(*topkOps)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchkit: obs sweep: %v\n", err)
+			os.Exit(1)
+		}
+		bench.ObsTable(obsRows).Fprint(os.Stdout)
+	}
 	var rep *bench.TopKReport
 	if want("topk") {
 		var err error
@@ -169,6 +182,9 @@ func main() {
 		if rep != nil {
 			rep.StartupSweep = startupRows
 		}
+	}
+	if rep != nil {
+		rep.ObsSweep = obsRows
 	}
 	if *jsonPath != "" {
 		if err := rep.WriteJSON(*jsonPath); err != nil {

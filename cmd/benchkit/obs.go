@@ -1,0 +1,132 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"runtime"
+	"sort"
+	"time"
+
+	"ktpm"
+	"ktpm/internal/bench"
+	"ktpm/internal/gen"
+	"ktpm/internal/graph"
+	"ktpm/internal/server"
+)
+
+// runObsSweep measures what the observability spine costs on the hot
+// path: warm-cache /query requests driven through the full
+// server.ServeHTTP stack (request-ID propagation, root span, stage
+// spans, histogram updates, trace ring) with instrumentation on versus
+// off (Config.DisableObs). Warm-cache is the worst case for relative
+// overhead — the query itself is a map probe, so fixed per-request
+// instrumentation is the largest share of the total it will ever be.
+// It lives here rather than internal/bench because it exercises
+// ktpm/internal/server, which internal/bench cannot import (the root
+// package's own benchmarks import internal/bench). ops is the iteration
+// count per configuration (minimum 8); each op is one back-to-back
+// off/on round pair.
+func runObsSweep(ops int) ([]*bench.ObsRow, error) {
+	// Below 8 paired rounds the median is too fragile to mean anything,
+	// so the sweep takes at least that many regardless of -topk-ops.
+	if ops < 8 {
+		ops = 8
+	}
+	g := bench.TopKGraph()
+	var buf bytes.Buffer
+	if err := graph.Encode(&buf, g); err != nil {
+		return nil, err
+	}
+	pg, err := ktpm.LoadGraph(&buf)
+	if err != nil {
+		return nil, err
+	}
+	db, err := ktpm.BuildDatabase(pg, ktpm.DatabaseOptions{})
+	if err != nil {
+		return nil, err
+	}
+	// The same generated workload queries as the batch sweep; parentheses
+	// and commas are legal unencoded in a query string.
+	trees, err := gen.QuerySet(g, 4, 4, true, 12345)
+	if err != nil {
+		return nil, err
+	}
+	paths := make([]string, len(trees))
+	for i, t := range trees {
+		paths[i] = "/query?q=" + url.QueryEscape(t.String()) + "&k=10"
+	}
+	// One warm server per configuration, reused across rounds so both
+	// caches stay hot for the whole sweep.
+	servers := map[bool]*server.Server{
+		true:  server.New(db, server.Config{DisableObs: true}),
+		false: server.New(db, server.Config{DisableObs: false}),
+	}
+	defer servers[true].Close()
+	defer servers[false].Close()
+	round := func(disable bool) (float64, error) {
+		srv := servers[disable]
+		// Rounds must be long enough that a scheduler hiccup is a small
+		// fraction of the round, and the collector must start every round
+		// at the same phase: without the forced GC, cycles triggered by
+		// accumulated debt land in whichever config's round the phase
+		// drifts into and bias the comparison in either direction.
+		runtime.GC()
+		const reqs = 2000
+		t0 := time.Now()
+		for i := 0; i < reqs; i++ {
+			rec := httptest.NewRecorder()
+			srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, paths[i%len(paths)], nil))
+			if rec.Code != http.StatusOK {
+				return 0, fmt.Errorf("%s: status %d: %s", paths[i%len(paths)], rec.Code, rec.Body.String())
+			}
+		}
+		return float64(time.Since(t0).Nanoseconds()) / reqs, nil
+	}
+	// Warm both servers (fill the result cache), then measure in
+	// back-to-back off/on pairs. A shared machine drifts between fast and
+	// slow regimes on a timescale longer than one round, so comparing
+	// each config's best-ever round compares different regimes; the
+	// on/off ratio within one adjacent pair sees the same regime, and the
+	// median of the pair ratios shrugs off the rounds a GC cycle or a
+	// scheduler hiccup landed in.
+	for _, disable := range []bool{true, false} {
+		if _, err := round(disable); err != nil {
+			return nil, err
+		}
+	}
+	offs := make([]float64, ops)
+	ratios := make([]float64, ops)
+	for op := 0; op < ops; op++ {
+		off, err := round(true)
+		if err != nil {
+			return nil, err
+		}
+		on, err := round(false)
+		if err != nil {
+			return nil, err
+		}
+		offs[op] = off
+		ratios[op] = on / off
+	}
+	offNs := median(offs)
+	ratio := median(ratios)
+	return []*bench.ObsRow{
+		{Name: "obs=off", Enabled: false, Ops: ops, NsPerOp: offNs},
+		{Name: "obs=on", Enabled: true, Ops: ops, NsPerOp: offNs * ratio,
+			OverheadPct: (ratio - 1) * 100},
+	}, nil
+}
+
+// median returns the middle value of xs (mean of the middle two for an
+// even count). xs is sorted in place.
+func median(xs []float64) float64 {
+	sort.Float64s(xs)
+	n := len(xs)
+	if n%2 == 1 {
+		return xs[n/2]
+	}
+	return (xs[n/2-1] + xs[n/2]) / 2
+}

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"ktpm"
+	"ktpm/internal/obs"
 )
 
 func main() {
@@ -34,8 +35,18 @@ func main() {
 		count     = flag.Bool("count", false, "also print the total number of matches")
 		explain   = flag.Bool("explain", false, "print the query plan before running")
 		quiet     = flag.Bool("quiet", false, "print scores only")
+		version   = flag.Bool("version", false, "print version and build info, then exit")
 	)
 	flag.Parse()
+	if *version {
+		bi := obs.Build()
+		fmt.Printf("ktpm %s %s", bi.Version, bi.Go)
+		if bi.Revision != "" {
+			fmt.Printf(" (%s)", bi.Revision)
+		}
+		fmt.Println()
+		return
+	}
 	if (*graphPath == "" && *dbPath == "" && *snapPath == "") ||
 		(*queryStr == "" && *savePath == "" && *saveSnap == "") {
 		flag.Usage()

@@ -13,14 +13,22 @@
 //	ktpmd -snapshot g.snap -snapshot-mode mmap
 //
 //	curl 'localhost:8080/query?q=a(b,c(d))&k=5'
+//	curl 'localhost:8080/query?q=a(b)&debug=1'          # inline trace span tree
 //	curl -d '{"items":[{"q":"a(b)","k":5},{"q":"a(b)","k":5}]}' localhost:8080/batch
 //	curl -N 'localhost:8080/stream?q=a(b)&max=100000'
 //	curl 'localhost:8080/explain?q=a(b)'
 //	curl 'localhost:8080/stats'
 //	curl 'localhost:8080/metrics'
+//	curl 'localhost:8080/readyz'
+//	curl 'localhost:8080/debug/traces?n=10'
 //
-// See package ktpm/internal/server for the endpoint contract, and
-// docs/API.md for the full HTTP reference.
+// Logs are structured (log/slog): text by default, JSON with -log-json.
+// -access-log logs every request with its X-Request-ID; -slow-query-ms
+// logs the full trace span tree of any query slower than the threshold.
+//
+// See package ktpm/internal/server for the endpoint contract,
+// docs/API.md for the full HTTP reference, and docs/OBSERVABILITY.md for
+// the metrics, tracing, and logging story.
 package main
 
 import (
@@ -28,7 +36,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -38,6 +46,7 @@ import (
 	"time"
 
 	"ktpm"
+	"ktpm/internal/obs"
 	"ktpm/internal/server"
 )
 
@@ -59,8 +68,25 @@ func main() {
 		shards      = flag.Int("shards", 1, "partition the match space across N shards and scatter-gather top-k (1 = single database)")
 		partition   = flag.String("partition", "hash", "shard partitioner: hash or label")
 		chunkSize   = flag.Int("chunk-size", 0, "matches per channel operation in the scatter-gather transport (0 = default 32, chosen from the BENCH_topk.json chunk-size sweep)")
+		slowMS      = flag.Float64("slow-query-ms", 0, "log the trace span tree of requests slower than this many milliseconds, and retain only those in /debug/traces (0 = retain every request, log none)")
+		traceRing   = flag.Int("trace-ring", 0, "recent-trace ring capacity behind /debug/traces (0 = default 64, negative disables)")
+		accessLog   = flag.Bool("access-log", false, "log every request (method, path, status, duration, request id)")
+		logJSON     = flag.Bool("log-json", false, "emit logs as JSON lines instead of text")
+		showVersion = flag.Bool("version", false, "print version and build info, then exit")
 	)
 	flag.Parse()
+	if *showVersion {
+		bi := obs.Build()
+		fmt.Printf("ktpmd %s %s", bi.Version, bi.Go)
+		if bi.Revision != "" {
+			fmt.Printf(" (%s)", bi.Revision)
+		}
+		fmt.Println()
+		return
+	}
+	logger := newLogger(*logJSON)
+	slog.SetDefault(logger)
+
 	sources := 0
 	for _, p := range []string{*graphPath, *dbPath, *snapPath} {
 		if p != "" {
@@ -87,9 +113,16 @@ func main() {
 		os.Exit(2)
 	}
 
-	db, startup, err := loadDatabase(*graphPath, *dbPath, *snapPath, mode, *blockSize)
+	bi := obs.Build()
+	logger.Info("starting",
+		"version", bi.Version,
+		"go", bi.Go,
+		"pid", os.Getpid(),
+	)
+
+	db, startup, err := loadDatabase(logger, *graphPath, *dbPath, *snapPath, mode, *blockSize)
 	if err != nil {
-		log.Fatalf("ktpmd: %v", err)
+		fatal(logger, "load", err)
 	}
 	// The sharded path wraps the same closure; every endpoint keeps its
 	// contract, and /stats and /metrics additionally report per-shard
@@ -98,7 +131,7 @@ func main() {
 	if *shards > 1 {
 		sdb, err := db.Shard(*shards, partitioner)
 		if err != nil {
-			log.Fatalf("ktpmd: %v", err)
+			fatal(logger, "shard", err)
 		}
 		if *chunkSize != 0 {
 			sdb.SetGatherChunkSize(*chunkSize)
@@ -109,8 +142,12 @@ func main() {
 		for i, ps := range ss.PerShard {
 			sizes[i] = ps.Vertices
 		}
-		log.Printf("ktpmd: scatter-gather across %d shards (%s partitioner), vertices per shard %v, gather chunk %d",
-			ss.Shards, ss.Partitioner, sizes, ss.ChunkSize)
+		logger.Info("sharding enabled",
+			"shards", ss.Shards,
+			"partitioner", ss.Partitioner,
+			"vertices_per_shard", fmt.Sprint(sizes),
+			"gather_chunk", ss.ChunkSize,
+		)
 	}
 
 	srv := server.New(backend, server.Config{
@@ -121,11 +158,15 @@ func main() {
 		CacheMinEntries: *cacheMin,
 		MaxK:            *maxK,
 		Startup:         startup,
+		TraceRing:       *traceRing,
+		SlowQuery:       time.Duration(*slowMS * float64(time.Millisecond)),
+		Logger:          logger,
+		AccessLog:       *accessLog,
 	})
 	defer srv.Close()
 
 	if *pprofAddr != "" {
-		go servePprof(*pprofAddr)
+		go servePprof(logger, *pprofAddr)
 	}
 
 	hs := &http.Server{Addr: *addr, Handler: srv}
@@ -136,19 +177,26 @@ func main() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
-		log.Println("ktpmd: shutting down")
+		logger.Info("shutting down")
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := hs.Shutdown(ctx); err != nil {
-			log.Printf("ktpmd: shutdown: %v", err)
+			logger.Error("shutdown", "err", err)
 		} else {
 			drained = true
 		}
 	}()
 
-	log.Printf("ktpmd: serving on %s", *addr)
+	logger.Info("serving",
+		"addr", *addr,
+		"source", startup.Source,
+		"open_ms", startup.OpenMS,
+		"shards", *shards,
+		"slow_query_ms", *slowMS,
+		"access_log", *accessLog,
+	)
 	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Fatalf("ktpmd: %v", err)
+		fatal(logger, "listen", err)
 	}
 	<-done
 	// Release the snapshot file or mapping only after a clean drain: if
@@ -157,11 +205,26 @@ func main() {
 	// drain into a crash. Process exit releases it either way.
 	if drained {
 		if err := db.Close(); err != nil {
-			log.Printf("ktpmd: closing snapshot: %v", err)
+			logger.Error("closing snapshot", "err", err)
 		}
 	} else if *snapPath != "" {
-		log.Printf("ktpmd: snapshot left open: requests still draining at exit")
+		logger.Warn("snapshot left open: requests still draining at exit")
 	}
+}
+
+// newLogger builds the process logger: text for humans, JSON for log
+// pipelines, both to stderr so NDJSON query streams on stdout redirects
+// stay clean.
+func newLogger(jsonLines bool) *slog.Logger {
+	if jsonLines {
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, nil))
+}
+
+func fatal(logger *slog.Logger, msg string, err error) {
+	logger.Error(msg, "err", err)
+	os.Exit(1)
 }
 
 // servePprof serves net/http/pprof on its own listener, separate from the
@@ -169,10 +232,10 @@ func main() {
 // service port. A bare ":port" binds 127.0.0.1; binding a non-loopback
 // host is allowed but warned about, since the profile endpoints expose
 // heap contents.
-func servePprof(addr string) {
+func servePprof(logger *slog.Logger, addr string) {
 	host, port, err := net.SplitHostPort(addr)
 	if err != nil {
-		log.Printf("ktpmd: bad -pprof address %q: %v", addr, err)
+		logger.Error("bad -pprof address", "addr", addr, "err", err)
 		return
 	}
 	if host == "" {
@@ -180,7 +243,7 @@ func servePprof(addr string) {
 		addr = net.JoinHostPort(host, port)
 	}
 	if ip := net.ParseIP(host); host != "localhost" && (ip == nil || !ip.IsLoopback()) {
-		log.Printf("ktpmd: warning: -pprof %s is not a loopback address; profiles expose process memory", addr)
+		logger.Warn("-pprof is not a loopback address; profiles expose process memory", "addr", addr)
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -188,13 +251,13 @@ func servePprof(addr string) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	log.Printf("ktpmd: pprof on http://%s/debug/pprof/", addr)
+	logger.Info("pprof listening", "url", "http://"+addr+"/debug/pprof/")
 	if err := http.ListenAndServe(addr, mux); err != nil {
-		log.Printf("ktpmd: pprof listener: %v", err)
+		logger.Error("pprof listener", "err", err)
 	}
 }
 
-func loadDatabase(graphPath, dbPath, snapPath string, mode ktpm.SnapshotMode, blockSize int) (*ktpm.Database, server.StartupInfo, error) {
+func loadDatabase(logger *slog.Logger, graphPath, dbPath, snapPath string, mode ktpm.SnapshotMode, blockSize int) (*ktpm.Database, server.StartupInfo, error) {
 	opt := ktpm.DatabaseOptions{BlockSize: blockSize}
 	switch {
 	case snapPath != "":
@@ -206,8 +269,14 @@ func loadDatabase(graphPath, dbPath, snapPath string, mode ktpm.SnapshotMode, bl
 		elapsed := time.Since(t0)
 		ss, _ := db.SnapshotStats()
 		entries, tables, _, size := db.ClosureStats()
-		log.Printf("ktpmd: snapshot opened in %v (%s mode): %d entries in %d tables (%.1f MB), %d tables resident",
-			elapsed.Round(time.Microsecond), ss.Mode, entries, tables, float64(size)/1e6, ss.TablesLoaded)
+		logger.Info("snapshot opened",
+			"elapsed", elapsed.Round(time.Microsecond).String(),
+			"mode", ss.Mode,
+			"entries", entries,
+			"tables", tables,
+			"mb", float64(size)/1e6,
+			"tables_resident", ss.TablesLoaded,
+		)
 		return db, server.StartupInfo{
 			Source:       "snapshot",
 			SnapshotMode: ss.Mode,
@@ -225,7 +294,7 @@ func loadDatabase(graphPath, dbPath, snapPath string, mode ktpm.SnapshotMode, bl
 			return nil, server.StartupInfo{}, fmt.Errorf("load database: %w", err)
 		}
 		elapsed := time.Since(t0)
-		log.Printf("ktpmd: database stream loaded in %v", elapsed.Round(time.Millisecond))
+		logger.Info("database stream loaded", "elapsed", elapsed.Round(time.Millisecond).String())
 		return db, server.StartupInfo{Source: "db", OpenMS: float64(elapsed.Microseconds()) / 1000}, nil
 	}
 	f, err := os.Open(graphPath)
@@ -244,8 +313,14 @@ func loadDatabase(graphPath, dbPath, snapPath string, mode ktpm.SnapshotMode, bl
 	}
 	elapsed := time.Since(t0)
 	entries, tables, theta, size := db.ClosureStats()
-	log.Printf("ktpmd: graph %d nodes / %d edges; closure %d entries in %d tables (theta %.1f, %.1f MB) in %v",
-		g.NumNodes(), g.NumEdges(), entries, tables, theta, float64(size)/1e6,
-		elapsed.Round(time.Millisecond))
+	logger.Info("closure built",
+		"nodes", g.NumNodes(),
+		"edges", g.NumEdges(),
+		"entries", entries,
+		"tables", tables,
+		"theta", theta,
+		"mb", float64(size)/1e6,
+		"elapsed", elapsed.Round(time.Millisecond).String(),
+	)
 	return db, server.StartupInfo{Source: "graph", OpenMS: float64(elapsed.Microseconds()) / 1000}, nil
 }

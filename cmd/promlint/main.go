@@ -1,0 +1,30 @@
+// Command promlint validates a Prometheus text exposition (format 0.0.4)
+// read from stdin: HELP/TYPE comments must precede their series, metric
+// names must be unique and well-formed, and histogram families must have
+// consistent _bucket/_sum/_count series with non-decreasing cumulative
+// buckets ending in le="+Inf".
+//
+// It exists so CI can lint the live /metrics output of a running ktpmd:
+//
+//	curl -s localhost:8080/metrics | promlint
+//
+// Exit status 0 means the exposition is clean; 1 lists every violation.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"ktpm/internal/obs"
+)
+
+func main() {
+	errs := obs.LintExposition(os.Stdin)
+	for _, err := range errs {
+		fmt.Fprintln(os.Stderr, "promlint:", err)
+	}
+	if len(errs) > 0 {
+		os.Exit(1)
+	}
+	fmt.Println("promlint: exposition is clean")
+}

@@ -131,6 +131,38 @@ type TopKReport struct {
 	ChunkSweep   []*ChunkRow   `json:"chunk_sweep"`
 	BatchSweep   []*BatchRow   `json:"batch_sweep"`
 	StartupSweep []*StartupRow `json:"startup_sweep"`
+	ObsSweep     []*ObsRow     `json:"obs_sweep"`
+}
+
+// ObsRow is one configuration of the instrumentation-overhead sweep in
+// BENCH_topk.json: warm-cache /query latency through the full HTTP
+// server with observability on (root span, stage spans, histograms,
+// trace ring) versus off (Config.DisableObs). The "obs=on" row's
+// overhead_pct is its ns_per_op relative to the off row — the number the
+// ≤5% instrumentation budget is checked against. The sweep itself lives
+// in cmd/benchkit (it exercises ktpm/internal/server, which this package
+// cannot import: the root package's benchmarks import internal/bench).
+type ObsRow struct {
+	Name    string  `json:"name"` // "obs=on" or "obs=off"
+	Enabled bool    `json:"enabled"`
+	Ops     int     `json:"ops"`
+	NsPerOp float64 `json:"ns_per_op"`
+	// OverheadPct is (on-off)/off*100 on the enabled row, 0 on the
+	// baseline row. Negative values are run-to-run noise.
+	OverheadPct float64 `json:"overhead_pct"`
+}
+
+// ObsTable renders an instrumentation-overhead sweep in the benchkit
+// text format.
+func ObsTable(rows []*ObsRow) *Table {
+	t := &Table{
+		Title:  "Instrumentation overhead sweep (warm-cache /query)",
+		Header: []string{"config", "us/op", "overhead %"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Name, fmt.Sprintf("%.1f", r.NsPerOp/1e3), fmt.Sprintf("%+.1f", r.OverheadPct))
+	}
+	return t
 }
 
 // TopKGraph builds the workload graph shared by every sweep behind

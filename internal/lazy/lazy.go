@@ -32,6 +32,7 @@ import (
 	"ktpm/internal/graph"
 	"ktpm/internal/heap"
 	"ktpm/internal/label"
+	"ktpm/internal/obs"
 	"ktpm/internal/query"
 	"ktpm/internal/store"
 )
@@ -71,6 +72,10 @@ type Options struct {
 	// scatter-gather top-k: each shard's emission stays sorted by score
 	// and the shards' unions reconstruct the unrestricted enumeration.
 	RootFilter func(v int32) bool
+	// Trace, when non-nil, parents the enumerator's trace spans: store
+	// slow paths (table carves and first derives) record "table_fault"
+	// children under it. Nil disables tracing at zero cost.
+	Trace *obs.Span
 }
 
 // admitsRoot reports whether data node v may bind the root position.
@@ -265,6 +270,9 @@ func (e *Enumerator) newCandidate(parent *Match, pivot, excl int32) *candidate {
 // and the E tables for leaf edges (Algorithm 2, Line 1), creates the leaf
 // and leaf-parent nodes, and seeds Qg with every active node.
 func New(s *store.Store, q *query.Tree, opt Options) *Enumerator {
+	if opt.Trace != nil {
+		s = s.WithTrace(opt.Trace)
+	}
 	g := s.Graph()
 	nT := int32(q.NumNodes())
 	e := &Enumerator{

@@ -1,0 +1,43 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkNewRequestID(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = NewRequestID()
+	}
+}
+
+func BenchmarkRequestSpanLifecycle(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		root := StartRoot("query")
+		root.SetAttr("request_id", "abcd")
+		p := root.StartChild("parse")
+		p.End()
+		c := root.StartChild("cache_probe")
+		c.End()
+		root.End()
+	}
+}
+
+func BenchmarkSnapshot(b *testing.B) {
+	root := StartRoot("query")
+	root.SetAttr("request_id", "abcd")
+	root.StartChild("parse").End()
+	root.StartChild("cache_probe").End()
+	root.End()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = root.Snapshot()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := &Histogram{}
+	for i := 0; i < b.N; i++ {
+		h.Observe(time.Duration(i))
+	}
+}

@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// Version is the release version stamped at build time:
+//
+//	go build -ldflags "-X ktpm/internal/obs.Version=v1.2.3" ./cmd/ktpmd
+//
+// Unstamped builds report "dev".
+var Version = "dev"
+
+// BuildInfo identifies a binary in -version output, the /stats build
+// block, and the ktpmd_build_info metric.
+type BuildInfo struct {
+	// Version is the stamped release version, or "dev".
+	Version string `json:"version"`
+	// Go is the toolchain that built the binary (runtime.Version()).
+	Go string `json:"go"`
+	// Revision is the VCS commit if the build embedded one, with a
+	// "-dirty" suffix for modified working trees; empty otherwise.
+	Revision string `json:"revision,omitempty"`
+}
+
+var buildOnce = sync.OnceValue(func() BuildInfo {
+	b := BuildInfo{Version: Version, Go: runtime.Version()}
+	if info, ok := debug.ReadBuildInfo(); ok {
+		var dirty bool
+		for _, s := range info.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				b.Revision = s.Value
+			case "vcs.modified":
+				dirty = s.Value == "true"
+			}
+		}
+		if dirty && b.Revision != "" {
+			b.Revision += "-dirty"
+		}
+	}
+	return b
+})
+
+// Build returns the binary's build information.
+func Build() BuildInfo { return buildOnce() }

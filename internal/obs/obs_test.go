@@ -1,0 +1,347 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketIndexMonotone(t *testing.T) {
+	prev := -1
+	for ns := int64(0); ns < 1<<20; ns += 7 {
+		i := bucketIndex(ns)
+		if i < prev {
+			t.Fatalf("bucketIndex not monotone at %d: %d < %d", ns, i, prev)
+		}
+		prev = i
+		if b := BucketBound(i); int64(b) < ns {
+			t.Fatalf("BucketBound(%d)=%v below value %dns", i, b, ns)
+		}
+	}
+}
+
+func TestBucketBoundRoundTrip(t *testing.T) {
+	for i := 0; i < numBuckets-1; i++ {
+		b := int64(BucketBound(i))
+		if got := bucketIndex(b); got != i {
+			t.Fatalf("bucketIndex(BucketBound(%d)=%d) = %d", i, b, got)
+		}
+		if got := bucketIndex(b + 1); got != i+1 {
+			t.Fatalf("bucketIndex(%d+1) = %d, want %d", b, got, i+1)
+		}
+	}
+}
+
+func TestBucketIndexClamp(t *testing.T) {
+	if got := bucketIndex(-5); got != 0 {
+		t.Fatalf("negative value bucket = %d", got)
+	}
+	huge := int64(1) << 62
+	if got := bucketIndex(huge); got != numBuckets-1 {
+		t.Fatalf("huge value bucket = %d, want %d", got, numBuckets-1)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 1000 observations of 1ms..1000ms.
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	checks := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.50, 500 * time.Millisecond},
+		{0.90, 900 * time.Millisecond},
+		{0.99, 990 * time.Millisecond},
+	}
+	for _, c := range checks {
+		got := s.Quantile(c.q)
+		// Upper-bound estimate with ≤12.5% bucket width error.
+		if got < c.want || float64(got) > float64(c.want)*1.13 {
+			t.Errorf("q%.3f = %v, want within [%v, %v*1.13]", c.q, got, c.want, c.want)
+		}
+	}
+	mean := s.Mean()
+	if mean < 500*time.Millisecond || mean > 501*time.Millisecond {
+		t.Errorf("mean = %v, want ~500.5ms", mean)
+	}
+}
+
+func TestHistogramQuantileEmpty(t *testing.T) {
+	var h Histogram
+	if got := h.Snapshot().Quantile(0.99); got != 0 {
+		t.Fatalf("empty quantile = %v", got)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	for i := 0; i < 100; i++ {
+		a.Observe(time.Millisecond)
+		b.Observe(time.Second)
+	}
+	s := a.Snapshot()
+	s.Merge(b.Snapshot())
+	if s.Count != 200 {
+		t.Fatalf("merged count = %d", s.Count)
+	}
+	if q := s.Quantile(0.25); q > 2*time.Millisecond {
+		t.Errorf("q25 after merge = %v, want ~1ms", q)
+	}
+	if q := s.Quantile(0.90); q < time.Second {
+		t.Errorf("q90 after merge = %v, want ≥1s", q)
+	}
+	s.Merge(nil) // no-op
+	if s.Count != 200 {
+		t.Fatalf("merge(nil) changed count to %d", s.Count)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	const writers, per = 8, 1000
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(i) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Count(); got != writers*per {
+		t.Fatalf("count = %d, want %d", got, writers*per)
+	}
+}
+
+func TestCumulativeLEExactAtBounds(t *testing.T) {
+	var h Histogram
+	bounds := DefaultBounds()
+	for i, b := range bounds {
+		if i > 0 && b <= bounds[i-1] {
+			t.Fatalf("DefaultBounds not strictly increasing at %d", i)
+		}
+		if AlignBound(b) != b {
+			t.Fatalf("DefaultBounds[%d]=%v is not an exact bucket bound", i, b)
+		}
+		// Land one observation exactly on each bound.
+		h.Observe(b)
+	}
+	s := h.Snapshot()
+	for i, b := range bounds {
+		if got := s.CumulativeLE(b); got != int64(i+1) {
+			t.Fatalf("CumulativeLE(%v) = %d, want %d", b, got, i+1)
+		}
+	}
+}
+
+func TestSpanTree(t *testing.T) {
+	root := StartRoot("request")
+	p := root.StartChild("parse")
+	p.SetAttr("query", "A[B]")
+	p.End()
+	e := root.StartChild("enumerate")
+	time.Sleep(2 * time.Millisecond)
+	e.End()
+	root.End()
+
+	if !root.Ended() || !p.Ended() {
+		t.Fatal("spans not ended")
+	}
+	if root.Duration() < e.Duration() {
+		t.Fatalf("root %v shorter than child %v", root.Duration(), e.Duration())
+	}
+
+	js := root.Snapshot()
+	if js.Name != "request" || len(js.Children) != 2 {
+		t.Fatalf("bad snapshot: %+v", js)
+	}
+	if js.Children[0].Attrs["query"] != "A[B]" {
+		t.Fatalf("attr lost: %+v", js.Children[0])
+	}
+	if js.Unfinished {
+		t.Fatal("ended root marked unfinished")
+	}
+	if js.Children[1].StartUS < js.Children[0].StartUS {
+		t.Fatal("children out of start order")
+	}
+
+	var names []string
+	root.Each(func(name string, d time.Duration) {
+		names = append(names, name)
+		if d <= 0 {
+			t.Errorf("span %s has non-positive duration %v", name, d)
+		}
+	})
+	if strings.Join(names, ",") != "request,parse,enumerate" {
+		t.Fatalf("walk order = %v", names)
+	}
+}
+
+func TestSpanNilSafety(t *testing.T) {
+	var s *Span
+	c := s.StartChild("x")
+	if c != nil {
+		t.Fatal("nil span produced a child")
+	}
+	c.End()
+	c.SetAttr("k", 1)
+	if c.Duration() != 0 || c.Name() != "" || c.Ended() {
+		t.Fatal("nil span has state")
+	}
+	c.Each(func(string, time.Duration) { t.Fatal("nil walk invoked fn") })
+	if c.Snapshot() != nil {
+		t.Fatal("nil snapshot not nil")
+	}
+}
+
+func TestSpanEndIdempotent(t *testing.T) {
+	s := StartRoot("x")
+	s.End()
+	d := s.Duration()
+	time.Sleep(time.Millisecond)
+	s.End()
+	if s.Duration() != d {
+		t.Fatal("second End changed duration")
+	}
+}
+
+func TestSpanConcurrentChildren(t *testing.T) {
+	root := StartRoot("gather")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c := root.StartChild("shard_enumerate")
+				c.End()
+			}
+		}()
+	}
+	// Snapshot races with attachment on purpose — must not panic.
+	for i := 0; i < 50; i++ {
+		root.Snapshot()
+	}
+	wg.Wait()
+	root.End()
+	if got := len(root.Snapshot().Children); got != 800 {
+		t.Fatalf("children = %d, want 800", got)
+	}
+}
+
+func TestSpanContext(t *testing.T) {
+	if FromContext(context.Background()) != nil {
+		t.Fatal("empty context carried a span")
+	}
+	sp := StartRoot("r")
+	ctx := ContextWith(context.Background(), sp)
+	if FromContext(ctx) != sp {
+		t.Fatal("span not carried through context")
+	}
+}
+
+func TestRing(t *testing.T) {
+	r := NewRing(3)
+	if r.Cap() != 3 {
+		t.Fatalf("cap = %d", r.Cap())
+	}
+	for i := 1; i <= 5; i++ {
+		r.Add(Trace{Status: i})
+	}
+	if r.Total() != 5 {
+		t.Fatalf("total = %d", r.Total())
+	}
+	got := r.Snapshot(0)
+	if len(got) != 3 {
+		t.Fatalf("snapshot len = %d", len(got))
+	}
+	// Newest first: 5, 4, 3.
+	for i, want := range []int{5, 4, 3} {
+		if got[i].Status != want {
+			t.Fatalf("snapshot[%d].Status = %d, want %d", i, got[i].Status, want)
+		}
+	}
+	if got := r.Snapshot(2); len(got) != 2 || got[0].Status != 5 {
+		t.Fatalf("bounded snapshot = %+v", got)
+	}
+	if NewRing(0).Cap() != 1 {
+		t.Fatal("NewRing(0) cap != 1")
+	}
+}
+
+func TestNewRequestID(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		id := NewRequestID()
+		if len(id) != 16 {
+			t.Fatalf("id %q has length %d", id, len(id))
+		}
+		if seen[id] {
+			t.Fatalf("duplicate id %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestBuild(t *testing.T) {
+	b := Build()
+	if b.Version == "" || b.Go == "" {
+		t.Fatalf("incomplete build info: %+v", b)
+	}
+}
+
+func TestLintExpositionClean(t *testing.T) {
+	doc := `# HELP ktpmd_queries_total Total queries.
+# TYPE ktpmd_queries_total counter
+ktpmd_queries_total 42
+# HELP ktpmd_request_duration_seconds Request latency.
+# TYPE ktpmd_request_duration_seconds histogram
+ktpmd_request_duration_seconds_bucket{endpoint="query",le="0.001"} 1
+ktpmd_request_duration_seconds_bucket{endpoint="query",le="0.01"} 3
+ktpmd_request_duration_seconds_bucket{endpoint="query",le="+Inf"} 5
+ktpmd_request_duration_seconds_sum{endpoint="query"} 0.5
+ktpmd_request_duration_seconds_count{endpoint="query"} 5
+`
+	if errs := LintExposition(strings.NewReader(doc)); len(errs) != 0 {
+		t.Fatalf("clean doc flagged: %v", errs)
+	}
+}
+
+func TestLintExpositionCatches(t *testing.T) {
+	cases := []struct {
+		name, doc, want string
+	}{
+		{"undeclared", "orphan_metric 1\n", "no preceding"},
+		{"missing type", "# HELP x_total t\nx_total 1\n", "no TYPE"},
+		{"redeclared", "# HELP a_total t\n# TYPE a_total counter\na_total 1\n# HELP a_total t\n# TYPE a_total counter\na_total 2\n", "re-declares"},
+		{"bad name", "# HELP ok t\n# TYPE ok gauge\nok 1\n0bad 2\n", "invalid metric name"},
+		{"non-numeric", "# HELP ok t\n# TYPE ok gauge\nok abc\n", "non-numeric"},
+		{"decreasing buckets", "# HELP h t\n# TYPE h histogram\nh_bucket{le=\"0.1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n", "decrease"},
+		{"missing inf", "# HELP h t\n# TYPE h histogram\nh_bucket{le=\"0.1\"} 5\nh_sum 1\nh_count 5\n", "+Inf"},
+		{"inf mismatch", "# HELP h t\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 4\nh_sum 1\nh_count 5\n", "!= _count"},
+		{"missing sum", "# HELP h t\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 5\nh_count 5\n", "_sum"},
+		{"unquoted label", "# HELP g t\n# TYPE g gauge\ng{x=1} 2\n", "not quoted"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			errs := LintExposition(strings.NewReader(c.doc))
+			for _, e := range errs {
+				if strings.Contains(e.Error(), c.want) {
+					return
+				}
+			}
+			t.Fatalf("want error containing %q, got %v", c.want, errs)
+		})
+	}
+}

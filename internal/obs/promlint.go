@@ -1,0 +1,343 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// LintExposition parses a Prometheus text-format (0.0.4) document and
+// returns every violation found:
+//
+//   - every series must belong to a family introduced by # HELP and
+//     # TYPE lines before its first sample;
+//   - metric names and label names must be well-formed, label values
+//     quoted;
+//   - a family must not be re-declared (unique names);
+//   - histogram families must be consistent: _bucket cumulative counts
+//     non-decreasing in le order, an le="+Inf" bucket present and equal
+//     to _count, and both _sum and _count present.
+//
+// CI scrapes a live ktpmd /metrics into it (cmd/promlint), and the
+// server's exposition test runs it against the handler directly, so the
+// hand-rendered format cannot drift from what Prometheus ingests.
+func LintExposition(r io.Reader) []error {
+	var errs []error
+	addf := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf(format, args...))
+	}
+
+	type family struct {
+		help, typ string
+		samples   int
+	}
+	families := map[string]*family{}
+	var declared []string // declaration order, for re-declaration checks
+	type bucketPoint struct {
+		le  float64
+		val float64
+	}
+	// histogram accounting, keyed by family name + label signature
+	// (excluding le): buckets, sum, count.
+	buckets := map[string][]bucketPoint{}
+	sums := map[string]float64{}
+	counts := map[string]float64{}
+	histFamilies := map[string]bool{}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimRight(sc.Text(), " \t")
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			fields := strings.SplitN(text, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				continue // free-form comment
+			}
+			name := fields[2]
+			f := families[name]
+			if fields[1] == "HELP" {
+				if f != nil && f.help != "" {
+					addf("line %d: family %s re-declares HELP", line, name)
+				}
+				if f == nil {
+					f = &family{}
+					families[name] = f
+					declared = append(declared, name)
+				}
+				if len(fields) < 4 || fields[3] == "" {
+					addf("line %d: family %s has empty HELP text", line, name)
+				} else {
+					f.help = fields[3]
+				}
+			} else {
+				if f == nil || f.help == "" {
+					addf("line %d: TYPE for %s precedes its HELP", line, name)
+					if f == nil {
+						f = &family{}
+						families[name] = f
+						declared = append(declared, name)
+					}
+				}
+				if f.typ != "" {
+					addf("line %d: family %s re-declares TYPE", line, name)
+				}
+				if len(fields) < 4 || !validMetricType(fields[3]) {
+					addf("line %d: family %s has invalid TYPE %q", line, name, strings.Join(fields[3:], " "))
+				} else {
+					f.typ = fields[3]
+					if f.typ == "histogram" {
+						histFamilies[name] = true
+					}
+				}
+			}
+			continue
+		}
+
+		name, labels, value, err := parseSample(text)
+		if err != nil {
+			addf("line %d: %v", line, err)
+			continue
+		}
+		fam := ""
+		if _, ok := families[name]; ok {
+			fam = name
+		} else {
+			// Histogram/summary sample suffixes resolve to their base family.
+			for _, suf := range []string{"_bucket", "_sum", "_count"} {
+				base := strings.TrimSuffix(name, suf)
+				if base == name {
+					continue
+				}
+				if _, ok := families[base]; ok {
+					fam = base
+					break
+				}
+			}
+		}
+		if fam == "" {
+			addf("line %d: series %s has no preceding # HELP/# TYPE declaration", line, name)
+			continue
+		}
+		f := families[fam]
+		if f.help == "" || f.typ == "" {
+			addf("line %d: series %s declared without both HELP and TYPE", line, name)
+		}
+		f.samples++
+		if histFamilies[fam] {
+			sig := fam + labelSignature(labels, "le")
+			switch {
+			case name == fam+"_bucket":
+				leStr, ok := labels["le"]
+				if !ok {
+					addf("line %d: histogram bucket %s missing le label", line, name)
+					continue
+				}
+				le, err := parseLE(leStr)
+				if err != nil {
+					addf("line %d: bad le %q: %v", line, leStr, err)
+					continue
+				}
+				buckets[sig] = append(buckets[sig], bucketPoint{le: le, val: value})
+			case name == fam+"_sum":
+				sums[sig] = value
+			case name == fam+"_count":
+				counts[sig] = value
+			default:
+				addf("line %d: series %s in histogram family %s is not _bucket/_sum/_count", line, name, fam)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		addf("reading exposition: %v", err)
+	}
+
+	for _, name := range declared {
+		f := families[name]
+		if f.typ == "" {
+			errs = append(errs, fmt.Errorf("family %s has HELP but no TYPE", name))
+		}
+		if f.samples == 0 {
+			errs = append(errs, fmt.Errorf("family %s declared but has no samples", name))
+		}
+	}
+	// Histogram consistency per series (family + label signature).
+	var sigs []string
+	for sig := range buckets {
+		sigs = append(sigs, sig)
+	}
+	for sig := range counts {
+		if _, ok := buckets[sig]; !ok {
+			sigs = append(sigs, sig)
+		}
+	}
+	sort.Strings(sigs)
+	for _, sig := range sigs {
+		bs := buckets[sig]
+		if len(bs) == 0 {
+			errs = append(errs, fmt.Errorf("histogram %s has _count but no _bucket series", sig))
+			continue
+		}
+		sort.Slice(bs, func(i, j int) bool { return bs[i].le < bs[j].le })
+		for i := 1; i < len(bs); i++ {
+			if bs[i].val < bs[i-1].val {
+				errs = append(errs, fmt.Errorf("histogram %s bucket counts decrease at le=%g (%g -> %g)",
+					sig, bs[i].le, bs[i-1].val, bs[i].val))
+			}
+		}
+		last := bs[len(bs)-1]
+		if last.le < infLE {
+			errs = append(errs, fmt.Errorf("histogram %s missing le=\"+Inf\" bucket", sig))
+		}
+		cnt, ok := counts[sig]
+		if !ok {
+			errs = append(errs, fmt.Errorf("histogram %s missing _count series", sig))
+		} else if last.le >= infLE && last.val != cnt {
+			errs = append(errs, fmt.Errorf("histogram %s +Inf bucket %g != _count %g", sig, last.val, cnt))
+		}
+		if _, ok := sums[sig]; !ok {
+			errs = append(errs, fmt.Errorf("histogram %s missing _sum series", sig))
+		}
+	}
+	return errs
+}
+
+// infLE is the sentinel parseLE returns for le="+Inf".
+var infLE = math.Inf(1)
+
+var (
+	metricNameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRE  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+func validMetricType(t string) bool {
+	switch t {
+	case "counter", "gauge", "histogram", "summary", "untyped":
+		return true
+	}
+	return false
+}
+
+// parseSample splits one sample line into name, labels, and value.
+func parseSample(text string) (name string, labels map[string]string, value float64, err error) {
+	rest := text
+	brace := strings.IndexByte(rest, '{')
+	if brace >= 0 {
+		name = rest[:brace]
+		end := strings.LastIndexByte(rest, '}')
+		if end < brace {
+			return "", nil, 0, fmt.Errorf("series %s has unterminated label block", name)
+		}
+		labels = map[string]string{}
+		lb := rest[brace+1 : end]
+		for _, part := range splitLabels(lb) {
+			eq := strings.IndexByte(part, '=')
+			if eq < 0 {
+				return "", nil, 0, fmt.Errorf("series %s has malformed label %q", name, part)
+			}
+			ln := part[:eq]
+			lv := part[eq+1:]
+			if !labelNameRE.MatchString(ln) {
+				return "", nil, 0, fmt.Errorf("series %s has invalid label name %q", name, ln)
+			}
+			if len(lv) < 2 || lv[0] != '"' || lv[len(lv)-1] != '"' {
+				return "", nil, 0, fmt.Errorf("series %s label %s value %s is not quoted", name, ln, lv)
+			}
+			unq, uerr := strconv.Unquote(lv)
+			if uerr != nil {
+				return "", nil, 0, fmt.Errorf("series %s label %s has bad quoting: %v", name, ln, uerr)
+			}
+			labels[ln] = unq
+		}
+		rest = strings.TrimSpace(rest[end+1:])
+	} else {
+		sp := strings.IndexAny(rest, " \t")
+		if sp < 0 {
+			return "", nil, 0, fmt.Errorf("sample line %q has no value", text)
+		}
+		name = rest[:sp]
+		rest = strings.TrimSpace(rest[sp:])
+	}
+	if !metricNameRE.MatchString(name) {
+		return "", nil, 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 { // optional timestamp
+		return "", nil, 0, fmt.Errorf("series %s has malformed value %q", name, rest)
+	}
+	value, err = strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("series %s has non-numeric value %q", name, fields[0])
+	}
+	return name, labels, value, nil
+}
+
+// splitLabels splits a label block on commas outside quotes.
+func splitLabels(s string) []string {
+	var out []string
+	depth := false // inside quotes
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			if i == 0 || s[i-1] != '\\' {
+				depth = !depth
+			}
+		case ',':
+			if !depth {
+				if p := strings.TrimSpace(s[start:i]); p != "" {
+					out = append(out, p)
+				}
+				start = i + 1
+			}
+		}
+	}
+	if p := strings.TrimSpace(s[start:]); p != "" {
+		out = append(out, p)
+	}
+	return out
+}
+
+// labelSignature renders labels (minus the excluded key) as a stable
+// string so histogram series with the same label set group together.
+func labelSignature(labels map[string]string, exclude string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k != exclude {
+			keys = append(keys, k)
+		}
+	}
+	if len(keys) == 0 {
+		return ""
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func parseLE(s string) (float64, error) {
+	if s == "+Inf" {
+		return infLE, nil
+	}
+	return strconv.ParseFloat(s, 64)
+}

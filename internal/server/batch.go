@@ -120,11 +120,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// One cache probe per distinct key; hits serve every group member.
+	trace := requestSpan(w, r)
 	type pending struct {
 		first int
 		algo  ktpm.Algorithm
 	}
 	var misses []pending
+	cp := trace.StartChild("cache_probe")
 	for key, f := range firstOf {
 		if res, hit := s.cache.Get(key); hit {
 			items[f].resp.Positions, items[f].resp.Matches = res.Positions, res.Matches
@@ -134,6 +136,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		algo, _ := ktpm.ParseAlgorithm(items[f].resp.Algorithm)
 		misses = append(misses, pending{first: f, algo: algo})
 	}
+	cp.End()
 
 	// One admission decision for the whole batch: all misses run as a
 	// single executor task under one batch-wide deadline. As with /query,
@@ -150,7 +153,17 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			batch[i] = ktpm.BatchItem{Query: cq, K: items[p.first].resp.K, Opt: ktpm.Options{Algorithm: p.algo}}
 		}
 		var results []ktpm.BatchResult
-		if !s.execute(w, r, func() { results = s.db.TopKBatch(batch) }) {
+		if !s.execute(w, r, func() {
+			// One enumerate span covers the whole batch; each computed
+			// item's table faults and shard merges nest under it.
+			en := trace.StartChild("enumerate")
+			en.SetAttr("items", len(batch))
+			for i := range batch {
+				batch[i].Opt.Trace = en
+			}
+			results = s.db.TopKBatch(batch)
+			en.End()
+		}) {
 			return
 		}
 		for i, p := range misses {

@@ -3,8 +3,12 @@ package server
 import (
 	"fmt"
 	"net/http"
+	"sort"
+	"strconv"
 	"strings"
 	"time"
+
+	"ktpm/internal/obs"
 )
 
 // handleMetrics exposes the same counters as /stats in the Prometheus
@@ -21,6 +25,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 
 	gauge("ktpmd_uptime_seconds", "Seconds since the server started.", time.Since(s.start).Seconds())
+	bi := buildInfo()
+	fmt.Fprintf(&b, "# HELP ktpmd_build_info Build identity of the binary (value is always 1).\n# TYPE ktpmd_build_info gauge\nktpmd_build_info{version=%q,go=%q} 1\n", bi.Version, bi.Go)
 	g := s.db.Graph()
 	gauge("ktpmd_graph_nodes", "Data graph node count.", float64(g.NumNodes()))
 	gauge("ktpmd_graph_edges", "Data graph edge count.", float64(g.NumEdges()))
@@ -70,6 +76,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("ktpmd_io_table_hits_total", "Table loads served from the shared derived plane without disk I/O.", io.TableHits)
 	counter("ktpmd_io_tables_loaded_total", "Closure tables materialized from the table source into the store layout (shared across shard replicas).", io.TablesLoaded)
 
+	if s.obs != nil {
+		writeHistogram(&b, "ktpmd_request_duration_seconds",
+			"End-to-end request latency by endpoint.", "endpoint", s.obs.endpoints)
+		writeHistogram(&b, "ktpmd_stage_duration_seconds",
+			"Request latency attributed to pipeline stages (parse, admission_wait, cache_probe, enumerate, shard_merge, table_fault).",
+			"stage", s.obs.stages)
+	}
+
 	gauge("ktpmd_startup_open_ms", "Wall time spent building or opening the database at startup.", s.cfg.Startup.OpenMS)
 	if sn, ok := s.db.(snapshotStater); ok {
 		if st, ok := sn.SnapshotStats(); ok {
@@ -100,4 +114,29 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_, _ = w.Write([]byte(b.String()))
+}
+
+// writeHistogram renders one labeled histogram family from the obs
+// histograms: a _bucket series per DefaultBounds le (cumulative counts
+// are exact because the bounds are aligned to bucket upper bounds), the
+// mandatory +Inf bucket, and _sum/_count. Series are emitted in sorted
+// label order so consecutive scrapes are diffable.
+func writeHistogram(b *strings.Builder, name, help, label string, hs map[string]*obs.Histogram) {
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	keys := make([]string, 0, len(hs))
+	for k := range hs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	bounds := obs.DefaultBounds()
+	for _, k := range keys {
+		sn := hs[k].Snapshot()
+		for _, bound := range bounds {
+			fmt.Fprintf(b, "%s_bucket{%s=%q,le=%q} %d\n",
+				name, label, k, strconv.FormatFloat(bound.Seconds(), 'g', -1, 64), sn.CumulativeLE(bound))
+		}
+		fmt.Fprintf(b, "%s_bucket{%s=%q,le=\"+Inf\"} %d\n", name, label, k, sn.Count)
+		fmt.Fprintf(b, "%s_sum{%s=%q} %g\n", name, label, k, float64(sn.Sum)/1e9)
+		fmt.Fprintf(b, "%s_count{%s=%q} %d\n", name, label, k, sn.Count)
+	}
 }

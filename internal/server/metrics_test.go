@@ -155,7 +155,7 @@ func TestFlightLeaderCacheRecheck(t *testing.T) {
 	}
 	key := q.Canonical() + "\x00" + "3" + "\x00" + ktpm.AlgoTopkEN.String()
 	req := httptest.NewRequest(http.MethodGet, "/query?q=C(E,S)&k=3", nil)
-	res, coalesced, err := s.runQuery(req, key, q, 3, ktpm.AlgoTopkEN)
+	res, coalesced, err := s.runQuery(httptest.NewRecorder(), req, key, q, 3, ktpm.AlgoTopkEN)
 	if err != nil || coalesced {
 		t.Fatalf("runQuery = coalesced %v, err %v", coalesced, err)
 	}

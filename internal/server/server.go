@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -14,6 +15,7 @@ import (
 
 	"ktpm"
 	"ktpm/internal/lru"
+	"ktpm/internal/obs"
 )
 
 // Backend is the query surface the server serves: parsing, top-k
@@ -106,6 +108,23 @@ type Config struct {
 	// Startup describes how the backend database was loaded (ktpmd fills
 	// it); reported in /stats and /metrics.
 	Startup StartupInfo
+	// TraceRing is the /debug/traces ring capacity; 0 means 64, negative
+	// disables the ring (trace spans are still built and aggregated).
+	TraceRing int
+	// SlowQuery is the slow-query threshold: requests at or above it are
+	// logged with their span tree and are the only ones retained in the
+	// trace ring. 0 retains every query-family request in the ring and
+	// never emits the slow-query log.
+	SlowQuery time.Duration
+	// Logger receives structured access and slow-query logs; nil disables
+	// logging (histograms, spans, and the ring still work).
+	Logger *slog.Logger
+	// AccessLog enables the per-request access log on Logger.
+	AccessLog bool
+	// DisableObs turns the observability middleware off entirely — no
+	// request IDs, spans, histograms, ring, or logs. Exists for the
+	// instrumentation-overhead benchmark; production servers leave it on.
+	DisableObs bool
 }
 
 func (c Config) withDefaults() Config {
@@ -171,6 +190,13 @@ type QueryResponse struct {
 	// in-flight computation rather than a worker of its own.
 	Coalesced bool    `json:"coalesced,omitempty"`
 	ElapsedMS float64 `json:"elapsed_ms"`
+	// RequestID and Trace are present only with ?debug=1: the request's
+	// correlation ID (also echoed in the X-Request-ID header) and the
+	// request's span tree as of response assembly — stages are finished,
+	// the root is still open, so stage durations sum to at most the
+	// root's.
+	RequestID string        `json:"request_id,omitempty"`
+	Trace     *obs.SpanJSON `json:"trace,omitempty"`
 }
 
 // Server is the HTTP query service over one shared backend.
@@ -181,6 +207,8 @@ type Server struct {
 	cache *lru.Cache[cachedResult]
 	mux   *http.ServeMux
 	start time.Time
+	obs   *serverObs  // nil when Config.DisableObs
+	ready atomic.Bool // /readyz gate; New starts ready
 
 	// flights coalesces concurrent cache misses for the same key: one
 	// leader occupies a worker, followers wait on its flightCall. Without
@@ -236,6 +264,10 @@ func New(db Backend, cfg Config) *Server {
 		start:   time.Now(),
 		flights: make(map[string]*flightCall),
 	}
+	if !cfg.DisableObs {
+		s.obs = newServerObs(cfg)
+	}
+	s.ready.Store(true)
 	s.mux.HandleFunc("/query", s.handleQuery)
 	s.mux.HandleFunc("/batch", s.handleBatch)
 	s.mux.HandleFunc("/stream", s.handleStream)
@@ -243,11 +275,22 @@ func New(db Backend, cfg Config) *Server {
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	s.mux.HandleFunc("/debug/traces", s.handleDebugTraces)
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler. With observability on (the
+// default), every request passes through the middleware: request-ID
+// propagation, a root trace span carried via context, endpoint and stage
+// latency histograms, the trace ring, and access/slow-query logging.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.obs == nil {
+		s.mux.ServeHTTP(w, r)
+		return
+	}
+	s.obs.serve(s, w, r)
+}
 
 // Close stops the worker pool after in-flight queries finish.
 func (s *Server) Close() { s.exec.Close() }
@@ -269,6 +312,8 @@ func (s *Server) writeError(w http.ResponseWriter, status int, format string, ar
 // /query and /explain. A nil *Query return means an error response was
 // already written.
 func (s *Server) parseRequest(w http.ResponseWriter, r *http.Request) (q *ktpm.Query, k int, algo ktpm.Algorithm, ok bool) {
+	sp := requestSpan(w, r).StartChild("parse")
+	defer sp.End()
 	if r.Method != http.MethodGet && r.Method != http.MethodPost {
 		w.Header().Set("Allow", "GET, POST")
 		s.writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
@@ -318,7 +363,14 @@ func (s *Server) parseRequest(w http.ResponseWriter, r *http.Request) (q *ktpm.Q
 func (s *Server) execute(w http.ResponseWriter, r *http.Request, fn func()) bool {
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
-	return s.writeExecError(w, s.exec.Do(ctx, fn))
+	// The admission-wait span opens before Do and is ended as the task's
+	// first statement, so it measures exactly the queue wait. The second
+	// End (for tasks dropped before running) is an idempotent no-op when
+	// the first already fired.
+	wait := requestSpan(w, r).StartChild("admission_wait")
+	err := s.exec.Do(ctx, func() { wait.End(); fn() })
+	wait.End()
+	return s.writeExecError(w, err)
 }
 
 // writeExecError maps an executor error to its HTTP response; it reports
@@ -355,7 +407,7 @@ func (s *Server) writeExecError(w http.ResponseWriter, err error) bool {
 // leads and occupies a worker; the rest wait on its result (reported by
 // coalesced) without consuming pool capacity. The returned error may be
 // ErrQueueFull, a context error, or a query failure.
-func (s *Server) runQuery(r *http.Request, key string, cq *ktpm.Query, k int, algo ktpm.Algorithm) (_ cachedResult, coalesced bool, _ error) {
+func (s *Server) runQuery(w http.ResponseWriter, r *http.Request, key string, cq *ktpm.Query, k int, algo ktpm.Algorithm) (_ cachedResult, coalesced bool, _ error) {
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
 
@@ -392,6 +444,9 @@ func (s *Server) runQuery(r *http.Request, key string, cq *ktpm.Query, k int, al
 	// not fail the coalesced followers with a spurious error.
 	fctx, fcancel := context.WithTimeout(context.Background(), s.cfg.RequestTimeout)
 	defer fcancel()
+	// Stage spans attach to the leader's trace; coalesced followers have
+	// no stages of their own (they only wait).
+	trace := requestSpan(w, r)
 	// The closure writes only its own locals: if Do returns a deadline
 	// error while the task is still running on a worker, the abandoned
 	// task must not race with followers reading fc after done closes.
@@ -399,12 +454,16 @@ func (s *Server) runQuery(r *http.Request, key string, cq *ktpm.Query, k int, al
 		res     cachedResult
 		callErr error
 	)
+	wait := trace.StartChild("admission_wait")
 	err := s.exec.Do(fctx, func() {
+		wait.End()
 		var costBefore int64
 		if s.cfg.CacheMinEntries > 0 {
 			costBefore = s.db.IOStats().EntriesRead
 		}
-		ms, err := s.db.TopKWith(cq, k, ktpm.Options{Algorithm: algo})
+		en := trace.StartChild("enumerate")
+		ms, err := s.db.TopKWith(cq, k, enumerateOptions(algo, en))
+		en.End()
 		if err != nil {
 			callErr = err
 			return
@@ -436,6 +495,7 @@ func (s *Server) runQuery(r *http.Request, key string, cq *ktpm.Query, k int, al
 		s.cache.Put(key, out)
 		s.cacheAdmitted.Add(1)
 	})
+	wait.End() // no-op unless the task was dropped before running
 	if err == nil {
 		fc.res, fc.err = res, callErr
 	} else {
@@ -469,11 +529,25 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		K:         k,
 		Algorithm: algo.String(),
 	}
-	if res, hit := s.cache.Get(key); hit {
-		s.queries.Add(1)
-		resp.Positions, resp.Matches, resp.Cached = res.Positions, res.Matches, true
+	debug := r.FormValue("debug") == "1"
+	trace := requestSpan(w, r)
+	finish := func(w http.ResponseWriter) {
+		if debug {
+			resp.RequestID = w.Header().Get("X-Request-ID")
+			// Snapshot before stamping ElapsedMS so the trace's stage sum
+			// can never exceed the total the client sees.
+			resp.Trace = trace.Snapshot()
+		}
 		resp.ElapsedMS = msSince(t0)
 		s.writeJSON(w, http.StatusOK, resp)
+	}
+	cp := trace.StartChild("cache_probe")
+	res, hit := s.cache.Get(key)
+	cp.End()
+	if hit {
+		s.queries.Add(1)
+		resp.Positions, resp.Matches, resp.Cached = res.Positions, res.Matches, true
+		finish(w)
 		return
 	}
 	// Execute the canonical form so cached position numbering is
@@ -484,14 +558,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusInternalServerError, "canonical reparse: %v", err)
 		return
 	}
-	res, coalesced, err := s.runQuery(r, key, cq, k, algo)
+	res, coalesced, err := s.runQuery(w, r, key, cq, k, algo)
 	if !s.writeExecError(w, err) {
 		return
 	}
 	s.queries.Add(1)
 	resp.Positions, resp.Matches, resp.Coalesced = res.Positions, res.Matches, coalesced
-	resp.ElapsedMS = msSince(t0)
-	s.writeJSON(w, http.StatusOK, resp)
+	finish(w)
 }
 
 // ExplainResponse is the /explain response body.
@@ -512,8 +585,15 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		callErr error
 	)
 	// Explain builds the full run-time graph, so it goes through the same
-	// admission-controlled pool as /query.
-	if !s.execute(w, r, func() { plan, callErr = s.db.Explain(q) }) {
+	// admission-controlled pool as /query. The build counts as the
+	// request's enumerate stage: it is the work a worker slot was held
+	// for.
+	trace := requestSpan(w, r)
+	if !s.execute(w, r, func() {
+		en := trace.StartChild("enumerate")
+		plan, callErr = s.db.Explain(q)
+		en.End()
+	}) {
 		return
 	}
 	if callErr != nil {
@@ -588,6 +668,14 @@ type StatsResponse struct {
 		Canceled          int64 `json:"canceled"`
 	} `json:"executor"`
 	IO ktpm.IOStats `json:"io"`
+	// Latency reports per-endpoint and per-stage latency quantiles from
+	// the lock-free log-bucketed histograms; omitted when observability
+	// is disabled. Quantiles are upper-bound estimates with at most 12.5%
+	// bucket error; means are exact.
+	Latency *LatencyStats `json:"latency,omitempty"`
+	// Build identifies the binary: stamped version, toolchain, VCS
+	// revision when embedded.
+	Build obs.BuildInfo `json:"build"`
 	// Startup reports how the database was loaded and how long the open
 	// took (ktpmd -graph builds, -db parses the stream, -snapshot opens
 	// in the configured mode).
@@ -636,6 +724,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Executor.ClientDisconnects = s.clientGone.Load()
 	resp.Executor.Canceled = s.exec.canceled.Load()
 	resp.IO = s.db.IOStats()
+	if s.obs != nil {
+		resp.Latency = s.obs.latencyStats()
+	}
+	resp.Build = buildInfo()
 	resp.Startup = s.cfg.Startup
 	if sn, ok := s.db.(snapshotStater); ok {
 		if st, ok := sn.SnapshotStats(); ok {

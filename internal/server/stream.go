@@ -70,13 +70,20 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	// disconnect-while-queued answer 503/504/499 exactly like /query.
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
+	trace := requestSpan(w, r)
+	wait := trace.StartChild("admission_wait")
 	release, err := s.exec.Acquire(ctx)
+	wait.End()
 	if !s.writeExecError(w, err) {
 		return
 	}
 	defer release()
 
-	st, err := s.db.OpenStream(q, ktpm.Options{Algorithm: algo})
+	// The enumerate span covers the stream's whole drain: a sharded
+	// backend's shard_merge span (ended by Close) nests under it.
+	en := trace.StartChild("enumerate")
+	defer en.End()
+	st, err := s.db.OpenStream(q, ktpm.Options{Algorithm: algo, Trace: en})
 	if err != nil {
 		// Only non-streamable algorithms reach here; the request is wrong,
 		// not the server.

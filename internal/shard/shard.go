@@ -9,6 +9,7 @@ import (
 	"ktpm/internal/graph"
 	"ktpm/internal/heap"
 	"ktpm/internal/lazy"
+	"ktpm/internal/obs"
 	"ktpm/internal/query"
 	"ktpm/internal/store"
 )
@@ -221,6 +222,7 @@ type gather struct {
 	heads [][]*lazy.Match // heads[i] = shard i's current chunk, nil once exhausted
 	cur   []int           // cur[i] = first unconsumed index into heads[i]
 	hq    *heap.Indexed   // shard index keyed by head score
+	merge *obs.Span       // "shard_merge" span covering the gather's lifetime; nil untraced
 }
 
 // newGather starts the per-shard producers. chunk is the transport chunk
@@ -237,13 +239,22 @@ func (d *DB) newGather(t *query.Tree, base lazy.Options, chunk int) *gather {
 		heads: make([][]*lazy.Match, d.n),
 		cur:   make([]int, d.n),
 		hq:    heap.NewIndexed(d.n),
+		merge: base.Trace.StartChild("shard_merge"),
 	}
+	g.merge.SetAttr("shards", d.n)
 	for i := 0; i < d.n; i++ {
 		ch := make(chan []*lazy.Match, chunkBuffer)
 		g.chans[i] = ch
-		go func(shardID int32, ch chan<- []*lazy.Match) {
+		// The per-shard span is created here (attachment to the merge span
+		// is not goroutine-start ordered) and ended by the producer when it
+		// exhausts or is released.
+		ssp := g.merge.StartChild("shard_enumerate")
+		ssp.SetAttr("shard", i)
+		go func(shardID int32, ch chan<- []*lazy.Match, ssp *obs.Span) {
 			defer close(ch)
+			defer ssp.End()
 			opt := base
+			opt.Trace = ssp
 			caller := base.RootFilter
 			opt.RootFilter = func(v int32) bool {
 				return d.assign[v] == shardID && (caller == nil || caller(v))
@@ -263,7 +274,7 @@ func (d *DB) newGather(t *query.Tree, base lazy.Options, chunk int) *gather {
 					return // NextBatch ran dry: the shard is exhausted
 				}
 			}
-		}(int32(i), ch)
+		}(int32(i), ch, ssp)
 	}
 	return g
 }
@@ -300,7 +311,10 @@ func (g *gather) take(i int) *lazy.Match {
 
 // stop releases the producers; they exit at their next send (or already
 // have, if exhausted). Idempotence is the caller's concern.
-func (g *gather) stop() { close(g.done) }
+func (g *gather) stop() {
+	close(g.done)
+	g.merge.End()
+}
 
 // TopK scatter-gathers the k best matches of t across the shards. Every
 // shard enumerates its slice of the match space concurrently (Topk-EN

@@ -51,6 +51,7 @@ import (
 	"ktpm/internal/closure"
 	"ktpm/internal/graph"
 	"ktpm/internal/label"
+	"ktpm/internal/obs"
 )
 
 // DefaultBlockSize is the number of incoming edges per block. Sixteen
@@ -195,7 +196,13 @@ type Store struct {
 	lay *layout
 	pl  *plane
 
-	counters Counters
+	// counters is shared by every view of this replica (WithTrace returns
+	// a view, not a fork), so traced requests charge the same accounting.
+	counters *Counters
+	// trace, when set, parents "table_fault" spans recorded around the
+	// slow paths — carves and first derives. Nil for untraced stores; the
+	// fast paths only ever pay a nil check.
+	trace *obs.Span
 }
 
 type tableKey struct {
@@ -239,7 +246,7 @@ func NewFromSource(src closure.TableSource, blockSize int) *Store {
 		lay.direct[key(e.From, e.To)] = e.Weight
 		return true
 	})
-	return &Store{lay: lay, pl: newPlane(g.NumNodes())}
+	return &Store{lay: lay, pl: newPlane(g.NumNodes()), counters: &Counters{}}
 }
 
 // MaterializeAll carves every table of the source in one publish, the
@@ -273,7 +280,7 @@ const allLabels int32 = -1
 // publish — the wildcard merge's fault path. Carving the pairs one
 // listFor miss at a time would take and release the lock once per label
 // per node on a cold wildcard query.
-func (lay *layout) carveTargets(beta int32) {
+func (lay *layout) carveTargets(beta int32, tr *obs.Span) {
 	if beta < 0 || int(beta) >= len(lay.byLabel) {
 		return
 	}
@@ -290,6 +297,10 @@ func (lay *layout) carveTargets(beta int32) {
 			return
 		}
 	}
+	sp := tr.StartChild("table_fault")
+	sp.SetAttr("op", "carve_targets")
+	sp.SetAttr("beta", beta)
+	defer sp.End()
 	tabs := cloneTabs(lay.tabs.Load())
 	whole := true
 	for a := range lay.byLabel {
@@ -376,7 +387,7 @@ func (lay *layout) maybeDropDirectLocked() {
 // listFor returns the incoming list of v from the concrete label alpha,
 // carving the (alpha, l(v)) table on first touch. The steady-state path
 // is one atomic load and two map lookups.
-func (lay *layout) listFor(alpha, v int32) []InEdge {
+func (lay *layout) listFor(alpha, v int32, tr *obs.Span) []InEdge {
 	if alpha < 0 || int(alpha) >= len(lay.byLabel) {
 		// A query-only label interned after the graph was built: no
 		// closure table can exist, and caching the miss would let
@@ -397,6 +408,10 @@ func (lay *layout) listFor(alpha, v int32) []InEdge {
 			return tab[v]
 		}
 	}
+	sp := tr.StartChild("table_fault")
+	sp.SetAttr("op", "carve")
+	sp.SetAttr("alpha", k.alpha)
+	sp.SetAttr("beta", k.beta)
 	tabs := cloneTabs(m)
 	// A short load (source fault) publishes nothing; the next touch
 	// refaults.
@@ -406,6 +421,7 @@ func (lay *layout) listFor(alpha, v int32) []InEdge {
 		lay.maybeDropDirectLocked()
 	}
 	lay.mu.Unlock()
+	sp.End()
 	if !ok {
 		return nil
 	}
@@ -418,7 +434,19 @@ func (lay *layout) listFor(alpha, v int32) []InEdge {
 // while every derived table is still computed at most once process-wide;
 // the marginal memory cost of a replica is one Counters value.
 func (s *Store) Replica() *Store {
-	return &Store{lay: s.lay, pl: s.pl}
+	return &Store{lay: s.lay, pl: s.pl, counters: &Counters{}}
+}
+
+// WithTrace returns a view of s whose slow paths — table carves and first
+// derives — record "table_fault" spans under sp. The view shares s's
+// layout, plane, AND counters, so it is a per-request lens, not a fork:
+// I/O charged through it lands on the same replica accounting. A nil sp
+// returns s unchanged.
+func (s *Store) WithTrace(sp *obs.Span) *Store {
+	if sp == nil {
+		return s
+	}
+	return &Store{lay: s.lay, pl: s.pl, counters: s.counters, trace: sp}
 }
 
 // PrivateReplica returns a store sharing only s's immutable layout, with a
@@ -426,7 +454,7 @@ func (s *Store) Replica() *Store {
 // touches, the pre-plane behavior. Kept for benchmarks that quantify what
 // the shared plane saves; production paths should use Replica.
 func (s *Store) PrivateReplica() *Store {
-	return &Store{lay: s.lay, pl: newPlane(s.lay.g.NumNodes())}
+	return &Store{lay: s.lay, pl: newPlane(s.lay.g.NumNodes()), counters: &Counters{}}
 }
 
 // Graph returns the underlying data graph.
@@ -437,22 +465,24 @@ func (s *Store) BlockSize() int { return s.lay.blockSize }
 
 // Counters returns a snapshot of the accumulated I/O counters.
 func (s *Store) Counters() Counters {
+	c := s.counters
 	return Counters{
-		BlocksRead:       atomic.LoadInt64(&s.counters.BlocksRead),
-		EntriesRead:      atomic.LoadInt64(&s.counters.EntriesRead),
-		TableEntriesRead: atomic.LoadInt64(&s.counters.TableEntriesRead),
-		TablesRead:       atomic.LoadInt64(&s.counters.TablesRead),
-		TableHits:        atomic.LoadInt64(&s.counters.TableHits),
+		BlocksRead:       atomic.LoadInt64(&c.BlocksRead),
+		EntriesRead:      atomic.LoadInt64(&c.EntriesRead),
+		TableEntriesRead: atomic.LoadInt64(&c.TableEntriesRead),
+		TablesRead:       atomic.LoadInt64(&c.TablesRead),
+		TableHits:        atomic.LoadInt64(&c.TableHits),
 	}
 }
 
 // ResetCounters zeroes the I/O counters.
 func (s *Store) ResetCounters() {
-	atomic.StoreInt64(&s.counters.BlocksRead, 0)
-	atomic.StoreInt64(&s.counters.EntriesRead, 0)
-	atomic.StoreInt64(&s.counters.TableEntriesRead, 0)
-	atomic.StoreInt64(&s.counters.TablesRead, 0)
-	atomic.StoreInt64(&s.counters.TableHits, 0)
+	c := s.counters
+	atomic.StoreInt64(&c.BlocksRead, 0)
+	atomic.StoreInt64(&c.EntriesRead, 0)
+	atomic.StoreInt64(&c.TableEntriesRead, 0)
+	atomic.StoreInt64(&c.TablesRead, 0)
+	atomic.StoreInt64(&c.TableHits, 0)
 }
 
 // cowPut republishes src extended with (k, v). Callers must hold pl.mu —
@@ -490,9 +520,9 @@ func cowGet[K comparable, V any](p *atomic.Pointer[map[K]V], k K) (V, bool) {
 // happens at block granularity in LoadBlock and at table granularity in
 // LoadD/LoadE. The wildcard merge is derived once process-wide and read
 // lock-free afterwards.
-func (s *Store) inList(alpha, v int32) []InEdge {
+func (s *Store) inList(alpha, v int32, tr *obs.Span) []InEdge {
 	if alpha != label.Wildcard {
-		return s.lay.listFor(alpha, v)
+		return s.lay.listFor(alpha, v, tr)
 	}
 	if p := s.pl.merged[v].Load(); p != nil {
 		return *p
@@ -505,7 +535,7 @@ func (s *Store) inList(alpha, v int32) []InEdge {
 	// cheaper. This also keeps table derives (which run under pl.mu and
 	// resolve wildcard lists mid-derive) free of reentrancy concerns.
 	faultsBefore := s.lay.faults.Load()
-	merged := s.mergeWildcard(v)
+	merged := s.mergeWildcard(v, tr)
 	if s.lay.faults.Load() != faultsBefore {
 		// A carve came up short while this merge ran, so the result may
 		// be missing that table's edges; serve it best-effort but do not
@@ -521,11 +551,11 @@ func (s *Store) inList(alpha, v int32) []InEdge {
 // mergeWildcard derives the all-label incoming list of v from the
 // layout, carving any tables not yet faulted (all of v's label's tables
 // in one batch, so a cold wildcard query faults each table once).
-func (s *Store) mergeWildcard(v int32) []InEdge {
-	s.lay.carveTargets(s.lay.g.Label(v))
+func (s *Store) mergeWildcard(v int32, tr *obs.Span) []InEdge {
+	s.lay.carveTargets(s.lay.g.Label(v), tr)
 	var merged []InEdge
 	for a := int32(0); int(a) < s.lay.g.NumLabels(); a++ {
-		merged = append(merged, s.lay.listFor(a, v)...)
+		merged = append(merged, s.lay.listFor(a, v, tr)...)
 	}
 	sort.Slice(merged, func(i, j int) bool {
 		if merged[i].Dist != merged[j].Dist {
@@ -538,7 +568,7 @@ func (s *Store) mergeWildcard(v int32) []InEdge {
 
 // NumBlocks returns how many blocks the incoming list L^alpha_v spans.
 func (s *Store) NumBlocks(alpha, v int32) int {
-	n := len(s.inList(alpha, v))
+	n := len(s.inList(alpha, v, s.trace))
 	return (n + s.lay.blockSize - 1) / s.lay.blockSize
 }
 
@@ -546,7 +576,7 @@ func (s *Store) NumBlocks(alpha, v int32) int {
 // wildcard), counting one block of I/O. last reports whether this was the
 // final block; a list with no entries returns (nil, true) at idx 0.
 func (s *Store) LoadBlock(alpha, v int32, idx int) (entries []InEdge, last bool) {
-	lst := s.inList(alpha, v)
+	lst := s.inList(alpha, v, s.trace)
 	lo := idx * s.lay.blockSize
 	if lo >= len(lst) {
 		return nil, true
@@ -573,9 +603,16 @@ func (s *Store) LoadD(alpha, beta int32, childOnly bool) []DEntry {
 		s.pl.mu.Lock()
 		if out, ok = cowGet(&s.pl.dTabs, k); !ok {
 			derived = true
+			// Nested carves parent under the derive span, so a stage
+			// walk that skips same-name descendants counts the fault
+			// time once.
+			sp := s.trace.StartChild("table_fault")
+			sp.SetAttr("op", "derive_d")
+			sp.SetAttr("alpha", alpha)
+			sp.SetAttr("beta", beta)
 			faultsBefore := s.lay.faults.Load()
 			s.forTargets(beta, func(v int32) {
-				for _, e := range s.inList(alpha, v) {
+				for _, e := range s.inList(alpha, v, sp) {
 					if childOnly && !e.Direct {
 						continue
 					}
@@ -583,6 +620,7 @@ func (s *Store) LoadD(alpha, beta int32, childOnly bool) []DEntry {
 					break // lists are distance-sorted
 				}
 			})
+			sp.End()
 			// A derivation over a short carve is served but never
 			// published: once cached it would outlive the refault that
 			// repairs the layout. Any carve this derivation depended on
@@ -610,10 +648,14 @@ func (s *Store) LoadE(alpha, beta int32, childOnly bool) []EEntry {
 		s.pl.mu.Lock()
 		if out, ok = cowGet(&s.pl.eTabs, k); !ok {
 			derived = true
+			sp := s.trace.StartChild("table_fault")
+			sp.SetAttr("op", "derive_e")
+			sp.SetAttr("alpha", alpha)
+			sp.SetAttr("beta", beta)
 			faultsBefore := s.lay.faults.Load()
 			best := make(map[int32]EEntry)
 			s.forTargets(beta, func(v int32) {
-				for _, e := range s.inList(alpha, v) {
+				for _, e := range s.inList(alpha, v, sp) {
 					if childOnly && !e.Direct {
 						continue
 					}
@@ -628,6 +670,7 @@ func (s *Store) LoadE(alpha, beta int32, childOnly bool) []EEntry {
 				out = append(out, e)
 			}
 			sort.Slice(out, func(i, j int) bool { return out[i].From < out[j].From })
+			sp.End()
 			// Like LoadD: never cache a derivation built over a short
 			// carve.
 			if s.lay.faults.Load() == faultsBefore {

@@ -224,7 +224,7 @@ func TestBlockBoundaries(t *testing.T) {
 	var v, alpha int32 = -1, -1
 	for a := int32(0); int(a) < g.NumLabels(); a++ {
 		for n := int32(0); int(n) < g.NumNodes(); n++ {
-			if len(s.inList(a, n)) > 14 {
+			if len(s.inList(a, n, nil)) > 14 {
 				alpha, v = a, n
 				break
 			}
@@ -233,7 +233,7 @@ func TestBlockBoundaries(t *testing.T) {
 	if v < 0 {
 		t.Skip("no long list in this instance")
 	}
-	want := len(s.inList(alpha, v))
+	want := len(s.inList(alpha, v, nil))
 	got := 0
 	for i := 0; i < s.NumBlocks(alpha, v); i++ {
 		blk, last := s.LoadBlock(alpha, v, i)

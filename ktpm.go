@@ -66,6 +66,7 @@ import (
 	"ktpm/internal/graph"
 	"ktpm/internal/kgpm"
 	"ktpm/internal/lazy"
+	"ktpm/internal/obs"
 	"ktpm/internal/query"
 	"ktpm/internal/rtg"
 	"ktpm/internal/store"
@@ -514,7 +515,24 @@ type Options struct {
 	// and their sharded forms, where it composes with — restricts within —
 	// shard ownership); the materialized and DP algorithms reject it.
 	RootFilter func(v int32) bool
+	// Trace, when non-nil, parents the call's trace spans: the Topk-EN
+	// paths record "table_fault" spans around store carves and derives,
+	// and sharded execution adds a "shard_merge" span with per-shard
+	// "shard_enumerate" children. The materialized and DP algorithms
+	// ignore it. Nil disables tracing at zero cost.
+	Trace *Span
 }
+
+// Span is a request-scoped trace span (see internal/obs): the server
+// threads one through Options.Trace so /query?debug=1 and /debug/traces
+// can attribute time to stages. Embedders may create their own with
+// NewTraceSpan.
+type Span = obs.Span
+
+// NewTraceSpan starts a root trace span, for embedders that want stage
+// timing outside ktpmd: pass it via Options.Trace, End it after the
+// call, and inspect it with its Snapshot method.
+func NewTraceSpan(name string) *Span { return obs.StartRoot(name) }
 
 // Match is one result: Nodes[i] is the data node matched to query position
 // i (the query's BFS order), and Score is the penalty (Definition 2.2).
@@ -561,7 +579,7 @@ func (db *Database) TopKWith(q *Query, k int, opt Options) ([]Match, error) {
 	}
 	switch opt.Algorithm {
 	case AlgoTopkEN:
-		ms := lazy.TopKCanonical(db.st, q.t, k, lazy.Options{RootFilter: opt.RootFilter})
+		ms := lazy.TopKCanonical(db.st, q.t, k, lazy.Options{RootFilter: opt.RootFilter, Trace: opt.Trace})
 		out := make([]Match, len(ms))
 		for i, m := range ms {
 			out[i] = Match{Nodes: m.Nodes, Score: m.Score}
@@ -630,7 +648,7 @@ func (db *Database) StreamWith(q *Query, opt Options) (*Stream, error) {
 	if opt.Algorithm != AlgoTopkEN {
 		return nil, fmt.Errorf("ktpm: streaming requires Topk-EN, got %v", opt.Algorithm)
 	}
-	return &Stream{cs: lazy.NewCanonicalStream(lazy.New(db.st, q.t, lazy.Options{RootFilter: opt.RootFilter}))}, nil
+	return &Stream{cs: lazy.NewCanonicalStream(lazy.New(db.st, q.t, lazy.Options{RootFilter: opt.RootFilter, Trace: opt.Trace}))}, nil
 }
 
 // OpenStream is StreamWith behind the MatchStream interface, the form

@@ -136,7 +136,7 @@ func (s *ShardedDatabase) TopKWith(q *Query, k int, opt Options) ([]Match, error
 	if opt.Algorithm != AlgoTopkEN {
 		return s.db.TopKWith(q, k, opt)
 	}
-	ms := s.sd.TopKOpts(q.t, k, lazy.Options{RootFilter: opt.RootFilter})
+	ms := s.sd.TopKOpts(q.t, k, lazy.Options{RootFilter: opt.RootFilter, Trace: opt.Trace})
 	out := make([]Match, len(ms))
 	for i, m := range ms {
 		out[i] = Match{Nodes: m.Nodes, Score: m.Score}
@@ -191,7 +191,7 @@ func (s *ShardedDatabase) StreamWith(q *Query, opt Options) (*ShardStream, error
 	if opt.Algorithm != AlgoTopkEN {
 		return nil, fmt.Errorf("ktpm: streaming requires Topk-EN, got %v", opt.Algorithm)
 	}
-	return &ShardStream{st: s.sd.Stream(q.t, lazy.Options{RootFilter: opt.RootFilter})}, nil
+	return &ShardStream{st: s.sd.Stream(q.t, lazy.Options{RootFilter: opt.RootFilter, Trace: opt.Trace})}, nil
 }
 
 // OpenStream is StreamWith behind the MatchStream interface; see
