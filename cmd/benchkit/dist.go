@@ -1,0 +1,139 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"net/http/httptest"
+	"time"
+
+	"ktpm"
+	"ktpm/internal/bench"
+	"ktpm/internal/gen"
+	"ktpm/internal/graph"
+	"ktpm/internal/remote"
+)
+
+// runDistSweep measures what process distribution costs: top-k over the
+// standard workload answered locally, then through the scatter-gather
+// coordinator over {1, 2, 4} loopback HTTP workers. Every shard gets a
+// hedge replica and a short hedge trigger, so the sweep also reports
+// how often the tail-latency hedge fires against healthy local workers
+// (hedge_rate — hedged opens per worker stream request). It lives here
+// rather than internal/bench because it exercises ktpm and
+// internal/remote, which internal/bench cannot import. ops is the
+// iteration count per configuration (0 means 5).
+func runDistSweep(ops int) ([]*bench.DistRow, error) {
+	if ops <= 0 {
+		ops = 5
+	}
+	g := bench.TopKGraph()
+	var buf bytes.Buffer
+	if err := graph.Encode(&buf, g); err != nil {
+		return nil, err
+	}
+	pg, err := ktpm.LoadGraph(&buf)
+	if err != nil {
+		return nil, err
+	}
+	db, err := ktpm.BuildDatabase(pg, ktpm.DatabaseOptions{})
+	if err != nil {
+		return nil, err
+	}
+	trees, err := gen.QuerySet(g, 4, 10, true, 12345)
+	if err != nil {
+		return nil, err
+	}
+	queries := make([]*ktpm.Query, len(trees))
+	for i, t := range trees {
+		if queries[i], err = db.ParseQuery(t.String()); err != nil {
+			return nil, err
+		}
+	}
+
+	k := bench.DistSweepK
+	var rows []*bench.DistRow
+
+	t0 := time.Now()
+	for op := 0; op < ops; op++ {
+		if _, err := db.TopK(queries[op%len(queries)], k); err != nil {
+			return nil, err
+		}
+	}
+	rows = append(rows, &bench.DistRow{
+		Name:    "local",
+		Ops:     ops,
+		NsPerOp: float64(time.Since(t0).Nanoseconds()) / float64(ops),
+	})
+
+	part := ktpm.PartitionByHash()
+	for _, count := range []int{1, 2, 4} {
+		var servers []*httptest.Server
+		eps := make([][]remote.Endpoint, count)
+		for i := 0; i < count; i++ {
+			w, err := remote.NewWorker(db, remote.WorkerConfig{
+				Index: i, Count: count, Partitioner: part,
+			})
+			if err != nil {
+				return nil, err
+			}
+			// Two replicas of the same worker per shard: the hedge has
+			// somewhere to go when the primary open is slow.
+			primary := httptest.NewServer(w.Handler())
+			replica := httptest.NewServer(w.Handler())
+			servers = append(servers, primary, replica)
+			eps[i] = []remote.Endpoint{
+				remote.NewHTTPEndpoint(primary.URL),
+				remote.NewHTTPEndpoint(replica.URL),
+			}
+		}
+		// 25ms sits well above a healthy loopback handshake (microseconds
+		// when a core is free) but below a stalled worker, so the rate
+		// reads as "genuine stragglers" rather than CPU starvation when
+		// every worker shares few cores.
+		coord, err := remote.NewCoordinator(db, part.Name(), eps, remote.Config{
+			HedgeAfter: 25 * time.Millisecond,
+		})
+		if err != nil {
+			return nil, err
+		}
+		// One untimed query warms every connection (and pays any
+		// cold-open hedges), so both columns report steady state.
+		if _, _, err := coord.TopKPartial(queries[0], k, ktpm.Options{}); err != nil {
+			return nil, err
+		}
+		before := coord.CoordinatorStats()
+		t0 := time.Now()
+		for op := 0; op < ops; op++ {
+			ms, partial, err := coord.TopKPartial(queries[op%len(queries)], k, ktpm.Options{})
+			if err != nil {
+				return nil, err
+			}
+			if partial {
+				return nil, fmt.Errorf("dist sweep: partial answer from healthy workers=%d", count)
+			}
+			_ = ms
+		}
+		elapsed := time.Since(t0)
+		stats := coord.CoordinatorStats()
+		var requests, hedges int64
+		for i, w := range stats.Workers {
+			requests += w.Requests - before.Workers[i].Requests
+			hedges += w.Hedges - before.Workers[i].Hedges
+		}
+		rate := 0.0
+		if requests > 0 {
+			rate = float64(hedges) / float64(requests)
+		}
+		rows = append(rows, &bench.DistRow{
+			Name:      fmt.Sprintf("workers=%d", count),
+			Workers:   count,
+			Ops:       ops,
+			NsPerOp:   float64(elapsed.Nanoseconds()) / float64(ops),
+			HedgeRate: rate,
+		})
+		for _, s := range servers {
+			s.Close()
+		}
+	}
+	return rows, nil
+}

@@ -5,7 +5,7 @@
 //
 //	benchkit                 # everything (several minutes)
 //	benchkit -exp fig6       # one experiment: table2 table3 fig6 fig7
-//	                         # fig8 fig9 ablations topk batch startup obs
+//	                         # fig8 fig9 ablations topk batch startup obs dist
 //	benchkit -exp topk,batch # comma-separated experiment list
 //	benchkit -queries 3      # queries averaged per data point
 //	benchkit -quick          # smaller k sweep and fewer datasets
@@ -13,9 +13,10 @@
 //	benchkit -drift BENCH_topk.json                 # schema drift check (make bench-json-check)
 //
 // -json writes the shard-plane, gather chunk-size, batch amortization,
-// snapshot startup, and instrumentation overhead sweeps as one
-// document; it implies the topk, batch, startup, and obs experiments so
-// the written schema is always complete. -drift regenerates the same
+// snapshot startup, instrumentation overhead, and distributed
+// scatter-gather sweeps as one document; it implies the topk, batch,
+// startup, obs, and dist experiments so the written schema is always
+// complete. -drift regenerates the same
 // sweeps and fails when the committed document's schema (key paths, row
 // names) no longer matches — CI's guard against a stale BENCH_topk.json.
 //
@@ -35,7 +36,7 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment, or comma-separated list: all, table2, table3, fig6, fig7, fig8, fig9, ablations, topk, batch, startup, obs")
+		exp       = flag.String("exp", "all", "experiment, or comma-separated list: all, table2, table3, fig6, fig7, fig8, fig9, ablations, topk, batch, startup, obs, dist")
 		queries   = flag.Int("queries", 5, "queries per data point")
 		quick     = flag.Bool("quick", false, "reduced sweeps for a fast pass")
 		jsonPath  = flag.String("json", "", "write the topk+batch+startup+obs sweeps as one JSON document to this path (implies all four experiments; see make bench-json)")
@@ -51,7 +52,7 @@ func main() {
 		ks = []int{10, 100}
 		gdSets, gsSets = bench.GD[:3], bench.GS[:3]
 	}
-	known := []string{"all", "table2", "table3", "fig6", "fig7", "fig8", "fig9", "ablations", "topk", "batch", "startup", "obs"}
+	known := []string{"all", "table2", "table3", "fig6", "fig7", "fig8", "fig9", "ablations", "topk", "batch", "startup", "obs", "dist"}
 	selected := map[string]bool{}
 	for _, name := range strings.Split(*exp, ",") {
 		name = strings.TrimSpace(name)
@@ -72,6 +73,7 @@ func main() {
 		selected["batch"] = true
 		selected["startup"] = true
 		selected["obs"] = true
+		selected["dist"] = true
 	}
 	want := func(name string) bool { return selected["all"] || selected[name] }
 	t0 := time.Now()
@@ -181,6 +183,17 @@ func main() {
 		bench.StartupTable(startupRows).Fprint(os.Stdout)
 		if rep != nil {
 			rep.StartupSweep = startupRows
+		}
+	}
+	if want("dist") {
+		distRows, err := runDistSweep(*topkOps)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchkit: dist sweep: %v\n", err)
+			os.Exit(1)
+		}
+		bench.DistTable(distRows).Fprint(os.Stdout)
+		if rep != nil {
+			rep.DistSweep = distRows
 		}
 	}
 	if rep != nil {

@@ -12,6 +12,21 @@
 //	ktpmd -db g.ktpmdb -concurrency 8 -cache 4096 -shards 4 -partition label
 //	ktpmd -snapshot g.snap -snapshot-mode mmap
 //
+// Beyond the default single-process mode (-role serve), the daemon can
+// be one node of a distributed scatter-gather topology: -role worker
+// serves one shard's score-ordered match stream over NDJSON, and -role
+// coordinator merges N worker streams with the same threshold-
+// terminating k-way merge the in-process sharded backend runs, so
+// results are byte-identical to a local -shards N server:
+//
+//	ktpmd -role worker -snapshot g.snap -worker-index 0 -worker-count 2 -addr :9101
+//	ktpmd -role worker -snapshot g.snap -worker-index 1 -worker-count 2 -addr :9102
+//	ktpmd -role coordinator -snapshot g.snap -workers localhost:9101,localhost:9102 \
+//	      -hedge-after 50ms -worker-retries 2 -degraded partial
+//
+// See docs/DISTRIBUTED.md for the topology, failure-handling, and
+// deployment story.
+//
 //	curl 'localhost:8080/query?q=a(b,c(d))&k=5'
 //	curl 'localhost:8080/query?q=a(b)&debug=1'          # inline trace span tree
 //	curl -d '{"items":[{"q":"a(b)","k":5},{"q":"a(b)","k":5}]}' localhost:8080/batch
@@ -42,11 +57,13 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"ktpm"
 	"ktpm/internal/obs"
+	"ktpm/internal/remote"
 	"ktpm/internal/server"
 )
 
@@ -73,6 +90,16 @@ func main() {
 		accessLog   = flag.Bool("access-log", false, "log every request (method, path, status, duration, request id)")
 		logJSON     = flag.Bool("log-json", false, "emit logs as JSON lines instead of text")
 		showVersion = flag.Bool("version", false, "print version and build info, then exit")
+
+		role          = flag.String("role", "serve", "process role: serve (single node), worker (serve one shard's match stream), or coordinator (merge worker streams)")
+		workerIndex   = flag.Int("worker-index", 0, "worker role: this worker's shard id in [0, worker-count)")
+		workerCount   = flag.Int("worker-count", 0, "worker role: the topology's worker count")
+		workersList   = flag.String("workers", "", "coordinator role: comma-separated worker addresses, one per shard in shard order; separate a shard's hedge replicas with '|' (e.g. 'a:9101,b:9102|c:9102')")
+		workerTimeout = flag.Duration("worker-timeout", 0, "coordinator role: per-stall timeout on a worker connection — handshake wait and every inter-frame gap (0 = default 5s)")
+		hedgeAfter    = flag.Duration("hedge-after", 0, "coordinator role: fire a hedged second open if a worker has not answered within this duration (0 disables hedging)")
+		workerRetries = flag.Int("worker-retries", 0, "coordinator role: reopen a failed shard stream up to N times, resuming where the merge left off (0 = no retries)")
+		retryBackoff  = flag.Duration("retry-backoff", 0, "coordinator role: delay before the first retry, doubling per attempt (0 = default 50ms)")
+		degraded      = flag.String("degraded", "fail", "coordinator role: policy when a shard's retries are exhausted: 'partial' drops the shard and marks responses partial, 'fail' fails the query")
 	)
 	flag.Parse()
 	if *showVersion {
@@ -112,6 +139,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ktpmd: unknown partitioner %q (want hash or label)\n", *partition)
 		os.Exit(2)
 	}
+	if *role != "serve" && *role != "worker" && *role != "coordinator" {
+		fmt.Fprintf(os.Stderr, "ktpmd: unknown role %q (want serve, worker, or coordinator)\n", *role)
+		os.Exit(2)
+	}
+	if *role != "serve" && *shards > 1 {
+		fmt.Fprintf(os.Stderr, "ktpmd: -shards is the single-process scatter-gather; it cannot combine with -role %s\n", *role)
+		os.Exit(2)
+	}
+	if *degraded != "partial" && *degraded != "fail" {
+		fmt.Fprintf(os.Stderr, "ktpmd: unknown degraded policy %q (want partial or fail)\n", *degraded)
+		os.Exit(2)
+	}
 
 	bi := obs.Build()
 	logger.Info("starting",
@@ -124,10 +163,54 @@ func main() {
 	if err != nil {
 		fatal(logger, "load", err)
 	}
+
+	// Worker role: the process serves one shard's match stream and its own
+	// small ops surface, not the query endpoints.
+	if *role == "worker" {
+		runWorker(logger, db, remote.WorkerConfig{
+			Index:       *workerIndex,
+			Count:       *workerCount,
+			Partitioner: partitioner,
+			StreamChunk: *chunkSize,
+			Logger:      logger,
+		}, *addr, *snapPath != "")
+		return
+	}
+
+	// Coordinator role: the backend is a remote.Coordinator merging the
+	// configured worker streams; the local database parses, plans, and
+	// serves the non-distributable paths.
+	var coord *remote.Coordinator
+	var backend server.Backend = db
+	if *role == "coordinator" {
+		eps, err := parseWorkerEndpoints(*workersList)
+		if err != nil {
+			fatal(logger, "workers", err)
+		}
+		coord, err = remote.NewCoordinator(db, *partition, eps, remote.Config{
+			WorkerTimeout:   *workerTimeout,
+			HedgeAfter:      *hedgeAfter,
+			Retries:         *workerRetries,
+			Backoff:         *retryBackoff,
+			DegradedPartial: *degraded == "partial",
+			ChunkSize:       *chunkSize,
+		})
+		if err != nil {
+			fatal(logger, "coordinator", err)
+		}
+		backend = coord
+		logger.Info("coordinator mode",
+			"workers", coord.NumWorkers(),
+			"partitioner", *partition,
+			"degraded", *degraded,
+			"hedge_after", hedgeAfter.String(),
+			"retries", *workerRetries,
+		)
+	}
+
 	// The sharded path wraps the same closure; every endpoint keeps its
 	// contract, and /stats and /metrics additionally report per-shard
 	// counters.
-	var backend server.Backend = db
 	if *shards > 1 {
 		sdb, err := db.Shard(*shards, partitioner)
 		if err != nil {
@@ -164,6 +247,27 @@ func main() {
 		AccessLog:       *accessLog,
 	})
 	defer srv.Close()
+
+	// A coordinator is not ready until every worker's handshake checks
+	// out: /readyz answers 503 while the topology probe retries, so load
+	// balancers keep traffic off a mis-wired or still-starting fleet.
+	if coord != nil {
+		srv.SetReady(false)
+		go func() {
+			for {
+				ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+				err := coord.CheckTopology(ctx)
+				cancel()
+				if err == nil {
+					srv.SetReady(true)
+					logger.Info("topology verified", "workers", coord.NumWorkers())
+					return
+				}
+				logger.Warn("topology check failed, retrying", "err", err)
+				time.Sleep(time.Second)
+			}
+		}()
+	}
 
 	if *pprofAddr != "" {
 		go servePprof(logger, *pprofAddr)
@@ -208,6 +312,75 @@ func main() {
 			logger.Error("closing snapshot", "err", err)
 		}
 	} else if *snapPath != "" {
+		logger.Warn("snapshot left open: requests still draining at exit")
+	}
+}
+
+// parseWorkerEndpoints parses the -workers flag: comma-separated shard
+// addresses in shard order, '|' separating a shard's hedge replicas.
+func parseWorkerEndpoints(list string) ([][]remote.Endpoint, error) {
+	if strings.TrimSpace(list) == "" {
+		return nil, fmt.Errorf("-workers is required for -role coordinator")
+	}
+	var out [][]remote.Endpoint
+	for i, shard := range strings.Split(list, ",") {
+		var eps []remote.Endpoint
+		for _, addr := range strings.Split(shard, "|") {
+			addr = strings.TrimSpace(addr)
+			if addr == "" {
+				continue
+			}
+			eps = append(eps, remote.NewHTTPEndpoint(addr))
+		}
+		if len(eps) == 0 {
+			return nil, fmt.Errorf("shard %d has no address in -workers", i)
+		}
+		out = append(out, eps)
+	}
+	return out, nil
+}
+
+// runWorker serves the worker-role HTTP surface (/shard/hello,
+// /shard/stream, health, stats, metrics) until SIGINT/SIGTERM.
+func runWorker(logger *slog.Logger, db *ktpm.Database, cfg remote.WorkerConfig, addr string, snapshot bool) {
+	w, err := remote.NewWorker(db, cfg)
+	if err != nil {
+		fatal(logger, "worker", err)
+	}
+	logger.Info("worker mode",
+		"shard", cfg.Index,
+		"workers", cfg.Count,
+		"partitioner", cfg.Partitioner.Name(),
+		"owned_vertices", w.OwnedVertices(),
+		"snapshot_identity", w.Hello().Snapshot,
+	)
+	hs := &http.Server{Addr: addr, Handler: w.Handler()}
+	done := make(chan struct{})
+	var drained bool
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		logger.Info("shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			logger.Error("shutdown", "err", err)
+		} else {
+			drained = true
+		}
+	}()
+	logger.Info("serving", "addr", addr, "role", "worker")
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(logger, "listen", err)
+	}
+	<-done
+	if drained {
+		if err := db.Close(); err != nil {
+			logger.Error("closing snapshot", "err", err)
+		}
+	} else if snapshot {
 		logger.Warn("snapshot left open: requests still draining at exit")
 	}
 }

@@ -132,6 +132,7 @@ type TopKReport struct {
 	BatchSweep   []*BatchRow   `json:"batch_sweep"`
 	StartupSweep []*StartupRow `json:"startup_sweep"`
 	ObsSweep     []*ObsRow     `json:"obs_sweep"`
+	DistSweep    []*DistRow    `json:"dist_sweep"`
 }
 
 // ObsRow is one configuration of the instrumentation-overhead sweep in
@@ -350,6 +351,42 @@ func RunChunkSweep(ops int) ([]*ChunkRow, error) {
 // sweep itself lives in cmd/benchkit (it exercises the public
 // ktpm.Database.TopKBatch API, which this package cannot import).
 const BatchSweepK = 300
+
+// DistSweepK is the distributed sweep's k, matching BatchSweepK so its
+// local baseline is comparable to the other serving sweeps.
+const DistSweepK = 300
+
+// DistRow is one point of the local-vs-distributed sweep in
+// BENCH_topk.json: top-k latency through the scatter-gather coordinator
+// over N loopback HTTP workers, against the same database answered
+// locally. HedgeRate is hedged opens per worker stream request — how
+// often the coordinator's tail-latency hedge actually fired against
+// healthy local workers (each shard has a hedge replica configured).
+// The sweep itself lives in cmd/benchkit (it exercises ktpm and
+// internal/remote, which this package cannot import: the root package's
+// benchmarks import internal/bench, and remote's coordinator consumes
+// the public ktpm API).
+type DistRow struct {
+	Name    string  `json:"name"`    // "local" or "workers=N"
+	Workers int     `json:"workers"` // 0 on the local row
+	Ops     int     `json:"ops"`
+	NsPerOp float64 `json:"ns_per_op"`
+	// HedgeRate is hedges/requests across the configuration's run; 0 on
+	// the local row.
+	HedgeRate float64 `json:"hedge_rate"`
+}
+
+// DistTable renders a distributed sweep in the benchkit text format.
+func DistTable(rows []*DistRow) *Table {
+	t := &Table{
+		Title:  fmt.Sprintf("Distributed scatter-gather sweep (k=%d, loopback workers)", DistSweepK),
+		Header: []string{"config", "ms/op", "hedge rate"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Name, fmt.Sprintf("%.1f", r.NsPerOp/1e6), fmt.Sprintf("%.3f", r.HedgeRate))
+	}
+	return t
+}
 
 // ChunkTable renders a chunk sweep in the benchkit text format.
 func ChunkTable(rows []*ChunkRow) *Table {

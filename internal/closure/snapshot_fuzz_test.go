@@ -1,0 +1,65 @@
+package closure
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ktpm/internal/gen"
+)
+
+// FuzzOpenSnapshot pins the KTPMSNAP1 decoder against hostile files: no
+// byte sequence may panic OpenSnapshotFile or the fault path behind it.
+// Accepted files must serve their directory and every table without
+// crashing — corruption the open-time validation cannot see (payload
+// bytes in lazy mode) surfaces through the sticky Err, never a panic.
+// Seeds are a valid snapshot of a small closure plus targeted header
+// mutations; the committed corpus under testdata/fuzz extends them.
+func FuzzOpenSnapshot(f *testing.F) {
+	g := gen.ErdosRenyi(12, 30, 3, 7)
+	c := Compute(g, Options{})
+	var valid bytes.Buffer
+	if err := WriteSnapshot(&valid, c); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	// Truncations at structural boundaries.
+	for _, n := range []int{0, 5, snapHeaderSize - 1, snapHeaderSize, valid.Len() / 2, valid.Len() - 3} {
+		if n <= valid.Len() {
+			f.Add(valid.Bytes()[:n])
+		}
+	}
+	// Field-level mutations: version, counts, offsets, magic.
+	for _, off := range []int{0, 10, 18, 26, 34, 42, 50} {
+		b := append([]byte(nil), valid.Bytes()...)
+		binary.LittleEndian.PutUint32(b[off:], 0xfeedface)
+		f.Add(b)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "fuzz.snap")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Skip()
+		}
+		for _, mode := range []SnapMode{SnapLazy, SnapEager} {
+			s, err := OpenSnapshotFile(path, mode)
+			if err != nil {
+				continue // rejected files just need to not panic
+			}
+			// Fault every table and walk the stats; lazy-mode payload
+			// corruption must land in Err, not a crash.
+			s.Tables(func(alpha, beta int32, entries []Entry) bool {
+				_ = entries
+				return true
+			})
+			_ = s.Err()
+			_ = s.ComputeStats()
+			_ = s.Mode()
+			if err := s.Close(); err != nil {
+				t.Fatalf("Close after full fault: %v", err)
+			}
+		}
+	})
+}

@@ -1,0 +1,967 @@
+package remote
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"ktpm"
+	"ktpm/internal/heap"
+	"ktpm/internal/lazy"
+	"ktpm/internal/obs"
+	"ktpm/internal/shard"
+)
+
+// Endpoint is one address a shard's stream can be opened at. The
+// production implementation speaks HTTP to a ktpmd -role worker; tests
+// substitute fault-injecting wrappers.
+type Endpoint interface {
+	// Addr identifies the endpoint in stats and errors.
+	Addr() string
+	// Hello fetches the worker's handshake without opening a stream (the
+	// /shard/hello probe), for topology checks.
+	Hello(ctx context.Context) (Hello, error)
+	// OpenStream opens the worker's match stream for the canonical query
+	// string, with k as the truncation hint (0 = unbounded). The first
+	// line of the returned body is the hello frame.
+	OpenStream(ctx context.Context, query string, k int) (io.ReadCloser, error)
+}
+
+// NewHTTPEndpoint returns an Endpoint speaking the worker HTTP protocol
+// at base ("host:port" or a full http URL).
+func NewHTTPEndpoint(base string) Endpoint {
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	return &httpEndpoint{base: strings.TrimRight(base, "/"), hc: &http.Client{}}
+}
+
+type httpEndpoint struct {
+	base string
+	hc   *http.Client
+}
+
+func (e *httpEndpoint) Addr() string { return e.base }
+
+func (e *httpEndpoint) Hello(ctx context.Context) (Hello, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, e.base+"/shard/hello", nil)
+	if err != nil {
+		return Hello{}, err
+	}
+	resp, err := e.hc.Do(req)
+	if err != nil {
+		return Hello{}, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, MaxFrameBytes))
+	if err != nil {
+		return Hello{}, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return Hello{}, fmt.Errorf("%s: hello status %d", e.base, resp.StatusCode)
+	}
+	f, err := DecodeFrame(bytes.TrimSpace(body))
+	if err != nil {
+		return Hello{}, err
+	}
+	if f.Kind != KindHello {
+		return Hello{}, fmt.Errorf("%s: hello endpoint answered a %q frame", e.base, f.Kind)
+	}
+	return f.Hello, nil
+}
+
+func (e *httpEndpoint) OpenStream(ctx context.Context, query string, k int) (io.ReadCloser, error) {
+	u := e.base + "/shard/stream?q=" + url.QueryEscape(query)
+	if k > 0 {
+		u += "&k=" + strconv.Itoa(k)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := e.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+		var e2 struct {
+			Error string `json:"error"`
+		}
+		msg := strings.TrimSpace(string(body))
+		if json.Unmarshal(body, &e2) == nil && e2.Error != "" {
+			msg = e2.Error
+		}
+		return nil, fmt.Errorf("%s: stream status %d: %s", e.base, resp.StatusCode, msg)
+	}
+	return resp.Body, nil
+}
+
+// Config tunes the coordinator's failure handling. The zero value serves
+// with the documented defaults.
+type Config struct {
+	// WorkerTimeout bounds any single stall on a worker connection: the
+	// wait for the handshake and every inter-frame gap. A stream may run
+	// arbitrarily long as long as frames keep arriving. 0 means 5s.
+	WorkerTimeout time.Duration
+	// HedgeAfter, when positive, fires a hedged second open if a worker
+	// has not delivered its handshake within the duration — against the
+	// shard's next replica when it has one, or a fresh connection to the
+	// same worker otherwise. The first handshake wins; the loser is
+	// canceled. 0 disables hedging.
+	HedgeAfter time.Duration
+	// Retries is how many times a failed shard stream is reopened beyond
+	// the first attempt. A retried stream resumes by skip: per-shard
+	// enumeration is deterministic, so the coordinator reopens and
+	// discards the matches it already merged. 0 means no retries.
+	Retries int
+	// Backoff is the delay before the first retry, doubling per attempt;
+	// 0 means 50ms.
+	Backoff time.Duration
+	// DegradedPartial selects the policy for a shard whose retries are
+	// exhausted: true drops the shard and marks the response partial
+	// (results remain correct for the surviving shards); false fails the
+	// query. Topology mismatches (wrong snapshot identity, shard id,
+	// worker count, or canonical-order version) always fail the query —
+	// a degraded answer must still be an honest subset of the truth.
+	DegradedPartial bool
+	// ChunkSize is how many matches a shard reader accumulates before
+	// one channel hand-off to the merge; 0 means shard.DefaultChunkSize.
+	ChunkSize int
+}
+
+func (c Config) withDefaults() Config {
+	if c.WorkerTimeout <= 0 {
+		c.WorkerTimeout = 5 * time.Second
+	}
+	if c.Backoff <= 0 {
+		c.Backoff = 50 * time.Millisecond
+	}
+	if c.Retries < 0 {
+		c.Retries = 0
+	}
+	if c.ChunkSize < 1 {
+		c.ChunkSize = shard.DefaultChunkSize
+	}
+	return c
+}
+
+// Coordinator scatter-gathers top-k queries across remote workers with
+// the same threshold-terminating k-way merge the in-process shard.DB
+// runs — per-shard streams arrive score-ordered, a min-heap keyed by
+// head score picks the global order, and a shard stops being pulled
+// once its head cannot beat the current k-th result — so results are
+// byte-identical to a local ShardedDatabase over the same graph,
+// partitioner, and worker count.
+//
+// The coordinator holds its own Database over the same snapshot: it
+// parses and plans queries locally (the graph is identical by
+// handshake), serves the non-distributable paths (materialized and DP
+// algorithms, RootFilter queries) locally, and derives the expected
+// snapshot identity from it. It implements the server Backend contract,
+// so ktpmd -role coordinator serves the same endpoints as every other
+// mode.
+type Coordinator struct {
+	local       *ktpm.Database
+	eps         [][]Endpoint
+	cfg         Config
+	partitioner string
+	identity    string
+	counters    []workerCounters
+	partials    atomic.Int64
+}
+
+type workerCounters struct {
+	requests  atomic.Int64
+	retries   atomic.Int64
+	hedges    atomic.Int64
+	hedgeWins atomic.Int64
+	failures  atomic.Int64
+	matches   atomic.Int64
+	lastErr   atomic.Value // string
+}
+
+// NewCoordinator builds a coordinator over one endpoint list per shard
+// (index = shard id; extra endpoints per shard are hedge replicas).
+// local must be opened from the same graph/snapshot the workers serve —
+// the handshake enforces it — and partitionerName must name the
+// partitioner the workers were started with.
+func NewCoordinator(local *ktpm.Database, partitionerName string, shards [][]Endpoint, cfg Config) (*Coordinator, error) {
+	if local == nil {
+		return nil, fmt.Errorf("remote: nil local database")
+	}
+	if len(shards) < 1 {
+		return nil, fmt.Errorf("remote: no worker shards")
+	}
+	for i, eps := range shards {
+		if len(eps) == 0 {
+			return nil, fmt.Errorf("remote: shard %d has no endpoints", i)
+		}
+	}
+	if _, ok := ktpm.ParsePartitioner(partitionerName); !ok {
+		return nil, fmt.Errorf("remote: unknown partitioner %q", partitionerName)
+	}
+	return &Coordinator{
+		local:       local,
+		eps:         shards,
+		cfg:         cfg.withDefaults(),
+		partitioner: strings.ToLower(partitionerName),
+		identity:    Identity(local),
+		counters:    make([]workerCounters, len(shards)),
+	}, nil
+}
+
+// NumWorkers returns the shard / worker count.
+func (c *Coordinator) NumWorkers() int { return len(c.eps) }
+
+// validateHello checks a worker's handshake against the coordinator's
+// topology. positions > 0 additionally pins the stream's match-frame
+// width (the /shard/hello probe carries no query and skips it).
+func (c *Coordinator) validateHello(h Hello, shardID, positions int) error {
+	switch {
+	case h.Proto != ProtoVersion:
+		return fmt.Errorf("protocol version %d, want %d", h.Proto, ProtoVersion)
+	case h.Order != OrderVersion:
+		return fmt.Errorf("canonical order %q, want %q", h.Order, OrderVersion)
+	case h.Workers != len(c.eps):
+		return fmt.Errorf("worker count %d, want %d", h.Workers, len(c.eps))
+	case h.Shard != shardID:
+		return fmt.Errorf("shard %d, want %d", h.Shard, shardID)
+	case h.Partitioner != c.partitioner:
+		return fmt.Errorf("partitioner %q, want %q", h.Partitioner, c.partitioner)
+	case h.Snapshot != c.identity:
+		return fmt.Errorf("snapshot identity %s, want %s (worker serves a different graph)", h.Snapshot, c.identity)
+	case positions > 0 && h.Positions != positions:
+		return fmt.Errorf("stream carries %d positions, want %d", h.Positions, positions)
+	}
+	return nil
+}
+
+// CheckTopology probes every endpoint of every shard and validates its
+// handshake, so a mis-wired fleet fails at startup (ktpmd gates
+// readiness on it), not at the first query.
+func (c *Coordinator) CheckTopology(ctx context.Context) error {
+	for i, eps := range c.eps {
+		for _, ep := range eps {
+			h, err := ep.Hello(ctx)
+			if err != nil {
+				return fmt.Errorf("remote: worker %d at %s: %w", i, ep.Addr(), err)
+			}
+			if err := c.validateHello(h, i, 0); err != nil {
+				return fmt.Errorf("remote: worker %d at %s: %w", i, ep.Addr(), err)
+			}
+		}
+	}
+	return nil
+}
+
+// workerConn is one live stream from a worker: the response body, a
+// line reader, the decoded handshake, and a watchdog that severs the
+// connection if a read stalls past the per-stall timeout.
+type workerConn struct {
+	body   io.ReadCloser
+	br     *lineReader
+	wd     *time.Timer
+	idle   time.Duration
+	hello  Hello
+	cancel context.CancelFunc // the attempt's context; nil until adopted
+}
+
+// lineReader reads newline-delimited frames with a hard length cap, so
+// a worker that stops emitting newlines cannot balloon memory.
+type lineReader struct {
+	r   io.Reader
+	buf []byte
+	pos int
+	n   int
+}
+
+func newLineReader(r io.Reader) *lineReader {
+	return &lineReader{r: r, buf: make([]byte, 64<<10)}
+}
+
+// ReadLine returns the next line without its trailing newline. Lines
+// longer than MaxFrameBytes are an error; EOF mid-line is
+// io.ErrUnexpectedEOF.
+func (l *lineReader) ReadLine() ([]byte, error) {
+	var line []byte
+	for {
+		for i := l.pos; i < l.n; i++ {
+			if l.buf[i] == '\n' {
+				line = append(line, l.buf[l.pos:i]...)
+				l.pos = i + 1
+				return bytes.TrimSuffix(line, []byte{'\r'}), nil
+			}
+		}
+		line = append(line, l.buf[l.pos:l.n]...)
+		l.pos, l.n = 0, 0
+		if len(line) > MaxFrameBytes {
+			return nil, fmt.Errorf("remote: frame exceeds the %d-byte cap", MaxFrameBytes)
+		}
+		n, err := l.r.Read(l.buf)
+		l.n = n
+		if n == 0 && err != nil {
+			if err == io.EOF && len(line) > 0 {
+				return nil, io.ErrUnexpectedEOF
+			}
+			return nil, err
+		}
+	}
+}
+
+func newWorkerConn(body io.ReadCloser, idle time.Duration) *workerConn {
+	c := &workerConn{body: body, br: newLineReader(body), idle: idle}
+	// The watchdog closes the body out from under a stalled read; the
+	// reader sees an error and the retry policy takes over. Reset before
+	// every blocking read.
+	c.wd = time.AfterFunc(idle, func() { body.Close() })
+	return c
+}
+
+// readFrame reads and decodes the next frame, arming the stall watchdog
+// around the read.
+func (c *workerConn) readFrame() (Frame, error) {
+	c.wd.Reset(c.idle)
+	line, err := c.br.ReadLine()
+	if err != nil {
+		return Frame{}, err
+	}
+	return DecodeFrame(line)
+}
+
+func (c *workerConn) Close() {
+	c.wd.Stop()
+	c.body.Close()
+	if c.cancel != nil {
+		c.cancel()
+	}
+}
+
+// dial opens a stream on one endpoint and reads its handshake.
+func (c *Coordinator) dial(ctx context.Context, ep Endpoint, query string, k int) (*workerConn, error) {
+	body, err := ep.OpenStream(ctx, query, k)
+	if err != nil {
+		return nil, err
+	}
+	conn := newWorkerConn(body, c.cfg.WorkerTimeout)
+	f, err := conn.readFrame()
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("%s: reading handshake: %w", ep.Addr(), err)
+	}
+	if f.Kind == KindErr {
+		conn.Close()
+		return nil, fmt.Errorf("%s: %s", ep.Addr(), f.Error)
+	}
+	if f.Kind != KindHello {
+		conn.Close()
+		return nil, fmt.Errorf("%s: first frame is %q, want hello", ep.Addr(), f.Kind)
+	}
+	conn.hello = f.Hello
+	return conn, nil
+}
+
+// openHedged opens a shard's stream, racing a hedged second attempt if
+// the first has not delivered its handshake within HedgeAfter. The
+// winner's connection is returned with its attempt context attached;
+// losers are canceled and reaped.
+func (c *Coordinator) openHedged(ctx context.Context, shardID, attempt int, query string, k int) (*workerConn, error) {
+	eps := c.eps[shardID]
+	type result struct {
+		conn   *workerConn
+		err    error
+		cancel context.CancelFunc
+		hedged bool
+	}
+	resCh := make(chan result, 2)
+	launch := func(epIdx int, hedged bool) {
+		actx, acancel := context.WithCancel(ctx)
+		c.counters[shardID].requests.Add(1)
+		go func() {
+			conn, err := c.dial(actx, eps[epIdx%len(eps)], query, k)
+			resCh <- result{conn: conn, err: err, cancel: acancel, hedged: hedged}
+		}()
+	}
+	launch(attempt, false)
+	pending := 1
+	var hedgeC <-chan time.Time
+	if c.cfg.HedgeAfter > 0 {
+		t := time.NewTimer(c.cfg.HedgeAfter)
+		defer t.Stop()
+		hedgeC = t.C
+	}
+	reap := func(n int) {
+		if n > 0 {
+			go func() {
+				for i := 0; i < n; i++ {
+					r := <-resCh
+					if r.conn != nil {
+						r.conn.Close()
+					}
+					r.cancel()
+				}
+			}()
+		}
+	}
+	var firstErr error
+	for {
+		select {
+		case r := <-resCh:
+			pending--
+			if r.err == nil {
+				r.conn.cancel = r.cancel
+				if r.hedged {
+					c.counters[shardID].hedgeWins.Add(1)
+				}
+				reap(pending)
+				return r.conn, nil
+			}
+			r.cancel()
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			if pending == 0 {
+				// Every launched attempt failed. Failing fast (rather than
+				// waiting out the hedge timer) hands control to the retry
+				// policy, which owns backoff.
+				return nil, firstErr
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			c.counters[shardID].hedges.Add(1)
+			launch(attempt+1, true)
+			pending++
+		case <-ctx.Done():
+			reap(pending)
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// shardReader is the coordinator-side producer for one shard: a
+// goroutine pushing score-ordered match chunks into ch, with retry,
+// hedging, and resume-by-skip behind it. err (read after ch closes)
+// reports a terminal failure; fatal marks topology mismatches, which no
+// degradation policy may absorb.
+type shardReader struct {
+	shardID int
+	ch      chan []*lazy.Match
+	err     error
+	fatal   bool
+}
+
+// run drives one shard's stream to completion, surviving up to Retries
+// reopen attempts. A reopened stream replays from the start — per-shard
+// enumeration is deterministic — so the reader skips the matches it
+// already delivered and resumes exactly where the merge left off.
+func (c *Coordinator) run(ctx context.Context, r *shardReader, query string, k, positions int, span *obs.Span) {
+	defer close(r.ch)
+	ws := span.StartChild("worker_stream")
+	ws.SetAttr("shard", r.shardID)
+	defer ws.End()
+	cnt := &c.counters[r.shardID]
+	consumed := 0
+	backoff := c.cfg.Backoff
+	var lastErr error
+	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
+		if attempt > 0 {
+			cnt.retries.Add(1)
+			t := time.NewTimer(backoff)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				r.err = ctx.Err()
+				return
+			case <-t.C:
+			}
+			backoff *= 2
+		}
+		conn, err := c.openHedged(ctx, r.shardID, attempt, query, k)
+		if err == nil {
+			if verr := c.validateHello(conn.hello, r.shardID, positions); verr != nil {
+				conn.Close()
+				r.err = fmt.Errorf("worker %d: %w", r.shardID, verr)
+				r.fatal = true
+				cnt.failures.Add(1)
+				cnt.lastErr.Store(r.err.Error())
+				return
+			}
+			err = c.pump(ctx, conn, r, &consumed)
+			conn.Close()
+			if err == nil {
+				return
+			}
+		}
+		if ctx.Err() != nil {
+			r.err = ctx.Err()
+			return
+		}
+		lastErr = err
+		cnt.failures.Add(1)
+		cnt.lastErr.Store(err.Error())
+	}
+	r.err = fmt.Errorf("worker %d: %w", r.shardID, lastErr)
+}
+
+// pump reads one connection's frames into the reader's channel,
+// skipping the first *consumed matches (already delivered by a prior
+// attempt) and validating what the order contract promises: match width
+// equals the handshake's positions, and scores arrive canonically
+// ordered. Returns nil only on a complete end frame.
+func (c *Coordinator) pump(ctx context.Context, conn *workerConn, r *shardReader, consumed *int) error {
+	skip := *consumed
+	buf := make([]*lazy.Match, 0, c.cfg.ChunkSize)
+	var prev *lazy.Match
+	flush := func() error {
+		if len(buf) == 0 {
+			return nil
+		}
+		out := buf
+		buf = make([]*lazy.Match, 0, c.cfg.ChunkSize)
+		select {
+		case r.ch <- out:
+			*consumed += len(out)
+			c.counters[r.shardID].matches.Add(int64(len(out)))
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	for {
+		f, err := conn.readFrame()
+		if err != nil {
+			return fmt.Errorf("worker %d: %w", r.shardID, err)
+		}
+		switch f.Kind {
+		case KindMatch:
+			if len(f.Nodes) != conn.hello.Positions {
+				return fmt.Errorf("worker %d: match with %d bindings, want %d", r.shardID, len(f.Nodes), conn.hello.Positions)
+			}
+			m := &lazy.Match{Nodes: f.Nodes, Score: f.Score}
+			if prev != nil && !lazy.Less(prev, m) {
+				// The merge's threshold reasoning assumes per-shard canonical
+				// order; a worker violating it would corrupt results silently.
+				return fmt.Errorf("worker %d: stream broke canonical order", r.shardID)
+			}
+			prev = m
+			if skip > 0 {
+				skip--
+				continue
+			}
+			buf = append(buf, m)
+			if len(buf) >= c.cfg.ChunkSize {
+				if err := flush(); err != nil {
+					return err
+				}
+			}
+		case KindEnd:
+			if skip > 0 {
+				return fmt.Errorf("worker %d: stream ended %d matches before the resume point", r.shardID, skip)
+			}
+			if !f.Complete {
+				return fmt.Errorf("worker %d: stream ended incomplete", r.shardID)
+			}
+			return flush()
+		case KindErr:
+			return fmt.Errorf("worker %d: %s", r.shardID, f.Error)
+		default:
+			return fmt.Errorf("worker %d: unexpected %q frame mid-stream", r.shardID, f.Kind)
+		}
+	}
+}
+
+// coordGather mirrors the in-process gather: per-shard current chunk +
+// cursor, and an indexed min-heap of shard heads.
+type coordGather struct {
+	c       *Coordinator
+	cancel  context.CancelFunc
+	readers []*shardReader
+	heads   [][]*lazy.Match
+	cur     []int
+	hq      *heap.Indexed
+	span    *obs.Span
+	partial bool
+	err     error // terminal merge error (fail policy or topology mismatch)
+}
+
+// newCoordGather starts one reader per shard. k is the worker-side
+// truncation hint (0 = unbounded, for streams).
+func (c *Coordinator) newCoordGather(ctx context.Context, query string, k, positions int, trace *obs.Span) *coordGather {
+	gctx, cancel := context.WithCancel(ctx)
+	span := trace.StartChild("remote_merge")
+	span.SetAttr("workers", len(c.eps))
+	g := &coordGather{
+		c:       c,
+		cancel:  cancel,
+		readers: make([]*shardReader, len(c.eps)),
+		heads:   make([][]*lazy.Match, len(c.eps)),
+		cur:     make([]int, len(c.eps)),
+		hq:      heap.NewIndexed(len(c.eps)),
+		span:    span,
+	}
+	for i := range g.readers {
+		r := &shardReader{shardID: i, ch: make(chan []*lazy.Match, 1)}
+		g.readers[i] = r
+		go c.run(gctx, r, query, k, positions, span)
+	}
+	return g
+}
+
+// settle applies the degradation policy to a reader that closed its
+// channel: a clean exhaustion is fine; a fatal (topology) error or the
+// fail policy poisons the merge; otherwise the shard is dropped and the
+// response marked partial. Returns false when the merge must stop.
+func (g *coordGather) settle(r *shardReader) bool {
+	if r.err == nil {
+		return true
+	}
+	if r.fatal || !g.c.cfg.DegradedPartial {
+		g.err = r.err
+		return false
+	}
+	g.partial = true
+	return true
+}
+
+// init blocks for every shard's first chunk and seeds the head heap.
+// Returns false when a reader failure poisons the merge.
+func (g *coordGather) init() bool {
+	for i, r := range g.readers {
+		if chunk := <-r.ch; chunk != nil {
+			g.heads[i] = chunk
+			g.hq.Push(i, chunk[0].Score)
+		} else if !g.settle(r) {
+			return false
+		}
+	}
+	return true
+}
+
+// take consumes shard i's head match, advancing within the chunk or
+// blocking for the next one. ok is false when a reader failure poisons
+// the merge mid-take (the match is still returned).
+func (g *coordGather) take(i int) (m *lazy.Match, ok bool) {
+	m = g.heads[i][g.cur[i]]
+	g.cur[i]++
+	if g.cur[i] < len(g.heads[i]) {
+		g.hq.Update(i, g.heads[i][g.cur[i]].Score)
+		return m, true
+	}
+	if chunk := <-g.readers[i].ch; chunk != nil {
+		g.heads[i], g.cur[i] = chunk, 0
+		g.hq.Update(i, chunk[0].Score)
+		return m, true
+	}
+	g.heads[i] = nil
+	g.hq.Remove(i)
+	return m, g.settle(g.readers[i])
+}
+
+// stop cancels the readers and ends the merge span. Idempotent enough
+// for defer + explicit use (context cancel and span End both tolerate
+// repetition).
+func (g *coordGather) stop() {
+	g.cancel()
+	g.span.End()
+}
+
+// topK runs the distributed threshold merge. The returned matches are
+// canonical; partial reports whether any shard was dropped under the
+// degradation policy.
+func (c *Coordinator) topK(ctx context.Context, query string, k, positions int, trace *obs.Span) (out []*lazy.Match, partial bool, err error) {
+	chunkHint := k // workers truncate at their own k-th tie group
+	g := c.newCoordGather(ctx, query, chunkHint, positions, trace)
+	defer g.stop()
+	if !g.init() {
+		return nil, false, g.err
+	}
+	// Identical threshold reasoning to shard.DB.GatherTopK: heads are each
+	// shard's best remaining score; stop once no head can beat the k-th
+	// result; drain the k-th score's tie group in full; compact to O(k)
+	// periodically so astronomically tied graphs stay bounded.
+	compactAt := 2*k + 64
+	for g.hq.Len() > 0 {
+		best, score := g.hq.Peek()
+		if len(out) >= k && score > out[k-1].Score {
+			break
+		}
+		m, ok := g.take(best)
+		out = append(out, m)
+		if !ok && g.err != nil {
+			return nil, false, g.err
+		}
+		if len(out) >= compactAt {
+			out = lazy.Canonicalize(out, k)
+		}
+	}
+	return lazy.Canonicalize(out, k), g.partial, nil
+}
+
+// errPartialUnmarked guards against using TopKWith where the partial
+// marker would be lost; see TopKWith.
+var errPartialUnmarked = fmt.Errorf("remote: partial result with no way to mark it")
+
+// TopKPartial is the coordinator's top-k entry point: matches, a
+// partial marker (true when a dead shard was dropped under the
+// DegradedPartial policy), and an error. Non-distributable requests —
+// materialized/DP algorithms and RootFilter queries, whose predicate
+// cannot travel the wire — are served by the coordinator's own local
+// database, never partially.
+func (c *Coordinator) TopKPartial(q *ktpm.Query, k int, opt ktpm.Options) ([]ktpm.Match, bool, error) {
+	if q == nil {
+		return nil, false, fmt.Errorf("ktpm: nil query")
+	}
+	if k < 0 {
+		return nil, false, fmt.Errorf("ktpm: negative k")
+	}
+	if opt.Algorithm != ktpm.AlgoTopkEN || opt.RootFilter != nil {
+		ms, err := c.local.TopKWith(q, k, opt)
+		return ms, false, err
+	}
+	if k == 0 {
+		return nil, false, nil
+	}
+	ms, partial, err := c.topK(context.Background(), q.Canonical(), k, q.NumNodes(), opt.Trace)
+	if err != nil {
+		return nil, false, err
+	}
+	if partial {
+		c.partials.Add(1)
+	}
+	out := make([]ktpm.Match, len(ms))
+	for i, m := range ms {
+		out[i] = ktpm.Match{Nodes: m.Nodes, Score: m.Score}
+	}
+	return out, partial, nil
+}
+
+// TopKWith implements the Backend contract. Callers that can surface
+// the partial marker (the server does, via TopKPartial) should; this
+// form fails a degraded query instead of silently returning a partial
+// result as if it were complete.
+func (c *Coordinator) TopKWith(q *ktpm.Query, k int, opt ktpm.Options) ([]ktpm.Match, error) {
+	ms, partial, err := c.TopKPartial(q, k, opt)
+	if err != nil {
+		return nil, err
+	}
+	if partial {
+		return nil, errPartialUnmarked
+	}
+	return ms, nil
+}
+
+// TopKBatch answers many queries in one call, deduplicating
+// canonical-identical items like the local engines. Partial results are
+// marked per item and never shared (a later identical item deserves a
+// fresh chance at a complete answer).
+func (c *Coordinator) TopKBatch(items []ktpm.BatchItem) []ktpm.BatchResult {
+	out := make([]ktpm.BatchResult, len(items))
+	seen := make(map[string]int, len(items))
+	for i, it := range items {
+		var key string
+		dedupable := it.Query != nil && it.Opt.RootFilter == nil
+		if dedupable {
+			key = it.Query.Canonical() + "\x00" + strconv.Itoa(it.K) + "\x00" + it.Opt.Algorithm.String()
+			if first, ok := seen[key]; ok {
+				out[i] = out[first]
+				out[i].Shared = true
+				continue
+			}
+		}
+		before := c.local.IOStats().EntriesRead
+		ms, partial, err := c.TopKPartial(it.Query, it.K, it.Opt)
+		out[i] = ktpm.BatchResult{
+			Matches: ms,
+			Cost:    c.local.IOStats().EntriesRead - before,
+			Partial: partial,
+			Err:     err,
+		}
+		if dedupable && err == nil && !partial {
+			seen[key] = i
+		}
+	}
+	return out
+}
+
+// ParseQuery parses against the coordinator's local database; the
+// handshake guarantees the workers' graphs (and so label tables) agree.
+func (c *Coordinator) ParseQuery(s string) (*ktpm.Query, error) { return c.local.ParseQuery(s) }
+
+// Explain plans against the local database — planning never enumerates,
+// and the closure statistics are identical across the fleet by
+// construction.
+func (c *Coordinator) Explain(q *ktpm.Query) (*ktpm.Plan, error) { return c.local.Explain(q) }
+
+// Graph returns the shared data graph.
+func (c *Coordinator) Graph() *ktpm.Graph { return c.local.Graph() }
+
+// IOStats reports the local database's counters (remote workers' I/O is
+// theirs; each worker's /stats reports it).
+func (c *Coordinator) IOStats() ktpm.IOStats { return c.local.IOStats() }
+
+// OpenStream opens a distributed incremental enumeration in canonical
+// order, the MatchStream the server's /stream endpoint drains. The
+// worker streams are unbounded (no k hint) and the merge buffers one
+// tie group at a time, exactly like the in-process ShardStream.
+// RootFilter streams fall back to the local database.
+func (c *Coordinator) OpenStream(q *ktpm.Query, opt ktpm.Options) (ktpm.MatchStream, error) {
+	if q == nil {
+		return nil, fmt.Errorf("ktpm: nil query")
+	}
+	if opt.Algorithm != ktpm.AlgoTopkEN {
+		return nil, fmt.Errorf("ktpm: streaming requires Topk-EN, got %v", opt.Algorithm)
+	}
+	if opt.RootFilter != nil {
+		return c.local.OpenStream(q, opt)
+	}
+	g := c.newCoordGather(context.Background(), q.Canonical(), 0, q.NumNodes(), opt.Trace)
+	return &coordStream{g: g}, nil
+}
+
+// coordStream adapts coordGather to the MatchStream pull interface with
+// the canonical tie-group buffering of shard.Stream.
+type coordStream struct {
+	g      *coordGather
+	tie    []*lazy.Match
+	tiePos int
+	inited bool
+	closed bool
+	marked bool // partial already counted
+}
+
+// Next returns the next match in canonical order. Under the partial
+// policy a dead shard is dropped mid-stream and the remaining shards
+// keep streaming (Partial reports it); under the fail policy the stream
+// ends and Err reports why.
+func (s *coordStream) Next() (ktpm.Match, bool) {
+	for {
+		if s.tiePos < len(s.tie) {
+			m := s.tie[s.tiePos]
+			s.tiePos++
+			return ktpm.Match{Nodes: m.Nodes, Score: m.Score}, true
+		}
+		if s.closed || s.g.err != nil {
+			return ktpm.Match{}, false
+		}
+		if !s.inited {
+			s.inited = true
+			if !s.g.init() {
+				return ktpm.Match{}, false
+			}
+		}
+		if s.g.hq.Len() == 0 {
+			return ktpm.Match{}, false
+		}
+		// Drain the whole tie group at the current minimum score before
+		// emitting any of it: another shard may still hold a
+		// lexicographically smaller tie.
+		_, score := s.g.hq.Peek()
+		group := s.tie[:0]
+		for s.g.hq.Len() > 0 {
+			best, sc := s.g.hq.Peek()
+			if sc != score {
+				break
+			}
+			m, ok := s.g.take(best)
+			group = append(group, m)
+			if !ok && s.g.err != nil {
+				// Fail policy: the group is no longer trustworthy (the dead
+				// shard may have held a smaller tie).
+				return ktpm.Match{}, false
+			}
+		}
+		sort.Slice(group, func(i, j int) bool { return lazy.Less(group[i], group[j]) })
+		s.tie, s.tiePos = group, 0
+		if s.g.partial && !s.marked {
+			s.marked = true
+			s.g.c.partials.Add(1)
+		}
+	}
+}
+
+// Close cancels the shard readers. Idempotent.
+func (s *coordStream) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.g.stop()
+}
+
+// Partial reports whether any shard was dropped under the degradation
+// policy while this stream ran; the server copies it into the trailer.
+func (s *coordStream) Partial() bool { return s.g.partial }
+
+// Err reports the terminal failure that ended the stream early under
+// the fail policy (nil for a healthy or policy-degraded stream).
+func (s *coordStream) Err() error { return s.g.err }
+
+// WorkerStat is one worker's coordinator-side counters, surfaced in
+// /stats and as ktpmd_worker_* metrics.
+type WorkerStat struct {
+	Shard     int      `json:"shard"`
+	Addrs     []string `json:"addrs"`
+	Requests  int64    `json:"requests"`
+	Retries   int64    `json:"retries"`
+	Hedges    int64    `json:"hedges"`
+	HedgeWins int64    `json:"hedge_wins"`
+	Failures  int64    `json:"failures"`
+	Matches   int64    `json:"matches"`
+	LastError string   `json:"last_error,omitempty"`
+}
+
+// CoordinatorStats is the /stats "workers" block.
+type CoordinatorStats struct {
+	Workers []WorkerStat `json:"per_worker"`
+	// Partials counts responses degraded to a partial result.
+	Partials int64 `json:"partials"`
+	// Policy is "partial" or "fail" — what happens when a shard's
+	// retries are exhausted.
+	Policy string `json:"policy"`
+	// Snapshot is the topology's snapshot identity (the handshake value).
+	Snapshot string `json:"snapshot"`
+}
+
+// CoordinatorStats snapshots the per-worker counters.
+func (c *Coordinator) CoordinatorStats() CoordinatorStats {
+	st := CoordinatorStats{
+		Workers:  make([]WorkerStat, len(c.eps)),
+		Partials: c.partials.Load(),
+		Policy:   "fail",
+		Snapshot: c.identity,
+	}
+	if c.cfg.DegradedPartial {
+		st.Policy = "partial"
+	}
+	for i := range c.eps {
+		cnt := &c.counters[i]
+		ws := WorkerStat{
+			Shard:     i,
+			Addrs:     make([]string, len(c.eps[i])),
+			Requests:  cnt.requests.Load(),
+			Retries:   cnt.retries.Load(),
+			Hedges:    cnt.hedges.Load(),
+			HedgeWins: cnt.hedgeWins.Load(),
+			Failures:  cnt.failures.Load(),
+			Matches:   cnt.matches.Load(),
+		}
+		for j, ep := range c.eps[i] {
+			ws.Addrs[j] = ep.Addr()
+		}
+		if v, ok := cnt.lastErr.Load().(string); ok {
+			ws.LastError = v
+		}
+		st.Workers[i] = ws
+	}
+	return st
+}

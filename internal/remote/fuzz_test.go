@@ -1,0 +1,58 @@
+package remote
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzDecodeFrame pins the untrusted decoder's contract: no input
+// panics, and every input DecodeFrame accepts must round-trip —
+// re-encode, re-decode, structurally identical — so the coordinator and
+// any future tooling agree on what a frame means. Seeds cover every
+// frame kind plus the malformed shapes the validation rejects; the
+// committed corpus under testdata/fuzz extends them.
+func FuzzDecodeFrame(f *testing.F) {
+	seeds := []string{
+		`{"f":"hello","proto":1,"shard":0,"workers":4,"partitioner":"hash","snapshot":"00deadbeef","order":"topk-en-canonical/1","positions":3}`,
+		`{"f":"hello","proto":1,"shard":3,"workers":4}`,
+		`{"f":"m","s":12,"n":[3,4,5]}`,
+		`{"f":"m","s":-7,"n":[0]}`,
+		`{"f":"m","n":[1,2]}`,
+		`{"f":"m","s":1,"n":[]}`,
+		`{"f":"m","s":1,"n":[-3]}`,
+		`{"f":"end","count":42,"complete":true}`,
+		`{"f":"end","count":0,"complete":false}`,
+		`{"f":"end"}`,
+		`{"f":"err","error":"worker on fire"}`,
+		`{"f":"err"}`,
+		`{"f":"bogus"}`,
+		`{}`,
+		`{"f":"hello","proto":0,"shard":-1,"workers":0}`,
+		`not json at all`,
+		`[1,2,3]`,
+		`{"f":"m","s":}garbage`,
+		``,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, line []byte) {
+		fr, err := DecodeFrame(line)
+		if err != nil {
+			return // rejected inputs just need to not panic
+		}
+		enc, err := EncodeFrame(fr)
+		if err != nil {
+			t.Fatalf("accepted frame failed to encode: %v", err)
+		}
+		fr2, err := DecodeFrame(enc)
+		if err != nil {
+			t.Fatalf("re-encoded frame failed to decode: %v\nencoded: %s", err, enc)
+		}
+		// Nodes nil-vs-empty never survives the accept path (match frames
+		// require at least one binding), so DeepEqual is exact.
+		if !reflect.DeepEqual(fr, fr2) {
+			t.Fatalf("round trip changed the frame:\n first: %+v\nsecond: %+v\nencoded: %s", fr, fr2, enc)
+		}
+	})
+}

@@ -1,0 +1,233 @@
+// Package remote promotes the shard scatter-gather merge contract over
+// the network: a worker serves its shard's score-ordered match stream as
+// NDJSON frames (the /stream framing with a handshake bolted on), and a
+// coordinator runs the same threshold-terminating k-way merge the
+// in-process shard.DB runs over channels — so a topology of N workers
+// answers top-k queries byte-identically to a local ShardedDatabase with
+// N shards.
+//
+// The wire format is one JSON object per line, discriminated by the "f"
+// key:
+//
+//	{"f":"hello","proto":1,"shard":0,"workers":4,"partitioner":"hash",
+//	 "snapshot":"<identity>","order":"topk-en-canonical/1","positions":3}
+//	{"f":"m","s":12,"n":[3,4,5]}
+//	{"f":"end","count":42,"complete":true}
+//	{"f":"err","error":"..."}
+//
+// The hello frame is the handshake: shard id and worker count pin the
+// worker's place in the topology, the snapshot identity and canonical
+// order version pin what it serves, and positions echoes the parsed
+// query's node count so every later match frame is length-checkable.
+// Mismatched topologies fail fast at the first frame instead of merging
+// wrong answers.
+//
+// DecodeFrame is the untrusted half: the coordinator feeds it bytes from
+// the network, so it validates structurally (frame kind, required
+// fields, bounds) and never panics — FuzzDecodeFrame pins that.
+package remote
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+
+	"ktpm"
+)
+
+const (
+	// ProtoVersion is the wire protocol version carried in the handshake;
+	// coordinator and worker must agree exactly.
+	ProtoVersion = 1
+
+	// OrderVersion names the canonical result order both sides promise:
+	// non-decreasing score, equal scores ordered by node bindings, the
+	// tie group at the k-th score drained in full. A worker emitting any
+	// other order would silently corrupt the merge, so the version is
+	// part of the handshake.
+	OrderVersion = "topk-en-canonical/1"
+
+	// MaxFrameBytes caps one NDJSON line. A match frame is bounded by the
+	// query's position count, so anything near this size is garbage; the
+	// cap keeps a corrupt or hostile worker from ballooning coordinator
+	// memory through the line scanner.
+	MaxFrameBytes = 1 << 20
+
+	// MaxPositions caps the node count a match frame may carry. The
+	// server-side query length cap (4096 bytes, two bytes minimum per
+	// node) keeps real queries far below it.
+	MaxPositions = 4096
+)
+
+// Frame kinds, the values of the "f" discriminator.
+const (
+	KindHello = "hello"
+	KindMatch = "m"
+	KindEnd   = "end"
+	KindErr   = "err"
+)
+
+// Hello is the handshake frame, the first line of every worker stream
+// (and the /shard/hello response body, minus Positions).
+type Hello struct {
+	F           string `json:"f"`
+	Proto       int    `json:"proto"`
+	Shard       int    `json:"shard"`
+	Workers     int    `json:"workers"`
+	Partitioner string `json:"partitioner"`
+	Snapshot    string `json:"snapshot"`
+	Order       string `json:"order"`
+	// Positions is the node count of the parsed query: every match frame
+	// of the stream must carry exactly this many bindings. Zero in the
+	// /shard/hello probe response, which has no query.
+	Positions int `json:"positions,omitempty"`
+}
+
+// Frame is one decoded wire line. Kind selects which fields are
+// meaningful: Hello for KindHello; Score and Nodes for KindMatch; Count
+// and Complete for KindEnd; Error for KindErr.
+type Frame struct {
+	Kind     string
+	Hello    Hello
+	Score    int64
+	Nodes    []int32
+	Count    int64
+	Complete bool
+	Error    string
+}
+
+// wireFrame is the union shape DecodeFrame unmarshals into. Pointer
+// fields distinguish "absent" from zero values, so a match frame without
+// a score is rejected instead of silently scoring 0.
+type wireFrame struct {
+	F           string  `json:"f"`
+	Proto       int     `json:"proto"`
+	Shard       int     `json:"shard"`
+	Workers     int     `json:"workers"`
+	Partitioner string  `json:"partitioner"`
+	Snapshot    string  `json:"snapshot"`
+	Order       string  `json:"order"`
+	Positions   int     `json:"positions"`
+	S           *int64  `json:"s"`
+	N           []int32 `json:"n"`
+	Count       *int64  `json:"count"`
+	Complete    *bool   `json:"complete"`
+	Error       string  `json:"error"`
+}
+
+// DecodeFrame parses one NDJSON line from a worker stream. It is the
+// untrusted decoder: any structural defect — oversized line, non-object
+// JSON, unknown kind, missing or out-of-range required fields — returns
+// an error, and no input panics (FuzzDecodeFrame). Unknown keys are
+// ignored for forward compatibility.
+func DecodeFrame(line []byte) (Frame, error) {
+	if len(line) == 0 {
+		return Frame{}, fmt.Errorf("remote: empty frame")
+	}
+	if len(line) > MaxFrameBytes {
+		return Frame{}, fmt.Errorf("remote: frame of %d bytes exceeds the %d cap", len(line), MaxFrameBytes)
+	}
+	var w wireFrame
+	if err := json.Unmarshal(line, &w); err != nil {
+		return Frame{}, fmt.Errorf("remote: bad frame: %w", err)
+	}
+	switch w.F {
+	case KindHello:
+		if w.Proto <= 0 || w.Workers < 1 || w.Shard < 0 || w.Shard >= w.Workers {
+			return Frame{}, fmt.Errorf("remote: hello frame with proto %d, shard %d of %d", w.Proto, w.Shard, w.Workers)
+		}
+		if w.Positions < 0 || w.Positions > MaxPositions {
+			return Frame{}, fmt.Errorf("remote: hello frame with %d positions", w.Positions)
+		}
+		return Frame{Kind: KindHello, Hello: Hello{
+			F:           KindHello,
+			Proto:       w.Proto,
+			Shard:       w.Shard,
+			Workers:     w.Workers,
+			Partitioner: w.Partitioner,
+			Snapshot:    w.Snapshot,
+			Order:       w.Order,
+			Positions:   w.Positions,
+		}}, nil
+	case KindMatch:
+		if w.S == nil {
+			return Frame{}, fmt.Errorf("remote: match frame without a score")
+		}
+		if len(w.N) == 0 || len(w.N) > MaxPositions {
+			return Frame{}, fmt.Errorf("remote: match frame with %d bindings", len(w.N))
+		}
+		for _, v := range w.N {
+			if v < 0 {
+				return Frame{}, fmt.Errorf("remote: match frame binds negative node %d", v)
+			}
+		}
+		return Frame{Kind: KindMatch, Score: *w.S, Nodes: w.N}, nil
+	case KindEnd:
+		if w.Count == nil || *w.Count < 0 {
+			return Frame{}, fmt.Errorf("remote: end frame without a valid count")
+		}
+		complete := false
+		if w.Complete != nil {
+			complete = *w.Complete
+		}
+		return Frame{Kind: KindEnd, Count: *w.Count, Complete: complete}, nil
+	case KindErr:
+		if w.Error == "" {
+			return Frame{}, fmt.Errorf("remote: err frame without an error")
+		}
+		return Frame{Kind: KindErr, Error: w.Error}, nil
+	case "":
+		return Frame{}, fmt.Errorf("remote: frame without a kind")
+	}
+	return Frame{}, fmt.Errorf("remote: unknown frame kind %q", w.F)
+}
+
+// EncodeFrame renders f back to its one-line wire form (no trailing
+// newline). The worker encodes its frames directly as typed structs;
+// this exists for tests and the fuzz round-trip property.
+func EncodeFrame(f Frame) ([]byte, error) {
+	switch f.Kind {
+	case KindHello:
+		h := f.Hello
+		h.F = KindHello
+		return json.Marshal(h)
+	case KindMatch:
+		return json.Marshal(matchFrame{F: KindMatch, S: f.Score, N: f.Nodes})
+	case KindEnd:
+		return json.Marshal(endFrame{F: KindEnd, Count: f.Count, Complete: f.Complete})
+	case KindErr:
+		return json.Marshal(errFrame{F: KindErr, Error: f.Error})
+	}
+	return nil, fmt.Errorf("remote: cannot encode frame kind %q", f.Kind)
+}
+
+// matchFrame, endFrame, and errFrame are the worker's typed wire shapes.
+type matchFrame struct {
+	F string  `json:"f"`
+	S int64   `json:"s"`
+	N []int32 `json:"n"`
+}
+
+type endFrame struct {
+	F        string `json:"f"`
+	Count    int64  `json:"count"`
+	Complete bool   `json:"complete"`
+}
+
+type errFrame struct {
+	F     string `json:"f"`
+	Error string `json:"error"`
+}
+
+// Identity fingerprints what a database serves: the full data graph (text
+// encoding) plus the closure's entry/table counts and size. Workers and
+// coordinator exchange it in the handshake so a topology mixing snapshot
+// generations fails fast instead of merging streams from different
+// worlds. O(nodes+edges) once at startup.
+func Identity(db *ktpm.Database) string {
+	h := fnv.New64a()
+	_ = ktpm.SaveGraph(h, db.Graph())
+	entries, tables, theta, size := db.ClosureStats()
+	fmt.Fprintf(h, "|%d|%d|%g|%d", entries, tables, theta, size)
+	return fmt.Sprintf("%016x", h.Sum64())
+}

@@ -1,0 +1,388 @@
+package remote
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"reflect"
+	"sort"
+	"testing"
+
+	"ktpm"
+)
+
+// testDB builds a small random database through the public API, the
+// same shape the root package's property tests use: a few forward edges
+// per node keep multi-level queries satisfiable without blowing up the
+// closure.
+func testDB(t testing.TB, n int, seed int64) *ktpm.Database {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	labels := []string{"a", "b", "c", "d", "e"}
+	gb := ktpm.NewGraphBuilder()
+	ids := make([]int32, n)
+	for i := 0; i < n; i++ {
+		ids[i] = gb.AddNode(labels[rng.Intn(len(labels))])
+	}
+	for i := 1; i < n; i++ {
+		for e := 0; e < 3; e++ {
+			gb.AddWeightedEdge(ids[rng.Intn(i)], ids[i], int32(1+rng.Intn(3)))
+		}
+	}
+	g, err := gb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := ktpm.BuildDatabase(g, ktpm.DatabaseOptions{BlockSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// startWorkers spins up count workers over db behind httptest servers
+// (real HTTP, real NDJSON) and returns one endpoint list per shard.
+func startWorkers(t testing.TB, db *ktpm.Database, count int, p ktpm.Partitioner) [][]Endpoint {
+	t.Helper()
+	eps := make([][]Endpoint, count)
+	for i := 0; i < count; i++ {
+		w, err := NewWorker(db, WorkerConfig{Index: i, Count: count, Partitioner: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(w.Handler())
+		t.Cleanup(ts.Close)
+		eps[i] = []Endpoint{NewHTTPEndpoint(ts.URL)}
+	}
+	return eps
+}
+
+func newTestCoordinator(t testing.TB, db *ktpm.Database, count int, p ktpm.Partitioner, cfg Config) *Coordinator {
+	t.Helper()
+	c, err := NewCoordinator(db, p.Name(), startWorkers(t, db, count, p), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestCoordinatorMatchesShardedDatabase is the distributed result-identity
+// property test pinning the tentpole: at worker counts {1,2,4} and both
+// partitioners, the coordinator's top-k — run over real worker HTTP
+// streams — must be byte-identical to a local ShardedDatabase with the
+// same shard count and partitioner, for full enumerations and every
+// tested prefix k, and its explain plans must match too.
+func TestCoordinatorMatchesShardedDatabase(t *testing.T) {
+	queries := []string{"a(b)", "a(b,c)", "b(c(d))", "a(*,c)", "c(d,e)", "e"}
+	db := testDB(t, 90, 3)
+	for _, count := range []int{1, 2, 4} {
+		for _, p := range []ktpm.Partitioner{ktpm.PartitionByHash(), ktpm.PartitionByLabel()} {
+			name := fmt.Sprintf("workers=%d/%s", count, p.Name())
+			t.Run(name, func(t *testing.T) {
+				sdb, err := db.Shard(count, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				coord := newTestCoordinator(t, db, count, p, Config{})
+				if err := coord.CheckTopology(context.Background()); err != nil {
+					t.Fatalf("topology: %v", err)
+				}
+				for _, qs := range queries {
+					q, err := db.ParseQuery(qs)
+					if err != nil {
+						t.Fatal(err)
+					}
+					total := int(db.CountMatches(q))
+					for _, k := range []int{1, 5, total/2 + 1, total + 3} {
+						if k <= 0 {
+							continue
+						}
+						want, err := sdb.TopK(q, k)
+						if err != nil {
+							t.Fatal(err)
+						}
+						got, partial, err := coord.TopKPartial(q, k, ktpm.Options{})
+						if err != nil {
+							t.Fatalf("%q k=%d: %v", qs, k, err)
+						}
+						if partial {
+							t.Fatalf("%q k=%d: healthy topology reported partial", qs, k)
+						}
+						if !reflect.DeepEqual(got, want) {
+							t.Fatalf("%q k=%d: coordinator differs from sharded database", qs, k)
+						}
+					}
+					cp, err := coord.Explain(q)
+					if err != nil {
+						t.Fatal(err)
+					}
+					sp, err := sdb.Explain(q)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(cp, sp) {
+						t.Fatalf("%q: explain plans differ", qs)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestCoordinatorStreamMatchesShardedStream checks the unbounded path:
+// the coordinator's /stream merge must emit the same canonical sequence
+// as the local sharded stream, and report complete exhaustion.
+func TestCoordinatorStreamMatchesShardedStream(t *testing.T) {
+	db := testDB(t, 70, 17)
+	p := ktpm.PartitionByHash()
+	for _, count := range []int{1, 2, 4} {
+		sdb, err := db.Shard(count, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		coord := newTestCoordinator(t, db, count, p, Config{})
+		for _, qs := range []string{"a(b)", "a(b,c)", "b(c(d))"} {
+			q, err := db.ParseQuery(qs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			drain := func(st ktpm.MatchStream) []ktpm.Match {
+				defer st.Close()
+				var out []ktpm.Match
+				for {
+					m, ok := st.Next()
+					if !ok {
+						return out
+					}
+					out = append(out, m)
+				}
+			}
+			ws, err := sdb.OpenStream(q, ktpm.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := drain(ws)
+			gs, err := coord.OpenStream(q, ktpm.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := drain(gs)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("workers=%d %q: stream order differs (got %d matches, want %d)", count, qs, len(got), len(want))
+			}
+			cs := gs.(*coordStream)
+			if cs.Partial() || cs.Err() != nil {
+				t.Fatalf("workers=%d %q: healthy stream reported partial=%v err=%v", count, qs, cs.Partial(), cs.Err())
+			}
+		}
+	}
+}
+
+// TestCoordinatorUniformTies drives the tie-heavy path end to end: a
+// star graph where every match of "a(b)" scores identically, so the
+// k-th tie group is the whole match space and the merge must compact,
+// drain the group in full on the worker side (k-hint contract), and
+// still return the canonical prefix at every worker count.
+func TestCoordinatorUniformTies(t *testing.T) {
+	gb := ktpm.NewGraphBuilder()
+	a := gb.AddNode("a")
+	const fanout = 300
+	for i := 0; i < fanout; i++ {
+		gb.AddEdge(a, gb.AddNode("b"))
+	}
+	g, err := gb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := ktpm.BuildDatabase(g, ktpm.DatabaseOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := db.ParseQuery("a(b)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := ktpm.PartitionByHash()
+	for _, count := range []int{1, 2, 4} {
+		sdb, err := db.Shard(count, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		coord := newTestCoordinator(t, db, count, p, Config{ChunkSize: 2*count + 1})
+		for _, k := range []int{1, 4, fanout / 2, fanout} {
+			want, err := sdb.TopK(q, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, partial, err := coord.TopKPartial(q, k, ktpm.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if partial {
+				t.Fatalf("workers=%d k=%d: healthy topology reported partial", count, k)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("workers=%d k=%d: not the canonical prefix of the tie group", count, k)
+			}
+		}
+	}
+}
+
+// TestWorkerKHintTruncation checks the worker-side contract directly:
+// with a k hint the worker must emit its shard's k best plus the whole
+// tie group at its k-th score, flagged complete — everything a global
+// merge could need, nothing unbounded.
+func TestWorkerKHintTruncation(t *testing.T) {
+	db := testDB(t, 60, 7)
+	w, err := NewWorker(db, WorkerConfig{Index: 0, Count: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(w.Handler())
+	defer ts.Close()
+	ep := NewHTTPEndpoint(ts.URL)
+
+	q, err := db.ParseQuery("a(b)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := db.TopK(q, int(db.CountMatches(q))+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	canonical := append([]ktpm.Match(nil), full...)
+	sort.Slice(canonical, func(i, j int) bool {
+		if canonical[i].Score != canonical[j].Score {
+			return canonical[i].Score < canonical[j].Score
+		}
+		a, b := canonical[i].Nodes, canonical[j].Nodes
+		for x := range a {
+			if a[x] != b[x] {
+				return a[x] < b[x]
+			}
+		}
+		return false
+	})
+	if len(canonical) < 4 {
+		t.Skipf("only %d matches; graph too small for the truncation property", len(canonical))
+	}
+
+	const k = 3
+	body, err := ep.OpenStream(context.Background(), q.Canonical(), k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer body.Close()
+	lr := newLineReader(body)
+	var (
+		frames   []Frame
+		complete bool
+	)
+	for {
+		line, err := lr.ReadLine()
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		f, err := DecodeFrame(line)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if f.Kind == KindEnd {
+			complete = f.Complete
+			break
+		}
+		if f.Kind == KindMatch {
+			frames = append(frames, f)
+		}
+	}
+	if !complete {
+		t.Fatal("k-hinted stream did not end complete")
+	}
+	// Expected cut: the k best plus the full tie group at the k-th score.
+	kth := canonical[k-1].Score
+	wantLen := k
+	for wantLen < len(canonical) && canonical[wantLen].Score == kth {
+		wantLen++
+	}
+	if len(frames) != wantLen {
+		t.Fatalf("k=%d stream carried %d matches, want %d (k best + tie group)", k, len(frames), wantLen)
+	}
+	for i, f := range frames {
+		if f.Score != canonical[i].Score || !reflect.DeepEqual(f.Nodes, canonical[i].Nodes) {
+			t.Fatalf("frame %d diverges from canonical order", i)
+		}
+	}
+}
+
+// TestCheckTopologyRejectsMismatches wires deliberately wrong fleets and
+// checks the probe fails fast: wrong worker count, wrong partitioner,
+// and a worker serving a different graph.
+func TestCheckTopologyRejectsMismatches(t *testing.T) {
+	db := testDB(t, 50, 3)
+	other := testDB(t, 50, 4)
+	hash := ktpm.PartitionByHash()
+
+	// Worker believes in a 3-worker topology; coordinator expects 2.
+	eps := startWorkers(t, db, 3, hash)
+	c, err := NewCoordinator(db, "hash", eps[:2], Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CheckTopology(context.Background()); err == nil {
+		t.Fatal("worker-count mismatch passed the topology check")
+	}
+
+	// Partitioner disagreement.
+	c, err = NewCoordinator(db, "label", startWorkers(t, db, 2, hash), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CheckTopology(context.Background()); err == nil {
+		t.Fatal("partitioner mismatch passed the topology check")
+	}
+
+	// Different graph: snapshot identities diverge.
+	c, err = NewCoordinator(other, "hash", startWorkers(t, db, 2, hash), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CheckTopology(context.Background()); err == nil {
+		t.Fatal("snapshot-identity mismatch passed the topology check")
+	}
+}
+
+// TestCoordinatorStats sanity-checks the counters a healthy run leaves
+// behind: one request per worker, no retries/hedges/failures, and the
+// per-shard matches summing to at least the result size.
+func TestCoordinatorStats(t *testing.T) {
+	db := testDB(t, 60, 9)
+	p := ktpm.PartitionByHash()
+	coord := newTestCoordinator(t, db, 2, p, Config{})
+	q, err := db.ParseQuery("a(b)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := coord.TopKPartial(q, 5, ktpm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := coord.CoordinatorStats()
+	if len(st.Workers) != 2 || st.Policy != "fail" || st.Snapshot == "" {
+		t.Fatalf("stats shape: %+v", st)
+	}
+	var requests, merged int64
+	for _, ws := range st.Workers {
+		requests += ws.Requests
+		merged += ws.Matches
+		if ws.Retries != 0 || ws.Hedges != 0 || ws.Failures != 0 {
+			t.Fatalf("healthy run recorded failures: %+v", ws)
+		}
+	}
+	if requests != 2 {
+		t.Fatalf("requests = %d, want 2 (one per worker)", requests)
+	}
+	if merged < int64(len(got)) {
+		t.Fatalf("merged %d matches across workers, result has %d", merged, len(got))
+	}
+}

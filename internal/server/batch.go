@@ -48,6 +48,9 @@ type BatchItemResponse struct {
 	// Deduped marks an item that shared an earlier identical item's
 	// enumeration instead of running its own.
 	Deduped bool `json:"deduped,omitempty"`
+	// Partial marks an item degraded by a distributed backend: a dead
+	// worker shard was dropped under the coordinator's partial policy.
+	Partial bool `json:"partial,omitempty"`
 	// Error is the item's failure; other items are unaffected.
 	Error string `json:"error,omitempty"`
 }
@@ -183,6 +186,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 				out.Matches[j] = MatchJSON{Score: m.Score, Nodes: m.Nodes}
 			}
 			it.resp.Positions, it.resp.Matches = out.Positions, out.Matches
+			if res.Partial {
+				// Degraded items are returned marked but never cached — the
+				// next request should retry the dead shard.
+				it.resp.Partial = true
+				s.partials.Add(1)
+				continue
+			}
 			// The same cost-aware admission as /query, priced per item by
 			// TopKBatch's I/O deltas.
 			if s.cfg.CacheEntries > 0 {
@@ -205,6 +215,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		if it.first != i {
 			leader := &items[it.first]
 			it.resp.Positions, it.resp.Matches = leader.resp.Positions, leader.resp.Matches
+			it.resp.Partial = leader.resp.Partial
 			it.resp.Error = leader.resp.Error
 			if it.resp.Error == "" {
 				if leader.resp.Cached {

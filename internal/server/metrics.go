@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"ktpm/internal/obs"
+	"ktpm/internal/remote"
 )
 
 // handleMetrics exposes the same counters as /stats in the Prometheus
@@ -52,6 +53,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("ktpmd_stream_truncated_deadline_total", "Streams truncated by the request deadline.", s.streamDeadlineHits.Load())
 	counter("ktpmd_stream_disconnects_total", "Streams stopped by a mid-stream client disconnect.", s.streamDisconnects.Load())
 
+	counter("ktpmd_partial_responses_total", "Degraded responses across /query, /batch, and /stream: a dead worker shard was dropped under the coordinator's partial policy.", s.partials.Load())
+
 	cs := s.cache.Stats()
 	counter("ktpmd_cache_hits_total", "Result cache hits.", cs.Hits)
 	counter("ktpmd_cache_misses_total", "Result cache misses.", cs.Misses)
@@ -80,7 +83,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		writeHistogram(&b, "ktpmd_request_duration_seconds",
 			"End-to-end request latency by endpoint.", "endpoint", s.obs.endpoints)
 		writeHistogram(&b, "ktpmd_stage_duration_seconds",
-			"Request latency attributed to pipeline stages (parse, admission_wait, cache_probe, enumerate, shard_merge, table_fault).",
+			"Request latency attributed to pipeline stages (parse, admission_wait, cache_probe, enumerate, shard_merge, table_fault, remote_merge).",
 			"stage", s.obs.stages)
 	}
 
@@ -110,6 +113,29 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		for i, ps := range st.PerShard {
 			fmt.Fprintf(&b, "ktpmd_shard_blocks_read_total{shard=%q} %d\n", fmt.Sprint(i), ps.IO.BlocksRead)
 		}
+	}
+
+	if cs, ok := s.db.(coordinatorStater); ok {
+		st := cs.CoordinatorStats()
+		gauge("ktpmd_workers", "Worker shard count of the distributed coordinator.", float64(len(st.Workers)))
+		perWorker := func(name, help, typ string, v func(remote.WorkerStat) int64) {
+			fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+			for _, ws := range st.Workers {
+				fmt.Fprintf(&b, "%s{shard=%q} %d\n", name, fmt.Sprint(ws.Shard), v(ws))
+			}
+		}
+		perWorker("ktpmd_worker_requests_total", "Stream opens attempted against each worker shard (including hedges and retries).", "counter",
+			func(ws remote.WorkerStat) int64 { return ws.Requests })
+		perWorker("ktpmd_worker_retries_total", "Stream attempts that were retries after a failure.", "counter",
+			func(ws remote.WorkerStat) int64 { return ws.Retries })
+		perWorker("ktpmd_worker_hedges_total", "Hedged second attempts launched after the hedge delay.", "counter",
+			func(ws remote.WorkerStat) int64 { return ws.Hedges })
+		perWorker("ktpmd_worker_hedge_wins_total", "Streams won by the hedged attempt rather than the first.", "counter",
+			func(ws remote.WorkerStat) int64 { return ws.HedgeWins })
+		perWorker("ktpmd_worker_failures_total", "Stream attempts that failed (connect, handshake, or mid-stream).", "counter",
+			func(ws remote.WorkerStat) int64 { return ws.Failures })
+		perWorker("ktpmd_worker_streamed_matches_total", "Matches merged from each worker shard.", "counter",
+			func(ws remote.WorkerStat) int64 { return ws.Matches })
 	}
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")

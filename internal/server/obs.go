@@ -29,9 +29,11 @@ var endpointNames = map[string]string{
 
 // stageNames is the fixed stage vocabulary: every span name the request
 // path emits maps to one of these histograms. shard_enumerate is a
-// per-shard slice of the enumerate stage and is folded into it.
+// per-shard slice of the enumerate stage and is folded into it;
+// worker_stream is a per-worker slice of the distributed remote_merge
+// stage and is folded into that.
 var stageNames = []string{
-	"parse", "admission_wait", "cache_probe", "enumerate", "shard_merge", "table_fault",
+	"parse", "admission_wait", "cache_probe", "enumerate", "shard_merge", "table_fault", "remote_merge",
 }
 
 // stageOf maps a span name to its stage histogram name ("" = not a
@@ -39,6 +41,9 @@ var stageNames = []string{
 func stageOf(name string) string {
 	if name == "shard_enumerate" {
 		return "enumerate"
+	}
+	if name == "worker_stream" {
+		return "remote_merge"
 	}
 	for _, s := range stageNames {
 		if name == s {

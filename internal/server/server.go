@@ -16,6 +16,7 @@ import (
 	"ktpm"
 	"ktpm/internal/lru"
 	"ktpm/internal/obs"
+	"ktpm/internal/remote"
 )
 
 // Backend is the query surface the server serves: parsing, top-k
@@ -45,6 +46,23 @@ type shardStater interface {
 // faulted-table progress, and mapped bytes.
 type snapshotStater interface {
 	SnapshotStats() (ktpm.SnapshotStats, bool)
+}
+
+// partialBackend is the optional Backend extension a distributed
+// coordinator implements: top-k with an explicit partial marker, set
+// when a dead worker shard was dropped under the degradation policy.
+// Partial results are surfaced to the client (QueryResponse.Partial)
+// and never cached — a degraded answer must not outlive the outage
+// that produced it.
+type partialBackend interface {
+	TopKPartial(q *ktpm.Query, k int, opt ktpm.Options) ([]ktpm.Match, bool, error)
+}
+
+// coordinatorStater is the optional Backend extension the distributed
+// coordinator implements; /stats ("workers" block) and the
+// ktpmd_worker_* metrics surface its per-worker counters.
+type coordinatorStater interface {
+	CoordinatorStats() remote.CoordinatorStats
 }
 
 // StartupInfo records how the daemon obtained its database, surfaced
@@ -165,9 +183,12 @@ func (c Config) withDefaults() Config {
 }
 
 // cachedResult is the request-independent part of a /query response.
+// Partial is always false for entries that actually reach the cache:
+// degraded results bypass the fill.
 type cachedResult struct {
 	Positions []string
 	Matches   []MatchJSON
+	Partial   bool
 }
 
 // MatchJSON is one match in a QueryResponse: Nodes[i] is the data node
@@ -186,6 +207,10 @@ type QueryResponse struct {
 	Positions []string    `json:"positions"`
 	Matches   []MatchJSON `json:"matches"`
 	Cached    bool        `json:"cached"`
+	// Partial marks a degraded response from a distributed backend: a
+	// dead worker shard was dropped under the coordinator's partial
+	// policy, so Matches covers only the surviving shards.
+	Partial bool `json:"partial,omitempty"`
 	// Coalesced marks a response served by another concurrent request's
 	// in-flight computation rather than a worker of its own.
 	Coalesced bool    `json:"coalesced,omitempty"`
@@ -234,6 +259,8 @@ type Server struct {
 	batchDeduped   atomic.Int64 // items served by an identical item in the same batch
 	batchCacheHits atomic.Int64 // items served from the result cache
 	batchItemErrs  atomic.Int64 // items that failed inside an otherwise-successful batch
+
+	partials atomic.Int64 // degraded (partial) responses across /query, /batch, /stream
 
 	streams            atomic.Int64 // /stream responses started
 	streamMatches      atomic.Int64 // NDJSON match lines written
@@ -462,7 +489,16 @@ func (s *Server) runQuery(w http.ResponseWriter, r *http.Request, key string, cq
 			costBefore = s.db.IOStats().EntriesRead
 		}
 		en := trace.StartChild("enumerate")
-		ms, err := s.db.TopKWith(cq, k, enumerateOptions(algo, en))
+		var (
+			ms      []ktpm.Match
+			partial bool
+			err     error
+		)
+		if pb, ok := s.db.(partialBackend); ok {
+			ms, partial, err = pb.TopKPartial(cq, k, enumerateOptions(algo, en))
+		} else {
+			ms, err = s.db.TopKWith(cq, k, enumerateOptions(algo, en))
+		}
 		en.End()
 		if err != nil {
 			callErr = err
@@ -471,6 +507,7 @@ func (s *Server) runQuery(w http.ResponseWriter, r *http.Request, key string, cq
 		out := cachedResult{
 			Positions: make([]string, cq.NumNodes()),
 			Matches:   make([]MatchJSON, len(ms)),
+			Partial:   partial,
 		}
 		for i := range out.Positions {
 			out.Positions[i] = cq.LabelOf(i)
@@ -479,6 +516,12 @@ func (s *Server) runQuery(w http.ResponseWriter, r *http.Request, key string, cq
 			out.Matches[i] = MatchJSON{Score: m.Score, Nodes: m.Nodes}
 		}
 		res = out
+		if partial {
+			// Degraded results are handed to their waiters but never
+			// cached: the next request should retry the dead shard, not be
+			// served yesterday's outage.
+			return
+		}
 		if s.cfg.CacheEntries <= 0 {
 			return // cache disabled: admission would be bookkeeping fiction
 		}
@@ -564,6 +607,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	s.queries.Add(1)
 	resp.Positions, resp.Matches, resp.Coalesced = res.Positions, res.Matches, coalesced
+	if res.Partial {
+		resp.Partial = true
+		s.partials.Add(1)
+	}
 	finish(w)
 }
 
@@ -688,6 +735,14 @@ type StatsResponse struct {
 	// I/O counters when the backend is a ShardedDatabase; omitted for a
 	// single database.
 	Sharding *ktpm.ShardingStats `json:"sharding,omitempty"`
+	// Workers reports the distributed coordinator's per-worker request,
+	// retry, hedge, and failure counters when the backend is a
+	// remote.Coordinator; omitted otherwise.
+	Workers *remote.CoordinatorStats `json:"workers,omitempty"`
+	// Partials counts degraded responses served across /query, /batch,
+	// and /stream: a dead worker shard was dropped under the
+	// coordinator's partial policy. Always zero for local backends.
+	Partials int64 `json:"partials"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -738,6 +793,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		st := ss.ShardStats()
 		resp.Sharding = &st
 	}
+	if cs, ok := s.db.(coordinatorStater); ok {
+		st := cs.CoordinatorStats()
+		resp.Workers = &st
+	}
+	resp.Partials = s.partials.Load()
 	s.writeJSON(w, http.StatusOK, resp)
 }
 

@@ -52,11 +52,21 @@ type StreamTrailer struct {
 	Done  bool `json:"done"`
 	Count int  `json:"count"`
 	// Complete is true when the match space was exhausted; false when
-	// the stream was cut by the max guard, the deadline, or a disconnect.
+	// the stream was cut by the max guard, the deadline, a disconnect,
+	// or a backend error.
 	Complete bool `json:"complete"`
-	// Reason is "exhausted", "max", "deadline", or "disconnect".
+	// Reason is "exhausted", "max", "deadline", "disconnect", or
+	// "error" (a distributed backend lost a worker mid-merge under the
+	// fail policy; Error carries the cause).
 	Reason    string  `json:"reason"`
 	ElapsedMS float64 `json:"elapsed_ms"`
+	// Partial marks a stream that kept going after a dead worker shard
+	// was dropped under a distributed coordinator's partial policy: the
+	// lines above cover only the surviving shards.
+	Partial bool `json:"partial,omitempty"`
+	// Error is the backend failure that ended the stream when Reason is
+	// "error".
+	Error string `json:"error,omitempty"`
 }
 
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
@@ -156,6 +166,23 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			reason = "exhausted"
 		}
 	}
+	// A distributed stream can end early because a worker died under the
+	// fail policy, or keep going degraded under the partial policy. Both
+	// are optional MatchStream extensions; local streams report neither.
+	var streamErr string
+	if reason == "exhausted" {
+		if se, ok := st.(interface{ Err() error }); ok {
+			if err := se.Err(); err != nil {
+				reason = "error"
+				streamErr = err.Error()
+			}
+		}
+	}
+	partial := false
+	if pr, ok := st.(interface{ Partial() bool }); ok && pr.Partial() {
+		partial = true
+		s.partials.Add(1)
+	}
 	switch reason {
 	case "disconnect":
 		// The 499 analogue for a response already streaming: the status
@@ -174,6 +201,8 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		Complete:  reason == "exhausted",
 		Reason:    reason,
 		ElapsedMS: msSince(t0),
+		Partial:   partial,
+		Error:     streamErr,
 	})
 	if flusher != nil {
 		flusher.Flush()
