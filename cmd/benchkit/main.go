@@ -42,6 +42,10 @@ func main() {
 		jsonPath  = flag.String("json", "", "write the topk+batch+startup+obs sweeps as one JSON document to this path (implies all four experiments; see make bench-json)")
 		driftPath = flag.String("drift", "", "regenerate the topk+batch+startup+obs sweeps and compare their schema (key paths, row names) against this committed JSON document; exit nonzero on drift (implies all four experiments; see make bench-json-check)")
 		topkOps   = flag.Int("topk-ops", 5, "iterations per configuration of the topk, chunk, and batch sweeps")
+
+		overloadTarget  = flag.String("overload-target", "", "overload sweep: storm this live ktpmd base URL instead of an in-process server (see the CI overload smoke)")
+		overloadQueries = flag.String("overload-queries", "", "overload sweep: file of queries, one per line, required with -overload-target")
+		overloadStage   = flag.Duration("overload-stage", 0, "overload sweep: duration of each rate stage (0 = default 1.5s)")
 	)
 	flag.Parse()
 	bench.QueriesPerSet = *queries
@@ -52,7 +56,7 @@ func main() {
 		ks = []int{10, 100}
 		gdSets, gsSets = bench.GD[:3], bench.GS[:3]
 	}
-	known := []string{"all", "table2", "table3", "fig6", "fig7", "fig8", "fig9", "ablations", "topk", "batch", "startup", "obs", "dist"}
+	known := []string{"all", "table2", "table3", "fig6", "fig7", "fig8", "fig9", "ablations", "topk", "batch", "startup", "obs", "dist", "overload"}
 	selected := map[string]bool{}
 	for _, name := range strings.Split(*exp, ",") {
 		name = strings.TrimSpace(name)
@@ -74,6 +78,7 @@ func main() {
 		selected["startup"] = true
 		selected["obs"] = true
 		selected["dist"] = true
+		selected["overload"] = true
 	}
 	want := func(name string) bool { return selected["all"] || selected[name] }
 	t0 := time.Now()
@@ -194,6 +199,17 @@ func main() {
 		bench.DistTable(distRows).Fprint(os.Stdout)
 		if rep != nil {
 			rep.DistSweep = distRows
+		}
+	}
+	if want("overload") {
+		overloadRows, err := runOverloadSweep(*overloadTarget, *overloadQueries, *overloadStage)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchkit: overload sweep: %v\n", err)
+			os.Exit(1)
+		}
+		bench.OverloadTable(overloadRows).Fprint(os.Stdout)
+		if rep != nil {
+			rep.OverloadSweep = overloadRows
 		}
 	}
 	if rep != nil {

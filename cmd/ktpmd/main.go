@@ -57,6 +57,8 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime/debug"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -91,6 +93,11 @@ func main() {
 		logJSON     = flag.Bool("log-json", false, "emit logs as JSON lines instead of text")
 		showVersion = flag.Bool("version", false, "print version and build info, then exit")
 
+		maxQueueWait = flag.Duration("max-queue-wait", 2*time.Second, "shed a request with 429 when its estimated admission-queue wait exceeds this (0 disables predictive shedding)")
+		memSoft      = flag.String("mem-soft-limit", "", "heap soft limit with an optional KiB/MiB/GiB suffix (e.g. 512MiB): approaching it progressively shrinks the result cache, stops cache admission, then sheds uncached requests with 429; also sets the Go runtime's soft memory limit (empty disables)")
+		maxBody      = flag.Int64("max-body-bytes", 0, "largest accepted POST body in bytes, answered 413 beyond it (0 = default 4MiB, negative disables the cap)")
+		drainTimeout = flag.Duration("drain-timeout", 0, "how long shutdown waits for in-flight requests after SIGTERM/SIGINT before exiting anyway (0 = default 10s)")
+
 		role          = flag.String("role", "serve", "process role: serve (single node), worker (serve one shard's match stream), or coordinator (merge worker streams)")
 		workerIndex   = flag.Int("worker-index", 0, "worker role: this worker's shard id in [0, worker-count)")
 		workerCount   = flag.Int("worker-count", 0, "worker role: the topology's worker count")
@@ -100,6 +107,10 @@ func main() {
 		workerRetries = flag.Int("worker-retries", 0, "coordinator role: reopen a failed shard stream up to N times, resuming where the merge left off (0 = no retries)")
 		retryBackoff  = flag.Duration("retry-backoff", 0, "coordinator role: delay before the first retry, doubling per attempt (0 = default 50ms)")
 		degraded      = flag.String("degraded", "fail", "coordinator role: policy when a shard's retries are exhausted: 'partial' drops the shard and marks responses partial, 'fail' fails the query")
+
+		breakerFails    = flag.Int("breaker-failures", 0, "coordinator role: consecutive failures that open a worker endpoint's circuit breaker (0 = default 3)")
+		breakerCooldown = flag.Duration("breaker-cooldown", 0, "coordinator role: an opened breaker's first skip window, doubling per re-open up to 30s (0 = default 1s)")
+		breakerLatency  = flag.Duration("breaker-latency", 0, "coordinator role: also eject a worker endpoint whose handshake-latency EWMA exceeds this (0 disables the latency trip)")
 	)
 	flag.Parse()
 	if *showVersion {
@@ -151,6 +162,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ktpmd: unknown degraded policy %q (want partial or fail)\n", *degraded)
 		os.Exit(2)
 	}
+	memSoftBytes, err := parseBytes(*memSoft)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ktpmd: bad -mem-soft-limit: %v\n", err)
+		os.Exit(2)
+	}
+	if memSoftBytes > 0 {
+		// The GC works against the same ceiling the watcher degrades
+		// toward, so collection pressure rises before the staging kicks in.
+		debug.SetMemoryLimit(memSoftBytes)
+	}
 
 	bi := obs.Build()
 	logger.Info("starting",
@@ -173,7 +194,7 @@ func main() {
 			Partitioner: partitioner,
 			StreamChunk: *chunkSize,
 			Logger:      logger,
-		}, *addr, *snapPath != "")
+		}, *addr, *snapPath != "", *drainTimeout)
 		return
 	}
 
@@ -194,6 +215,9 @@ func main() {
 			Backoff:         *retryBackoff,
 			DegradedPartial: *degraded == "partial",
 			ChunkSize:       *chunkSize,
+			BreakerFailures: *breakerFails,
+			BreakerCooldown: *breakerCooldown,
+			BreakerLatency:  *breakerLatency,
 		})
 		if err != nil {
 			fatal(logger, "coordinator", err)
@@ -240,6 +264,9 @@ func main() {
 		CacheEntries:    *cacheSize,
 		CacheMinEntries: *cacheMin,
 		MaxK:            *maxK,
+		MaxQueueWait:    *maxQueueWait,
+		MemSoftLimit:    memSoftBytes,
+		MaxBodyBytes:    *maxBody,
 		Startup:         startup,
 		TraceRing:       *traceRing,
 		SlowQuery:       time.Duration(*slowMS * float64(time.Millisecond)),
@@ -273,6 +300,10 @@ func main() {
 		go servePprof(logger, *pprofAddr)
 	}
 
+	dt := *drainTimeout
+	if dt <= 0 {
+		dt = 10 * time.Second
+	}
 	hs := &http.Server{Addr: *addr, Handler: srv}
 	done := make(chan struct{})
 	var drained bool // written before close(done), read after <-done
@@ -281,13 +312,20 @@ func main() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
-		logger.Info("shutting down")
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		// Drain order: flip /readyz to 503 and reject new query work
+		// first (BeginDrain), so load balancers route away while
+		// hs.Shutdown waits out the in-flight requests under the drain
+		// budget. /healthz keeps answering 200 the whole way down — the
+		// process is healthy, just leaving.
+		logger.Info("draining", "timeout", dt.String())
+		srv.BeginDrain()
+		ctx, cancel := context.WithTimeout(context.Background(), dt)
 		defer cancel()
 		if err := hs.Shutdown(ctx); err != nil {
 			logger.Error("shutdown", "err", err)
 		} else {
 			drained = true
+			logger.Info("drained")
 		}
 	}()
 
@@ -298,6 +336,9 @@ func main() {
 		"shards", *shards,
 		"slow_query_ms", *slowMS,
 		"access_log", *accessLog,
+		"max_queue_wait", maxQueueWait.String(),
+		"mem_soft_limit", memSoftBytes,
+		"drain_timeout", dt.String(),
 	)
 	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fatal(logger, "listen", err)
@@ -342,7 +383,7 @@ func parseWorkerEndpoints(list string) ([][]remote.Endpoint, error) {
 
 // runWorker serves the worker-role HTTP surface (/shard/hello,
 // /shard/stream, health, stats, metrics) until SIGINT/SIGTERM.
-func runWorker(logger *slog.Logger, db *ktpm.Database, cfg remote.WorkerConfig, addr string, snapshot bool) {
+func runWorker(logger *slog.Logger, db *ktpm.Database, cfg remote.WorkerConfig, addr string, snapshot bool, drainTimeout time.Duration) {
 	w, err := remote.NewWorker(db, cfg)
 	if err != nil {
 		fatal(logger, "worker", err)
@@ -354,6 +395,9 @@ func runWorker(logger *slog.Logger, db *ktpm.Database, cfg remote.WorkerConfig, 
 		"owned_vertices", w.OwnedVertices(),
 		"snapshot_identity", w.Hello().Snapshot,
 	)
+	if drainTimeout <= 0 {
+		drainTimeout = 10 * time.Second
+	}
 	hs := &http.Server{Addr: addr, Handler: w.Handler()}
 	done := make(chan struct{})
 	var drained bool
@@ -362,13 +406,18 @@ func runWorker(logger *slog.Logger, db *ktpm.Database, cfg remote.WorkerConfig, 
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
-		logger.Info("shutting down")
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		// SetDraining first: /readyz flips to 503 and every handshake
+		// carries draining:true, so coordinators stop hedging here and
+		// shift to replicas while Shutdown waits out in-flight streams.
+		logger.Info("draining", "timeout", drainTimeout.String())
+		w.SetDraining(true)
+		ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 		defer cancel()
 		if err := hs.Shutdown(ctx); err != nil {
 			logger.Error("shutdown", "err", err)
 		} else {
 			drained = true
+			logger.Info("drained")
 		}
 	}()
 	logger.Info("serving", "addr", addr, "role", "worker")
@@ -383,6 +432,37 @@ func runWorker(logger *slog.Logger, db *ktpm.Database, cfg remote.WorkerConfig, 
 	} else if snapshot {
 		logger.Warn("snapshot left open: requests still draining at exit")
 	}
+}
+
+// parseBytes parses a human-friendly byte size: a bare number is bytes,
+// and the binary suffixes KiB/MiB/GiB (or their short K/M/G and
+// KB/MB/GB spellings, all treated as binary, case-insensitive) scale it.
+func parseBytes(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, nil
+	}
+	u := strings.ToUpper(s)
+	mult := int64(1)
+	for _, sfx := range []struct {
+		name string
+		m    int64
+	}{
+		{"KIB", 1 << 10}, {"MIB", 1 << 20}, {"GIB", 1 << 30},
+		{"KB", 1 << 10}, {"MB", 1 << 20}, {"GB", 1 << 30},
+		{"K", 1 << 10}, {"M", 1 << 20}, {"G", 1 << 30}, {"B", 1},
+	} {
+		if strings.HasSuffix(u, sfx.name) {
+			mult = sfx.m
+			u = strings.TrimSuffix(u, sfx.name)
+			break
+		}
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(u), 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad size %q (want e.g. 512MiB, 2GiB, or bytes)", s)
+	}
+	return n * mult, nil
 }
 
 // newLogger builds the process logger: text for humans, JSON for log

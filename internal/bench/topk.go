@@ -128,11 +128,12 @@ type TopKReport struct {
 	// and startup experiments (benchkit -exp batch,startup; -json runs
 	// them automatically so the committed document always carries every
 	// section).
-	ChunkSweep   []*ChunkRow   `json:"chunk_sweep"`
-	BatchSweep   []*BatchRow   `json:"batch_sweep"`
-	StartupSweep []*StartupRow `json:"startup_sweep"`
-	ObsSweep     []*ObsRow     `json:"obs_sweep"`
-	DistSweep    []*DistRow    `json:"dist_sweep"`
+	ChunkSweep    []*ChunkRow    `json:"chunk_sweep"`
+	BatchSweep    []*BatchRow    `json:"batch_sweep"`
+	StartupSweep  []*StartupRow  `json:"startup_sweep"`
+	ObsSweep      []*ObsRow      `json:"obs_sweep"`
+	DistSweep     []*DistRow     `json:"dist_sweep"`
+	OverloadSweep []*OverloadRow `json:"overload_sweep"`
 }
 
 // ObsRow is one configuration of the instrumentation-overhead sweep in
@@ -384,6 +385,66 @@ func DistTable(rows []*DistRow) *Table {
 	}
 	for _, r := range rows {
 		t.AddRow(r.Name, fmt.Sprintf("%.1f", r.NsPerOp/1e6), fmt.Sprintf("%.3f", r.HedgeRate))
+	}
+	return t
+}
+
+// OverloadSweepK is the overload sweep's per-request k: small enough
+// that the sustainable rate is dominated by enumeration rather than
+// serialization, large enough that a request is real work.
+const OverloadSweepK = 100
+
+// OverloadRow is one point of the overload sweep in BENCH_topk.json:
+// an open-loop zipfian request storm at a multiple of the measured
+// sustainable rate against a small-concurrency server, recording the
+// admitted-request latency distribution and how the overload-protection
+// plane responded. The healthy picture: at 0.5x nothing is shed; at 4x
+// the excess is shed as 429 (shed_429, not errors_5xx growing), the
+// admitted p99 stays near the unloaded p99, and the brownout detector
+// transitions. The sweep itself lives in cmd/benchkit (it exercises
+// ktpm and internal/server, which this package cannot import).
+type OverloadRow struct {
+	Name       string  `json:"name"`      // "rate=0.5x" ... "rate=4x"
+	RateMult   float64 `json:"rate_mult"` // multiple of the sustainable rate
+	OfferedQPS float64 `json:"offered_qps"`
+	Sent       int     `json:"sent"`
+	Admitted   int     `json:"admitted"` // 200s
+	// Shed429 counts predictive/brownout/memory sheds (429); QueueFull503
+	// counts hard admission-queue rejections (503). Under overload the
+	// predictive shed should fire first, keeping QueueFull503 small.
+	Shed429      int `json:"shed_429"`
+	QueueFull503 int `json:"queue_full_503"`
+	// Errors5xx counts responses >= 500 other than 503 — the "5xx storm"
+	// overload protection exists to prevent.
+	Errors5xx int     `json:"errors_5xx"`
+	ShedRate  float64 `json:"shed_rate"` // (429+503) / sent
+	// Latency percentiles of admitted requests only, in milliseconds.
+	P50MS  float64 `json:"p50_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	P999MS float64 `json:"p999_ms"`
+	// BrownoutStage and BrownoutTransitions are read from /stats after
+	// the stage completes.
+	BrownoutStage       int32 `json:"brownout_stage"`
+	BrownoutTransitions int64 `json:"brownout_transitions"`
+}
+
+// OverloadTable renders an overload sweep in the benchkit text format.
+func OverloadTable(rows []*OverloadRow) *Table {
+	t := &Table{
+		Title:  fmt.Sprintf("Overload sweep (k=%d, open-loop zipfian)", OverloadSweepK),
+		Header: []string{"config", "qps", "sent", "ok", "429", "503", "5xx", "p50 ms", "p99 ms", "p99.9 ms"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Name,
+			fmt.Sprintf("%.0f", r.OfferedQPS),
+			fmt.Sprint(r.Sent),
+			fmt.Sprint(r.Admitted),
+			fmt.Sprint(r.Shed429),
+			fmt.Sprint(r.QueueFull503),
+			fmt.Sprint(r.Errors5xx),
+			fmt.Sprintf("%.1f", r.P50MS),
+			fmt.Sprintf("%.1f", r.P99MS),
+			fmt.Sprintf("%.1f", r.P999MS))
 	}
 	return t
 }

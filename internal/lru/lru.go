@@ -35,11 +35,13 @@ func New[V any](capacity int) *Cache[V] {
 // Get returns the value cached under key, marking it most recently used.
 func (c *Cache[V]) Get(key string) (V, bool) {
 	var zero V
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// The disabled check runs under the lock: Resize can shrink cap to 0
+	// concurrently, and an unlocked read would race with that write.
 	if c.cap <= 0 {
 		return zero, false
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	el, ok := c.items[key]
 	if !ok {
 		c.misses++
@@ -56,11 +58,11 @@ func (c *Cache[V]) Get(key string) (V, bool) {
 // effectiveness statistics a paired Get already recorded.
 func (c *Cache[V]) Peek(key string) (V, bool) {
 	var zero V
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if c.cap <= 0 {
 		return zero, false
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	el, ok := c.items[key]
 	if !ok {
 		return zero, false
@@ -72,11 +74,11 @@ func (c *Cache[V]) Peek(key string) (V, bool) {
 // the cache is full. Storing an existing key refreshes its value and
 // recency.
 func (c *Cache[V]) Put(key string, val V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if c.cap <= 0 {
 		return
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
 		el.Value.(*entry[V]).val = val
 		c.order.MoveToFront(el)
@@ -89,6 +91,42 @@ func (c *Cache[V]) Put(key string, val V) {
 		c.evictions++
 	}
 	c.items[key] = c.order.PushFront(&entry[V]{key: key, val: val})
+}
+
+// Resize changes the capacity in place, evicting least-recently-used
+// entries when shrinking below the current length. The memory
+// backpressure watcher uses it to trade hit rate for heap headroom
+// without dropping the whole cache. Resizing a disabled cache (built
+// with capacity <= 0) stays a no-op — re-enabling would surprise the
+// Put sites that saw it disabled — and resizing to <= 0 purges and
+// disables. Evictions forced by a shrink count in Stats.Evictions.
+func (c *Cache[V]) Resize(capacity int) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if capacity <= 0 {
+		c.evictions += int64(c.order.Len())
+		c.order.Init()
+		c.items = make(map[string]*list.Element)
+		c.cap = 0
+		return
+	}
+	for c.order.Len() > capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*entry[V]).key)
+		c.evictions++
+	}
+	c.cap = capacity
+}
+
+// Capacity returns the current capacity (0 when disabled).
+func (c *Cache[V]) Capacity() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cap
 }
 
 // Len returns the current number of entries.

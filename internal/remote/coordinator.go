@@ -138,6 +138,21 @@ type Config struct {
 	// ChunkSize is how many matches a shard reader accumulates before
 	// one channel hand-off to the merge; 0 means shard.DefaultChunkSize.
 	ChunkSize int
+	// BreakerFailures is the consecutive-failure count that opens an
+	// endpoint's circuit breaker, ejecting it from rotation so its
+	// shard's replicas absorb the load; 0 means 3. The breaker never
+	// blocks a query: with every endpoint of a shard open, the
+	// soonest-expiring one is force-dialed.
+	BreakerFailures int
+	// BreakerCooldown is an opened breaker's first skip window; it
+	// doubles on every re-open (a failed half-open probe) up to 30s.
+	// 0 means 1s.
+	BreakerCooldown time.Duration
+	// BreakerLatency, when positive, also ejects an endpoint whose
+	// handshake-latency EWMA exceeds it — a worker answering far slower
+	// than its replicas drags every merge it joins. 0 disables the
+	// latency trip.
+	BreakerLatency time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -153,8 +168,18 @@ func (c Config) withDefaults() Config {
 	if c.ChunkSize < 1 {
 		c.ChunkSize = shard.DefaultChunkSize
 	}
+	if c.BreakerFailures < 1 {
+		c.BreakerFailures = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = time.Second
+	}
 	return c
 }
+
+// breakerMaxCooldown caps the doubling of an endpoint breaker's skip
+// window, so a long-dead worker is still probed every half minute.
+const breakerMaxCooldown = 30 * time.Second
 
 // Coordinator scatter-gathers top-k queries across remote workers with
 // the same threshold-terminating k-way merge the in-process shard.DB
@@ -174,11 +199,21 @@ func (c Config) withDefaults() Config {
 type Coordinator struct {
 	local       *ktpm.Database
 	eps         [][]Endpoint
+	epState     [][]*endpointState // parallel to eps: breaker + drain marker
 	cfg         Config
 	partitioner string
 	identity    string
 	counters    []workerCounters
 	partials    atomic.Int64
+}
+
+// endpointState is the coordinator's per-endpoint health record: the
+// circuit breaker, and the drain marker copied from the endpoint's
+// last handshake (a draining worker asks to be preferred-against and
+// never hedged).
+type endpointState struct {
+	brk      *breaker
+	draining atomic.Bool
 }
 
 type workerCounters struct {
@@ -211,10 +246,25 @@ func NewCoordinator(local *ktpm.Database, partitionerName string, shards [][]End
 	if _, ok := ktpm.ParsePartitioner(partitionerName); !ok {
 		return nil, fmt.Errorf("remote: unknown partitioner %q", partitionerName)
 	}
+	cfg = cfg.withDefaults()
+	maxCool := breakerMaxCooldown
+	if cfg.BreakerCooldown > maxCool {
+		maxCool = cfg.BreakerCooldown
+	}
+	epState := make([][]*endpointState, len(shards))
+	for i, eps := range shards {
+		epState[i] = make([]*endpointState, len(eps))
+		for j := range eps {
+			epState[i][j] = &endpointState{
+				brk: newBreaker(cfg.BreakerFailures, cfg.BreakerCooldown, maxCool, cfg.BreakerLatency),
+			}
+		}
+	}
 	return &Coordinator{
 		local:       local,
 		eps:         shards,
-		cfg:         cfg.withDefaults(),
+		epState:     epState,
+		cfg:         cfg,
 		partitioner: strings.ToLower(partitionerName),
 		identity:    Identity(local),
 		counters:    make([]workerCounters, len(shards)),
@@ -252,7 +302,7 @@ func (c *Coordinator) validateHello(h Hello, shardID, positions int) error {
 // readiness on it), not at the first query.
 func (c *Coordinator) CheckTopology(ctx context.Context) error {
 	for i, eps := range c.eps {
-		for _, ep := range eps {
+		for j, ep := range eps {
 			h, err := ep.Hello(ctx)
 			if err != nil {
 				return fmt.Errorf("remote: worker %d at %s: %w", i, ep.Addr(), err)
@@ -260,6 +310,7 @@ func (c *Coordinator) CheckTopology(ctx context.Context) error {
 			if err := c.validateHello(h, i, 0); err != nil {
 				return fmt.Errorf("remote: worker %d at %s: %w", i, ep.Addr(), err)
 			}
+			c.epState[i][j].draining.Store(h.Draining)
 		}
 	}
 	return nil
@@ -274,6 +325,7 @@ type workerConn struct {
 	wd     *time.Timer
 	idle   time.Duration
 	hello  Hello
+	epIdx  int                // which replica of the shard served this conn
 	cancel context.CancelFunc // the attempt's context; nil until adopted
 }
 
@@ -371,10 +423,68 @@ func (c *Coordinator) dial(ctx context.Context, ep Endpoint, query string, k int
 	return conn, nil
 }
 
+// pickEndpoint chooses which replica of a shard to dial, rotating from
+// attempt so retries move to the next replica. Preference order:
+// breaker-allowed and not draining; breaker-allowed but draining (a
+// draining worker still serves streams); and when every breaker is
+// open, the one whose cooldown expires soonest — correctness needs all
+// shards, so refusal is never an option, and the forced dial doubles as
+// an early probe.
+func (c *Coordinator) pickEndpoint(shardID, attempt int) int {
+	sts := c.epState[shardID]
+	n := len(sts)
+	for off := 0; off < n; off++ {
+		i := (attempt + off) % n
+		if !sts[i].draining.Load() && sts[i].brk.Allow() {
+			return i
+		}
+	}
+	for off := 0; off < n; off++ {
+		i := (attempt + off) % n
+		if sts[i].draining.Load() && sts[i].brk.Allow() {
+			return i
+		}
+	}
+	best := attempt % n
+	bestExp := sts[best].brk.expiry()
+	for off := 1; off < n; off++ {
+		i := (attempt + off) % n
+		if exp := sts[i].brk.expiry(); exp.Before(bestExp) {
+			best, bestExp = i, exp
+		}
+	}
+	return best
+}
+
+// pickHedge chooses where a hedged second attempt goes: a healthy
+// non-draining replica other than first if one exists, else a fresh
+// connection to the first endpoint — unless that worker is draining,
+// in which case the hedge is withheld entirely (a drain-aware shutdown
+// must not receive speculative extra load).
+func (c *Coordinator) pickHedge(shardID, first int) (int, bool) {
+	sts := c.epState[shardID]
+	n := len(sts)
+	for off := 1; off < n; off++ {
+		i := (first + off) % n
+		if sts[i].draining.Load() {
+			continue
+		}
+		if sts[i].brk.Allow() {
+			return i, true
+		}
+	}
+	if !sts[first].draining.Load() {
+		return first, true
+	}
+	return 0, false
+}
+
 // openHedged opens a shard's stream, racing a hedged second attempt if
 // the first has not delivered its handshake within HedgeAfter. The
 // winner's connection is returned with its attempt context attached;
-// losers are canceled and reaped.
+// losers are canceled and reaped. Dial outcomes feed the endpoint's
+// circuit breaker — except losers canceled after a win, whose failures
+// say nothing about the worker.
 func (c *Coordinator) openHedged(ctx context.Context, shardID, attempt int, query string, k int) (*workerConn, error) {
 	eps := c.eps[shardID]
 	type result struct {
@@ -382,17 +492,21 @@ func (c *Coordinator) openHedged(ctx context.Context, shardID, attempt int, quer
 		err    error
 		cancel context.CancelFunc
 		hedged bool
+		epIdx  int
+		took   time.Duration
 	}
 	resCh := make(chan result, 2)
 	launch := func(epIdx int, hedged bool) {
 		actx, acancel := context.WithCancel(ctx)
 		c.counters[shardID].requests.Add(1)
+		t0 := time.Now()
 		go func() {
-			conn, err := c.dial(actx, eps[epIdx%len(eps)], query, k)
-			resCh <- result{conn: conn, err: err, cancel: acancel, hedged: hedged}
+			conn, err := c.dial(actx, eps[epIdx], query, k)
+			resCh <- result{conn: conn, err: err, cancel: acancel, hedged: hedged, epIdx: epIdx, took: time.Since(t0)}
 		}()
 	}
-	launch(attempt, false)
+	first := c.pickEndpoint(shardID, attempt)
+	launch(first, false)
 	pending := 1
 	var hedgeC <-chan time.Time
 	if c.cfg.HedgeAfter > 0 {
@@ -418,13 +532,22 @@ func (c *Coordinator) openHedged(ctx context.Context, shardID, attempt int, quer
 		select {
 		case r := <-resCh:
 			pending--
+			st := c.epState[shardID][r.epIdx]
 			if r.err == nil {
+				st.brk.Success(r.took)
+				st.draining.Store(r.conn.hello.Draining)
+				r.conn.epIdx = r.epIdx
 				r.conn.cancel = r.cancel
 				if r.hedged {
 					c.counters[shardID].hedgeWins.Add(1)
 				}
 				reap(pending)
 				return r.conn, nil
+			}
+			if ctx.Err() == nil {
+				// A failure with the parent context live is the worker's; a
+				// canceled dial says nothing about it.
+				st.brk.Failure()
 			}
 			r.cancel()
 			if firstErr == nil {
@@ -438,8 +561,12 @@ func (c *Coordinator) openHedged(ctx context.Context, shardID, attempt int, quer
 			}
 		case <-hedgeC:
 			hedgeC = nil
+			epIdx, ok := c.pickHedge(shardID, first)
+			if !ok {
+				continue
+			}
 			c.counters[shardID].hedges.Add(1)
-			launch(attempt+1, true)
+			launch(epIdx, true)
 			pending++
 		case <-ctx.Done():
 			reap(pending)
@@ -500,6 +627,12 @@ func (c *Coordinator) run(ctx context.Context, r *shardReader, query string, k, 
 			conn.Close()
 			if err == nil {
 				return
+			}
+			if ctx.Err() == nil {
+				// A mid-stream failure counts against the endpoint that served
+				// the conn, so a worker dying between handshake and end frame
+				// still trips its breaker.
+				c.epState[r.shardID][conn.epIdx].brk.Failure()
 			}
 		}
 		if ctx.Err() != nil {
@@ -918,6 +1051,42 @@ type WorkerStat struct {
 	Failures  int64    `json:"failures"`
 	Matches   int64    `json:"matches"`
 	LastError string   `json:"last_error,omitempty"`
+	// Breakers is each endpoint's circuit-breaker snapshot, aligned
+	// with Addrs by index.
+	Breakers []BreakerStat `json:"breakers,omitempty"`
+}
+
+// BreakerOpens sums the breaker-open transitions across the worker's
+// endpoints (the /metrics counter).
+func (w WorkerStat) BreakerOpens() int64 {
+	var n int64
+	for _, b := range w.Breakers {
+		n += b.Opens
+	}
+	return n
+}
+
+// BreakerTripped reports whether any endpoint's breaker is currently
+// not closed (the /metrics gauge).
+func (w WorkerStat) BreakerTripped() bool {
+	for _, b := range w.Breakers {
+		if b.State != breakerClosed {
+			return true
+		}
+	}
+	return false
+}
+
+// DrainingEndpoints counts endpoints whose last handshake carried the
+// drain marker.
+func (w WorkerStat) DrainingEndpoints() int64 {
+	var n int64
+	for _, b := range w.Breakers {
+		if b.Draining {
+			n++
+		}
+	}
+	return n
 }
 
 // CoordinatorStats is the /stats "workers" block.
@@ -955,8 +1124,12 @@ func (c *Coordinator) CoordinatorStats() CoordinatorStats {
 			Failures:  cnt.failures.Load(),
 			Matches:   cnt.matches.Load(),
 		}
+		ws.Breakers = make([]BreakerStat, len(c.eps[i]))
 		for j, ep := range c.eps[i] {
 			ws.Addrs[j] = ep.Addr()
+			bs := c.epState[i][j].brk.snapshot(ep.Addr())
+			bs.Draining = c.epState[i][j].draining.Load()
+			ws.Breakers[j] = bs
 		}
 		if v, ok := cnt.lastErr.Load().(string); ok {
 			ws.LastError = v

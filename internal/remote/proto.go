@@ -81,6 +81,12 @@ type Hello struct {
 	// of the stream must carry exactly this many bindings. Zero in the
 	// /shard/hello probe response, which has no query.
 	Positions int `json:"positions,omitempty"`
+	// Draining marks a worker that has begun a graceful shutdown: it
+	// still answers (in-flight merges need it) but asks the coordinator
+	// to prefer replicas and stop hedging against it. Absent on the wire
+	// when false, so old coordinators interoperate unchanged — the field
+	// is advisory and never validated.
+	Draining bool `json:"draining,omitempty"`
 }
 
 // Frame is one decoded wire line. Kind selects which fields are
@@ -108,6 +114,7 @@ type wireFrame struct {
 	Snapshot    string  `json:"snapshot"`
 	Order       string  `json:"order"`
 	Positions   int     `json:"positions"`
+	Draining    bool    `json:"draining"`
 	S           *int64  `json:"s"`
 	N           []int32 `json:"n"`
 	Count       *int64  `json:"count"`
@@ -148,6 +155,7 @@ func DecodeFrame(line []byte) (Frame, error) {
 			Snapshot:    w.Snapshot,
 			Order:       w.Order,
 			Positions:   w.Positions,
+			Draining:    w.Draining,
 		}}, nil
 	case KindMatch:
 		if w.S == nil {

@@ -44,9 +44,10 @@ type Worker struct {
 	assign []int32
 	mux    *http.ServeMux
 
-	streams atomic.Int64 // /shard/stream requests accepted
-	matches atomic.Int64 // match frames emitted
-	errs    atomic.Int64 // streams ended by an err frame or rejected
+	streams  atomic.Int64 // /shard/stream requests accepted
+	matches  atomic.Int64 // match frames emitted
+	errs     atomic.Int64 // streams ended by an err frame or rejected
+	draining atomic.Bool  // graceful shutdown begun; see SetDraining
 }
 
 // NewWorker validates the topology slot and precomputes the vertex
@@ -93,9 +94,16 @@ func NewWorker(db *ktpm.Database, cfg WorkerConfig) (*Worker, error) {
 		fmt.Fprintln(rw, "ok")
 	})
 	mux.HandleFunc("/readyz", func(rw http.ResponseWriter, _ *http.Request) {
+		rw.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		// Draining flips readiness so load balancers stop routing here;
+		// /healthz stays ok — the process is healthy, just leaving.
+		if w.draining.Load() {
+			rw.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(rw, "draining")
+			return
+		}
 		// A constructed worker is ready: the partition is computed and the
 		// database is open (lazy snapshots fault tables on demand).
-		rw.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(rw, "ready")
 	})
 	mux.HandleFunc("/stats", w.handleStats)
@@ -111,6 +119,17 @@ func (w *Worker) Handler() http.Handler { return w.mux }
 // Hello returns the worker's handshake (Positions zero — it is
 // query-specific).
 func (w *Worker) Hello() Hello { return w.hello }
+
+// SetDraining flips the worker's drain marker. While draining, /readyz
+// answers 503, and every handshake carries draining:true so
+// coordinators prefer replicas and stop hedging against this worker.
+// /shard/stream keeps serving — in-flight merges need the shard until
+// the process actually exits, and a coordinator with no replica for
+// this shard must still be answerable.
+func (w *Worker) SetDraining(v bool) { w.draining.Store(v) }
+
+// Draining reports whether SetDraining(true) has been called.
+func (w *Worker) Draining() bool { return w.draining.Load() }
 
 // OwnedVertices returns how many data-graph vertices this worker's shard
 // owns.
@@ -130,7 +149,9 @@ func (w *Worker) handleHello(rw http.ResponseWriter, r *http.Request) {
 		return
 	}
 	rw.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(rw).Encode(w.hello)
+	hello := w.hello
+	hello.Draining = w.draining.Load()
+	_ = json.NewEncoder(rw).Encode(hello)
 }
 
 // handleStream serves GET /shard/stream?q=<query>&k=<hint>: the hello
@@ -187,6 +208,7 @@ func (w *Worker) handleStream(rw http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(rw)
 	hello := w.hello
 	hello.Positions = q.NumNodes()
+	hello.Draining = w.draining.Load()
 	if err := enc.Encode(hello); err != nil {
 		return
 	}
@@ -270,6 +292,7 @@ type WorkerStats struct {
 	Streams  int64        `json:"streams"`
 	Matches  int64        `json:"matches"`
 	Errors   int64        `json:"errors"`
+	Draining bool         `json:"draining"`
 	IO       ktpm.IOStats `json:"io"`
 }
 
@@ -281,6 +304,7 @@ func (w *Worker) Stats() WorkerStats {
 		Streams:  w.streams.Load(),
 		Matches:  w.matches.Load(),
 		Errors:   w.errs.Load(),
+		Draining: w.draining.Load(),
 		IO:       w.db.IOStats(),
 	}
 }
@@ -304,4 +328,9 @@ func (w *Worker) handleMetrics(rw http.ResponseWriter, _ *http.Request) {
 	write("ktpmd_worker_streams_total", "Shard streams served.", "counter", st.Streams)
 	write("ktpmd_worker_streamed_matches_total", "Match frames emitted across all shard streams.", "counter", st.Matches)
 	write("ktpmd_worker_stream_errors_total", "Shard streams rejected or ended by an error frame.", "counter", st.Errors)
+	draining := int64(0)
+	if st.Draining {
+		draining = 1
+	}
+	write("ktpmd_worker_draining", "1 while the worker is draining for shutdown (readyz answers 503).", "gauge", draining)
 }

@@ -2,6 +2,7 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"net/http"
 	"strconv"
 	"time"
@@ -76,16 +77,30 @@ type batchItem struct {
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	t0 := time.Now()
+	if s.draining.Load() {
+		s.rejectDraining(w)
+		return
+	}
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", "POST")
 		s.writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
 		return
 	}
-	// The body cap scales with the configured batch shape, so an
-	// oversized payload fails the decode instead of buffering unbounded.
+	// The body cap is the smaller of -max-body-bytes and the configured
+	// batch shape, so an oversized payload fails the decode with a
+	// distinct 413 instead of buffering unbounded.
 	limit := int64(s.cfg.MaxBatchItems)*int64(s.cfg.MaxQueryLen+256) + 4096
+	if s.cfg.MaxBodyBytes > 0 && s.cfg.MaxBodyBytes < limit {
+		limit = s.cfg.MaxBodyBytes
+	}
 	var req BatchRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit)).Decode(&req); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.tooLarge.Add(1)
+			s.writeError(w, http.StatusRequestEntityTooLarge, "batch body exceeds %d bytes", limit)
+			return
+		}
 		s.writeError(w, http.StatusBadRequest, "bad batch body: %v", err)
 		return
 	}
@@ -145,7 +160,18 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// single executor task under one batch-wide deadline. As with /query,
 	// canonical forms are executed so cached position numbering is
 	// reproducible regardless of which sibling order filled the entry.
+	// A fully-cached batch skips this block entirely, which is why the
+	// overload gates live here: brownout and the memory watcher's final
+	// stage shed only batches that need enumeration.
 	if len(misses) > 0 {
+		if reason := s.shedClass(true); reason != "" {
+			s.writeShed(w, reason)
+			return
+		}
+		if _, bad := s.adm.shouldShed(s.exec.queued.Load(), s.cfg.RequestTimeout); bad {
+			s.writeShed(w, shedReasonDeadline)
+			return
+		}
 		batch := make([]ktpm.BatchItem, len(misses))
 		for i, p := range misses {
 			cq, err := s.db.ParseQuery(items[p.first].resp.Canonical)
@@ -156,7 +182,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			batch[i] = ktpm.BatchItem{Query: cq, K: items[p.first].resp.K, Opt: ktpm.Options{Algorithm: p.algo}}
 		}
 		var results []ktpm.BatchResult
-		if !s.execute(w, r, func() {
+		// A panic inside TopKBatch fails the whole batch with 500 but is
+		// not quarantined: the batch is one executor task, so the crash
+		// cannot be attributed to a single item's canonical form.
+		if !s.writeExecError(w, s.execute(w, r, "batch", func() {
 			// One enumerate span covers the whole batch; each computed
 			// item's table faults and shard merges nest under it.
 			en := trace.StartChild("enumerate")
@@ -166,7 +195,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			}
 			results = s.db.TopKBatch(batch)
 			en.End()
-		}) {
+		})) {
 			return
 		}
 		for i, p := range misses {
@@ -194,9 +223,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 				continue
 			}
 			// The same cost-aware admission as /query, priced per item by
-			// TopKBatch's I/O deltas.
+			// TopKBatch's I/O deltas; memory stage 2+ bypasses the fill.
 			if s.cfg.CacheEntries > 0 {
-				if s.cfg.CacheMinEntries > 0 && res.Cost < int64(s.cfg.CacheMinEntries) {
+				if (s.cfg.CacheMinEntries > 0 && res.Cost < int64(s.cfg.CacheMinEntries)) || !s.cacheAdmitAllowed() {
 					s.cacheBypassed.Add(1)
 				} else {
 					s.cache.Put(it.key, out)

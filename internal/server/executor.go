@@ -3,6 +3,8 @@ package server
 import (
 	"context"
 	"errors"
+	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
@@ -10,6 +12,20 @@ import (
 // ErrQueueFull is returned by executor.Do when the admission queue is at
 // capacity; the HTTP layer translates it to 503 Service Unavailable.
 var ErrQueueFull = errors.New("server: admission queue full")
+
+// PanicError is returned by executor.Do when the submitted task
+// panicked. The recover happens on the worker goroutine, so one
+// poisonous query takes down its own request (500) instead of the
+// process; the HTTP layer additionally quarantines the canonical query
+// so repeats fast-fail without re-running the crash.
+type PanicError struct {
+	Val   any    // the recovered panic value
+	Stack []byte // the panicking goroutine's stack at recovery
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("server: task panicked: %v", e.Val)
+}
 
 // executor is a fixed-size worker pool with a bounded admission queue.
 // Bounding the queue — rather than spawning a goroutine per request — is
@@ -27,12 +43,14 @@ type executor struct {
 	queued   atomic.Int64 // tasks admitted but not yet started
 	inFlight atomic.Int64 // tasks currently running
 	canceled atomic.Int64 // tasks dropped from the queue after ctx expiry
+	panics   atomic.Int64 // tasks that panicked and were recovered
 }
 
 type task struct {
-	ctx  context.Context
-	fn   func()
-	done chan struct{}
+	ctx      context.Context
+	fn       func()
+	done     chan struct{}
+	panicErr *PanicError // set before done closes when fn panicked
 }
 
 // newExecutor starts workers goroutines serving a queue of queueDepth
@@ -57,11 +75,26 @@ func (e *executor) worker() {
 			close(t.done)
 			continue
 		}
-		e.inFlight.Add(1)
-		t.fn()
+		e.runTask(t)
+	}
+}
+
+// runTask executes one task with panic isolation: a crashing enumeration
+// is converted into a PanicError on the task (read by Do after done
+// closes) instead of killing the worker goroutine — which would both
+// crash the process and silently shrink the pool. The defers keep the
+// in-flight gauge and the done contract correct on every exit path.
+func (e *executor) runTask(t *task) {
+	e.inFlight.Add(1)
+	defer func() {
+		if r := recover(); r != nil {
+			t.panicErr = &PanicError{Val: r, Stack: debug.Stack()}
+			e.panics.Add(1)
+		}
 		e.inFlight.Add(-1)
 		close(t.done)
-	}
+	}()
+	t.fn()
 }
 
 // Do submits fn and waits until it finishes or ctx expires. It returns
@@ -83,6 +116,12 @@ func (e *executor) Do(ctx context.Context, fn func()) error {
 	}
 	select {
 	case <-t.done:
+		// A panic outranks a context error: the caller must learn the task
+		// crashed (and quarantine the query) even if its deadline also
+		// expired in the race.
+		if t.panicErr != nil {
+			return t.panicErr
+		}
 		if t.ctx.Err() != nil {
 			return t.ctx.Err()
 		}

@@ -1,0 +1,202 @@
+package server
+
+import (
+	"runtime/metrics"
+	"sync/atomic"
+	"time"
+
+	"ktpm/internal/lru"
+)
+
+// memory.go is the memory-backpressure watcher: a goroutine that
+// samples the live heap via runtime/metrics and degrades the server in
+// stages as it approaches a soft limit, instead of letting a traffic
+// mix with large result sets ride straight into the OOM killer.
+//
+// Stages (fractions of -mem-soft-limit):
+//
+//	>= 85%  stage 1: shrink the LRU result cache (halved per sample,
+//	        down to a small floor) — the cache is the one heap consumer
+//	        the server owns outright and can give back.
+//	>= 95%  stage 2: additionally stop admitting new results into the
+//	        cache; existing entries still serve hits.
+//	>= 100% stage 3: additionally shed requests that miss the cache
+//	        with 429 — only already-paid-for work is served.
+//
+// Escalation is immediate (one bad sample), de-escalation is sticky:
+// the heap must sit below the stage's entry threshold minus a 5%
+// hysteresis band for several consecutive samples before stepping down
+// one stage, and the cache capacity is restored only on full recovery
+// to stage 0. ktpmd additionally sets runtime/debug.SetMemoryLimit to
+// the soft limit so the GC itself works against the same ceiling.
+
+// heapMetric is the runtime/metrics sample the watcher reads: live
+// bytes in heap objects, the number the soft limit is about (mapped
+// regions and stacks are not reducible by shedding queries).
+const heapMetric = "/memory/classes/heap/objects:bytes"
+
+const (
+	memStageShrink  int32 = 1
+	memStageNoAdmit int32 = 2
+	memStageShed    int32 = 3
+)
+
+// memThresholds[i] is the heap fraction at which stage i+1 begins.
+var memThresholds = [3]float64{0.85, 0.95, 1.00}
+
+// memHysteresis is the band below a stage's entry threshold the heap
+// must clear before recovery from that stage can start.
+const memHysteresis = 0.05
+
+// memRecoverSamples is how many consecutive clear samples de-escalate
+// one stage.
+const memRecoverSamples = 5
+
+type memWatcher struct {
+	soft     int64
+	cache    *lru.Cache[cachedResult]
+	baseCap  int // capacity to restore on full recovery
+	floorCap int // shrink never goes below this
+	interval time.Duration
+	readHeap func() int64 // injectable for tests; defaults to runtime/metrics
+	started  bool         // set by start(); stopWatch only joins a started loop
+
+	stage       atomic.Int32
+	heapBytes   atomic.Int64 // last sample, surfaced in /stats and /metrics
+	shrinks     atomic.Int64 // cache halvings applied
+	transitions atomic.Int64 // stage changes in either direction
+
+	clearRun int // consecutive samples below the recovery threshold
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+func newMemWatcher(soft int64, cache *lru.Cache[cachedResult]) *memWatcher {
+	base := cache.Capacity()
+	floor := base / 32
+	if floor < 8 {
+		floor = 8
+	}
+	if floor > base && base > 0 {
+		floor = base
+	}
+	m := &memWatcher{
+		soft:     soft,
+		cache:    cache,
+		baseCap:  base,
+		floorCap: floor,
+		interval: 250 * time.Millisecond,
+		readHeap: readHeapBytes,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	return m
+}
+
+// readHeapBytes samples the live heap from runtime/metrics.
+func readHeapBytes() int64 {
+	sample := []metrics.Sample{{Name: heapMetric}}
+	metrics.Read(sample)
+	if sample[0].Value.Kind() != metrics.KindUint64 {
+		return 0
+	}
+	return int64(sample[0].Value.Uint64())
+}
+
+// start launches the sampling loop; stopWatch ends it.
+func (m *memWatcher) start() {
+	m.started = true
+	go func() {
+		defer close(m.done)
+		t := time.NewTicker(m.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-m.stop:
+				return
+			case <-t.C:
+				m.sample()
+			}
+		}
+	}()
+}
+
+func (m *memWatcher) stopWatch() {
+	close(m.stop)
+	// A watcher that was never start()ed has no loop to close done;
+	// waiting would deadlock Close (tests drive sample() by hand).
+	if m.started {
+		<-m.done
+	}
+}
+
+// sample takes one reading and applies the staging rules. Exported to
+// the test file through the struct so degradation sequences are
+// deterministic (tests never start the ticker loop).
+func (m *memWatcher) sample() {
+	heap := m.readHeap()
+	m.heapBytes.Store(heap)
+	frac := float64(heap) / float64(m.soft)
+
+	target := int32(0)
+	for i, th := range memThresholds {
+		if frac >= th {
+			target = int32(i + 1)
+		}
+	}
+	cur := m.stage.Load()
+	switch {
+	case target > cur:
+		// Escalate immediately: every sample spent over a threshold is
+		// heap the GC has to win back.
+		m.stage.Store(target)
+		m.transitions.Add(1)
+		m.clearRun = 0
+	case cur > 0:
+		// Recovery is sticky: the heap must hold clear of the current
+		// stage's entry threshold (minus the hysteresis band) for
+		// memRecoverSamples consecutive readings, then one stage at a time.
+		if frac < memThresholds[cur-1]-memHysteresis {
+			m.clearRun++
+			if m.clearRun >= memRecoverSamples {
+				m.stage.Store(cur - 1)
+				m.transitions.Add(1)
+				m.clearRun = 0
+				if cur-1 == 0 {
+					m.cache.Resize(m.baseCap)
+				}
+			}
+		} else {
+			m.clearRun = 0
+		}
+	}
+
+	// While at stage 1 or above, every sample halves the cache until the
+	// floor: progressive, so a slow leak sheds cache gradually while a
+	// spike gives most of it back within a few samples.
+	if m.stage.Load() >= memStageShrink {
+		if cc := m.cache.Capacity(); cc > m.floorCap {
+			next := cc / 2
+			if next < m.floorCap {
+				next = m.floorCap
+			}
+			m.cache.Resize(next)
+			m.shrinks.Add(1)
+		}
+	}
+}
+
+// memStage is the nil-safe stage read the request path uses.
+func (s *Server) memStage() int32 {
+	if s.mem == nil {
+		return 0
+	}
+	return s.mem.stage.Load()
+}
+
+// cacheAdmitAllowed reports whether results may currently be inserted
+// into the cache (false at memory stage 2+).
+func (s *Server) cacheAdmitAllowed() bool {
+	return s.memStage() < memStageNoAdmit
+}

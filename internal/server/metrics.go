@@ -55,6 +55,33 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 	counter("ktpmd_partial_responses_total", "Degraded responses across /query, /batch, and /stream: a dead worker shard was dropped under the coordinator's partial policy.", s.partials.Load())
 
+	fmt.Fprintf(&b, "# HELP ktpmd_shed_total Requests shed by the overload-protection layer, by reason.\n# TYPE ktpmd_shed_total counter\n")
+	fmt.Fprintf(&b, "ktpmd_shed_total{reason=%q} %d\n", shedReasonDeadline, s.shedDeadline.Load())
+	fmt.Fprintf(&b, "ktpmd_shed_total{reason=%q} %d\n", shedReasonBrownout, s.shedBrownout.Load())
+	fmt.Fprintf(&b, "ktpmd_shed_total{reason=%q} %d\n", shedReasonMemory, s.shedMemory.Load())
+	fmt.Fprintf(&b, "ktpmd_shed_total{reason=%q} %d\n", shedReasonDrain, s.shedDrain.Load())
+	counter("ktpmd_body_too_large_total", "POST bodies rejected with 413 by the max-body-bytes cap.", s.tooLarge.Load())
+	gauge("ktpmd_brownout_stage", "Brownout stage: 0 serving everything, 1 shedding uncached /batch and /stream.", float64(s.brown.stage.Load()))
+	counter("ktpmd_brownout_transitions_total", "Brownout stage changes in either direction.", s.brown.transitions.Load())
+	gauge("ktpmd_draining", "1 after BeginDrain: /readyz is 503 and new requests are rejected.", boolGauge(s.draining.Load()))
+	gauge("ktpmd_max_queue_wait_seconds", "Predictive admission budget (0 = disabled).", s.adm.maxWait.Seconds())
+	gauge("ktpmd_est_queue_wait_seconds", "Predicted queue wait for a task admitted now.", s.adm.estWait(s.exec.queued.Load()).Seconds())
+	fmt.Fprintf(&b, "# HELP ktpmd_cost_ewma_seconds Moving execution-cost estimate by endpoint family (pooled prices the shared queue).\n# TYPE ktpmd_cost_ewma_seconds gauge\n")
+	fmt.Fprintf(&b, "ktpmd_cost_ewma_seconds{endpoint=\"pooled\"} %g\n", s.adm.pooled.get().Seconds())
+	for _, ep := range []string{"query", "explain", "batch", "stream"} {
+		fmt.Fprintf(&b, "ktpmd_cost_ewma_seconds{endpoint=%q} %g\n", ep, s.adm.endpoint[ep].get().Seconds())
+	}
+	counter("ktpmd_panics_total", "Enumeration panics recovered into 500s.", s.quar.panics.Load())
+	counter("ktpmd_quarantine_hits_total", "Requests fast-failed because their canonical query is quarantined.", s.quar.hits.Load())
+	gauge("ktpmd_quarantine_entries", "Canonical queries currently quarantined.", float64(s.quar.size()))
+	if s.mem != nil {
+		gauge("ktpmd_mem_soft_limit_bytes", "Heap soft limit the memory watcher degrades against.", float64(s.mem.soft))
+		gauge("ktpmd_mem_heap_bytes", "Live heap bytes at the watcher's last sample.", float64(s.mem.heapBytes.Load()))
+		gauge("ktpmd_mem_stage", "Memory backpressure stage: 0 normal, 1 cache shrinking, 2 admission off, 3 shedding non-cached requests.", float64(s.mem.stage.Load()))
+		counter("ktpmd_mem_cache_shrinks_total", "Cache capacity halvings applied by the memory watcher.", s.mem.shrinks.Load())
+		counter("ktpmd_mem_transitions_total", "Memory stage changes in either direction.", s.mem.transitions.Load())
+	}
+
 	cs := s.cache.Stats()
 	counter("ktpmd_cache_hits_total", "Result cache hits.", cs.Hits)
 	counter("ktpmd_cache_misses_total", "Result cache misses.", cs.Misses)
@@ -136,10 +163,29 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			func(ws remote.WorkerStat) int64 { return ws.Failures })
 		perWorker("ktpmd_worker_streamed_matches_total", "Matches merged from each worker shard.", "counter",
 			func(ws remote.WorkerStat) int64 { return ws.Matches })
+		perWorker("ktpmd_worker_breaker_opens_total", "Circuit-breaker open transitions across each worker shard's endpoints.", "counter",
+			func(ws remote.WorkerStat) int64 { return ws.BreakerOpens() })
+		perWorker("ktpmd_worker_breaker_tripped", "1 while any endpoint breaker of the worker shard is open or half-open.", "gauge",
+			func(ws remote.WorkerStat) int64 {
+				if ws.BreakerTripped() {
+					return 1
+				}
+				return 0
+			})
+		perWorker("ktpmd_worker_draining_endpoints", "Endpoints of the worker shard whose last handshake carried the drain marker.", "gauge",
+			func(ws remote.WorkerStat) int64 { return ws.DrainingEndpoints() })
 	}
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_, _ = w.Write([]byte(b.String()))
+}
+
+// boolGauge renders a bool as the 0/1 gauge value Prometheus expects.
+func boolGauge(v bool) float64 {
+	if v {
+		return 1
+	}
+	return 0
 }
 
 // writeHistogram renders one labeled histogram family from the obs

@@ -281,6 +281,15 @@ func (o *serverObs) latencyStats() *LatencyStats {
 // failure keeps the process alive but must drop out of load-balancer
 // rotation, which is exactly the sticky snapshot error this reports.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		// Drain flips readiness the instant it starts: the load balancer
+		// must stop routing here while /healthz (liveness) stays 200 for
+		// the remainder of the drain window.
+		s.writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+			"status": "draining",
+		})
+		return
+	}
 	if !s.ready.Load() {
 		s.writeJSON(w, http.StatusServiceUnavailable, map[string]string{
 			"status": "starting",

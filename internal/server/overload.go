@@ -1,0 +1,295 @@
+package server
+
+import (
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// overload.go is the adaptive-admission half of the resilience layer:
+// a per-endpoint moving cost estimate that turns the executor's queue
+// length into an expected wait, deadline-aware predictive shedding
+// (429 + Retry-After before the queue even fills), a brownout
+// controller that sheds expensive uncached work classes under
+// sustained saturation, and the poison-query quarantine fed by the
+// executor's panic recovery. The memory watcher (memory.go) plugs into
+// the same shed decision as an extra degradation stage.
+
+// Shed reasons, used as the /metrics label and the keys of the /stats
+// overload.shed block.
+const (
+	shedReasonDeadline = "deadline" // predicted queue wait exceeds the budget
+	shedReasonBrownout = "brownout" // sustained saturation sheds the work class
+	shedReasonMemory   = "memory"   // heap over the soft limit sheds non-cached work
+	shedReasonDrain    = "drain"    // server is draining for shutdown
+)
+
+// costEWMA is an exponentially-weighted moving average of task
+// execution time, stored as nanoseconds in one atomic word so the
+// request path reads it lock-free. alpha is 1/8: heavy smoothing, so a
+// single outlier enumeration does not flip admission decisions.
+type costEWMA struct {
+	ns atomic.Int64
+}
+
+func (c *costEWMA) observe(d time.Duration) {
+	for {
+		old := c.ns.Load()
+		var next int64
+		if old == 0 {
+			next = d.Nanoseconds()
+		} else {
+			next = old + (d.Nanoseconds()-old)/8
+		}
+		if c.ns.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (c *costEWMA) get() time.Duration { return time.Duration(c.ns.Load()) }
+
+// admission is the deadline-aware predictive gate. It estimates how
+// long a newly-arriving task would wait for a worker — queued tasks
+// times the pooled moving cost, divided by the pool size — and sheds
+// the request up front when that wait exceeds its budget (the smaller
+// of -max-queue-wait and the request timeout). Shedding at the door
+// with 429 + Retry-After is strictly kinder than the alternative under
+// sustained overload: admitting the request would have it time out at
+// 504 after holding a queue slot the whole time.
+type admission struct {
+	maxWait time.Duration // admission budget cap; <= 0 disables prediction
+	workers int
+
+	// pooled is the cost estimate that prices the queue: the queue is
+	// shared across endpoints, so the wait depends on what is already in
+	// it, not on what the new request is. The per-endpoint estimates
+	// exist for operators (/stats cost_ewma_ms) and for tuning.
+	pooled   costEWMA
+	endpoint map[string]*costEWMA // fixed keys: query, explain, batch, stream
+}
+
+func newAdmission(maxWait time.Duration, workers int) *admission {
+	a := &admission{maxWait: maxWait, workers: workers,
+		endpoint: make(map[string]*costEWMA, 4)}
+	for _, ep := range []string{"query", "explain", "batch", "stream"} {
+		a.endpoint[ep] = &costEWMA{}
+	}
+	return a
+}
+
+// observe records one finished task's execution time under its endpoint
+// family.
+func (a *admission) observe(ep string, d time.Duration) {
+	a.pooled.observe(d)
+	if c, ok := a.endpoint[ep]; ok {
+		c.observe(d)
+	}
+}
+
+// estWait predicts the queue wait a task admitted now would see.
+func (a *admission) estWait(queued int64) time.Duration {
+	if queued <= 0 {
+		return 0
+	}
+	cost := a.pooled.get()
+	if cost <= 0 {
+		return 0 // no history yet: admit and learn
+	}
+	return time.Duration(queued) * cost / time.Duration(a.workers)
+}
+
+// shouldShed reports whether a request with the given deadline budget
+// should be rejected up front, and the wait estimate that decided it.
+func (a *admission) shouldShed(queued int64, timeout time.Duration) (time.Duration, bool) {
+	if a.maxWait <= 0 {
+		return 0, false
+	}
+	budget := a.maxWait
+	if timeout > 0 && timeout < budget {
+		budget = timeout
+	}
+	est := a.estWait(queued)
+	return est, est > budget
+}
+
+// retryAfterSeconds turns a wait estimate into a Retry-After header
+// value: at least 1s (the header carries whole seconds), at most 30s
+// (past that the estimate is noise, and clients should re-probe).
+func retryAfterSeconds(est time.Duration) string {
+	secs := int64((est + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 30 {
+		secs = 30
+	}
+	return strconv.FormatInt(secs, 10)
+}
+
+// Brownout stages. Stage 0 serves everything; stage 1 sheds the
+// expensive uncached work classes (/stream, and /batch items that miss
+// the cache) while cached /query traffic — the cheap majority under a
+// zipfian mix — keeps flowing. The memory watcher maps its own
+// degradation onto the same stage scale so handlers make one decision.
+const (
+	brownoutOff  int32 = 0
+	brownoutShed int32 = 1
+)
+
+// brownout is the sustained-saturation detector: it buckets admission
+// outcomes into fixed windows and enters stage 1 only after several
+// consecutive saturated windows (shed ratio over enterRatio with a
+// minimum sample count), leaving only after a longer run of healthy
+// windows. The asymmetric hysteresis is deliberate — flapping between
+// stages is worse for clients than either stage.
+type brownout struct {
+	mu      sync.Mutex
+	now     func() time.Time // injectable clock for tests
+	winDur  time.Duration
+	winEnd  time.Time
+	shed    int64 // this window
+	total   int64 // this window
+	satRun  int   // consecutive saturated windows
+	okRun   int   // consecutive healthy windows
+	enter   int   // saturated windows before stage 1 (default 2)
+	exit    int   // healthy windows before stage 0 (default 5)
+	minHits int64 // windows with fewer samples are ignored
+
+	stage       atomic.Int32
+	transitions atomic.Int64 // stage changes in either direction
+}
+
+func newBrownout() *brownout {
+	return &brownout{
+		now:     time.Now,
+		winDur:  time.Second,
+		enter:   2,
+		exit:    5,
+		minHits: 8,
+	}
+}
+
+// record feeds one admission outcome (shed = rejected by any overload
+// mechanism, as opposed to admitted to the executor) into the current
+// window, rolling the window and re-evaluating the stage when it ends.
+func (b *brownout) record(shed bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	if b.winEnd.IsZero() {
+		b.winEnd = now.Add(b.winDur)
+	}
+	if now.After(b.winEnd) {
+		b.roll()
+		b.winEnd = now.Add(b.winDur)
+	}
+	b.total++
+	if shed {
+		b.shed++
+	}
+}
+
+// roll closes the current window and applies the hysteresis rules.
+// Called with mu held.
+func (b *brownout) roll() {
+	saturated := b.total >= b.minHits && b.shed*2 >= b.total // >= 50% shed
+	healthy := b.shed == 0
+	b.shed, b.total = 0, 0
+	switch {
+	case saturated:
+		b.satRun++
+		b.okRun = 0
+	case healthy:
+		b.okRun++
+		b.satRun = 0
+	default:
+		// Mixed window: resets the saturation run (the overload is not
+		// sustained) but does not count toward recovery either.
+		b.satRun = 0
+		b.okRun = 0
+	}
+	if b.stage.Load() == brownoutOff && b.satRun >= b.enter {
+		b.stage.Store(brownoutShed)
+		b.transitions.Add(1)
+		b.satRun = 0
+	} else if b.stage.Load() == brownoutShed && b.okRun >= b.exit {
+		b.stage.Store(brownoutOff)
+		b.transitions.Add(1)
+		b.okRun = 0
+	}
+}
+
+// quarantine is the bounded poison-query set: canonical queries whose
+// enumeration panicked. Repeats fast-fail with 500 before reaching the
+// executor, so one crashing query pattern cannot repeatedly burn a
+// worker (and its recover/stack cost) under retry storms. FIFO
+// eviction, not LRU: the point is a small blast-radius record, not a
+// cache.
+type quarantine struct {
+	mu    sync.Mutex
+	cap   int
+	seen  map[string]int64 // canonical -> times it panicked
+	order []string         // insertion order for FIFO eviction
+
+	panics atomic.Int64 // enumerations that panicked (quarantine insertions + repeats that crashed again)
+	hits   atomic.Int64 // requests fast-failed by the set
+}
+
+func newQuarantine(capacity int) *quarantine {
+	return &quarantine{cap: capacity, seen: make(map[string]int64, capacity)}
+}
+
+// add records a panic for canonical, inserting it (evicting the oldest
+// entry when full) or bumping its crash count.
+func (q *quarantine) add(canonical string) {
+	q.panics.Add(1)
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if _, ok := q.seen[canonical]; ok {
+		q.seen[canonical]++
+		return
+	}
+	if len(q.order) >= q.cap {
+		oldest := q.order[0]
+		q.order = q.order[1:]
+		delete(q.seen, oldest)
+	}
+	q.seen[canonical] = 1
+	q.order = append(q.order, canonical)
+}
+
+// has reports whether canonical is quarantined, counting the hit.
+func (q *quarantine) has(canonical string) bool {
+	q.mu.Lock()
+	_, ok := q.seen[canonical]
+	q.mu.Unlock()
+	if ok {
+		q.hits.Add(1)
+	}
+	return ok
+}
+
+// QuarantineEntry is one quarantined query in /stats.
+type QuarantineEntry struct {
+	Canonical string `json:"canonical"`
+	Panics    int64  `json:"panics"`
+}
+
+// snapshot returns the quarantined queries in insertion order.
+func (q *quarantine) snapshot() []QuarantineEntry {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]QuarantineEntry, len(q.order))
+	for i, c := range q.order {
+		out[i] = QuarantineEntry{Canonical: c, Panics: q.seen[c]}
+	}
+	return out
+}
+
+func (q *quarantine) size() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.order)
+}

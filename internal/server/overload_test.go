@@ -1,0 +1,389 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ktpm"
+	"ktpm/internal/lru"
+)
+
+func TestAdmissionUnit(t *testing.T) {
+	a := newAdmission(10*time.Millisecond, 2)
+	if est := a.estWait(5); est != 0 {
+		t.Fatalf("estWait with no history = %v, want 0 (admit and learn)", est)
+	}
+	a.observe("query", 10*time.Millisecond)
+	if est := a.estWait(4); est != 20*time.Millisecond {
+		t.Fatalf("estWait(4) = %v, want 20ms (4 x 10ms / 2 workers)", est)
+	}
+	if _, shed := a.shouldShed(4, 0); !shed {
+		t.Fatal("20ms estimate over a 10ms budget was not shed")
+	}
+	if _, shed := a.shouldShed(1, 0); shed {
+		t.Fatal("5ms estimate under a 10ms budget was shed")
+	}
+	// A request timeout tighter than -max-queue-wait becomes the budget.
+	wide := newAdmission(time.Hour, 2)
+	wide.observe("query", 10*time.Millisecond)
+	if _, shed := wide.shouldShed(4, 15*time.Millisecond); !shed {
+		t.Fatal("estimate over the request timeout was not shed")
+	}
+	// maxWait <= 0 disables prediction entirely.
+	off := newAdmission(0, 2)
+	off.observe("query", time.Hour)
+	if _, shed := off.shouldShed(1000, time.Millisecond); shed {
+		t.Fatal("disabled admission gate shed a request")
+	}
+}
+
+func TestRetryAfterSeconds(t *testing.T) {
+	for _, tc := range []struct {
+		est  time.Duration
+		want string
+	}{
+		{0, "1"},
+		{200 * time.Millisecond, "1"},
+		{1500 * time.Millisecond, "2"},
+		{2 * time.Minute, "30"},
+	} {
+		if got := retryAfterSeconds(tc.est); got != tc.want {
+			t.Errorf("retryAfterSeconds(%v) = %q, want %q", tc.est, got, tc.want)
+		}
+	}
+}
+
+// TestQueryShedsUnderBurst pins the predictive gate end to end: with
+// the one worker occupied, a queued task, and a cost history that
+// prices the wait over the budget, a cache-missing /query must answer
+// 429 with Retry-After before touching the executor.
+func TestQueryShedsUnderBurst(t *testing.T) {
+	s, _ := newTestServer(t, Config{
+		Concurrency:  1,
+		QueueDepth:   8,
+		MaxQueueWait: 5 * time.Millisecond,
+	})
+	release, err := s.exec.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	// One task sitting in the queue behind the occupied worker.
+	queuedDone := make(chan struct{})
+	go func() {
+		defer close(queuedDone)
+		_ = s.exec.Do(context.Background(), func() {})
+	}()
+	waitFor(t, func() bool { return s.exec.queued.Load() >= 1 })
+	s.adm.observe("query", 100*time.Millisecond)
+
+	rec, _ := getQuery(t, s, "/query?q=C(E,S)&k=5")
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429: %s", rec.Code, rec.Body.String())
+	}
+	if ra := rec.Header().Get("Retry-After"); ra == "" {
+		t.Fatal("429 without a Retry-After header")
+	}
+	if !strings.Contains(rec.Body.String(), "deadline") {
+		t.Fatalf("shed body does not name its reason: %s", rec.Body.String())
+	}
+	if got := s.shedDeadline.Load(); got != 1 {
+		t.Fatalf("shed_deadline = %d, want 1", got)
+	}
+
+	// Releasing the worker drains the queue; the same query is then
+	// admitted (history alone never sheds an empty queue).
+	release()
+	<-queuedDone
+	waitFor(t, func() bool { return s.exec.queued.Load() == 0 })
+	rec, _ = getQuery(t, s, "/query?q=C(E,S)&k=5")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("post-burst status %d: %s", rec.Code, rec.Body.String())
+	}
+}
+
+func TestBrownoutHysteresis(t *testing.T) {
+	b := newBrownout()
+	clock := time.Unix(1000, 0)
+	b.now = func() time.Time { return clock }
+	window := func(shed bool) {
+		// Rolls the previous window (the first record past winEnd does)
+		// and fills the new one past minHits.
+		clock = clock.Add(b.winDur + time.Millisecond)
+		for i := 0; i < 10; i++ {
+			b.record(shed)
+		}
+	}
+	window(true)
+	window(true)
+	if b.stage.Load() != brownoutOff {
+		t.Fatal("one closed saturated window already entered brownout")
+	}
+	window(true) // rolls the 2nd saturated window: enter
+	if b.stage.Load() != brownoutShed {
+		t.Fatal("two saturated windows did not enter brownout")
+	}
+	for i := 0; i < 5; i++ {
+		window(false)
+		if got := b.stage.Load(); got != brownoutShed {
+			t.Fatalf("left brownout after %d healthy windows, want %d", i, b.exit)
+		}
+	}
+	window(false) // rolls the 5th healthy window: exit
+	if b.stage.Load() != brownoutOff {
+		t.Fatal("five healthy windows did not exit brownout")
+	}
+	if got := b.transitions.Load(); got != 2 {
+		t.Fatalf("transitions = %d, want 2", got)
+	}
+}
+
+func TestMemWatcherStagesAndRecovery(t *testing.T) {
+	cache := lru.New[cachedResult](64)
+	var heap atomic.Int64
+	m := newMemWatcher(1000, cache)
+	m.readHeap = heap.Load
+
+	heap.Store(900) // 90%: stage 1, cache halves per sample
+	m.sample()
+	if got := m.stage.Load(); got != memStageShrink {
+		t.Fatalf("stage = %d at 90%%, want 1", got)
+	}
+	if got := cache.Capacity(); got != 32 {
+		t.Fatalf("capacity after one stage-1 sample = %d, want 32", got)
+	}
+	for i := 0; i < 4; i++ {
+		m.sample()
+	}
+	if got := cache.Capacity(); got != m.floorCap {
+		t.Fatalf("capacity = %d, want shrink floor %d", got, m.floorCap)
+	}
+	heap.Store(960) // 96%: stage 2
+	m.sample()
+	if got := m.stage.Load(); got != memStageNoAdmit {
+		t.Fatalf("stage = %d at 96%%, want 2", got)
+	}
+	heap.Store(1100) // 110%: stage 3
+	m.sample()
+	if got := m.stage.Load(); got != memStageShed {
+		t.Fatalf("stage = %d at 110%%, want 3", got)
+	}
+
+	// Recovery: sticky, one stage per memRecoverSamples clear samples,
+	// capacity restored only at stage 0.
+	heap.Store(300)
+	for want := memStageShed - 1; want >= 0; want-- {
+		for i := 0; i < memRecoverSamples; i++ {
+			m.sample()
+		}
+		if got := m.stage.Load(); got != want {
+			t.Fatalf("stage = %d after %d clear samples, want %d", got, memRecoverSamples, want)
+		}
+	}
+	if got := cache.Capacity(); got != 64 {
+		t.Fatalf("capacity after full recovery = %d, want 64 restored", got)
+	}
+	// A single spike mid-recovery resets the clear run.
+	heap.Store(900)
+	m.sample()
+	heap.Store(300)
+	for i := 0; i < memRecoverSamples-1; i++ {
+		m.sample()
+	}
+	if got := m.stage.Load(); got != memStageShrink {
+		t.Fatalf("stage = %d, want 1 (clear run not yet complete)", got)
+	}
+}
+
+// TestMemoryShedServesOnlyCache pins stage 3 at the server level: a
+// cached hit keeps flowing, a miss is shed 429 with the memory reason.
+func TestMemoryShedServesOnlyCache(t *testing.T) {
+	s, _ := newTestServer(t, Config{CacheEntries: 64})
+	var heap atomic.Int64
+	s.mem = newMemWatcher(1000, s.cache)
+	s.mem.readHeap = heap.Load // ticker never started: samples are manual
+
+	rec, _ := getQuery(t, s, "/query?q=C(E,S)&k=5")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("priming query: %d", rec.Code)
+	}
+	heap.Store(1200)
+	s.mem.sample()
+
+	rec, qr := getQuery(t, s, "/query?q=C(E,S)&k=5")
+	if rec.Code != http.StatusOK || !qr.Cached {
+		t.Fatalf("cached hit at stage 3: status %d cached=%v, want 200 cached", rec.Code, qr.Cached)
+	}
+	rec, _ = getQuery(t, s, "/query?q=C(E)&k=5")
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("miss at stage 3: status %d, want 429", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "memory") {
+		t.Fatalf("memory shed does not name its reason: %s", rec.Body.String())
+	}
+
+	heap.Store(100)
+	for i := 0; i < 3*memRecoverSamples; i++ {
+		s.mem.sample()
+	}
+	rec, _ = getQuery(t, s, "/query?q=C(E)&k=5")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("miss after recovery: status %d, want 200", rec.Code)
+	}
+}
+
+// panicBackend crashes the enumeration of one canonical query and
+// delegates everything else.
+type panicBackend struct {
+	Backend
+	poison string
+}
+
+func (p *panicBackend) TopKWith(q *ktpm.Query, k int, opt ktpm.Options) ([]ktpm.Match, error) {
+	if q.Canonical() == p.poison {
+		panic("poison query reached the enumerator")
+	}
+	return p.Backend.TopKWith(q, k, opt)
+}
+
+func TestPanicQuarantine(t *testing.T) {
+	db := testDatabase(t)
+	s := New(&panicBackend{Backend: db, poison: "C(E,S)"}, Config{})
+	t.Cleanup(s.Close)
+
+	rec, _ := getQuery(t, s, "/query?q=C(E,S)&k=5")
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("poison query: status %d, want 500", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "panicked") {
+		t.Fatalf("first failure does not surface the panic: %s", rec.Body.String())
+	}
+	// The repeat fast-fails from the quarantine without re-crashing a
+	// worker; sibling order canonicalizes to the same entry.
+	rec, _ = getQuery(t, s, "/query?q=C(S,E)&k=5")
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("quarantined repeat: status %d, want 500", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "quarantined") {
+		t.Fatalf("repeat was not fast-failed by the quarantine: %s", rec.Body.String())
+	}
+	if p, h := s.quar.panics.Load(), s.quar.hits.Load(); p != 1 || h != 1 {
+		t.Fatalf("panics=%d hits=%d, want 1 and 1", p, h)
+	}
+	// The pool survived: an unrelated query still answers.
+	rec, _ = getQuery(t, s, "/query?q=C(E)&k=5")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthy query after panic: status %d", rec.Code)
+	}
+	_, body := get(t, s, "/stats")
+	quar, _ := body["quarantine"].(map[string]any)
+	if quar == nil {
+		t.Fatal("/stats has no quarantine block")
+	}
+	entries, _ := quar["entries"].([]any)
+	if len(entries) != 1 {
+		t.Fatalf("quarantine entries = %v, want 1", entries)
+	}
+}
+
+func TestQuarantineFIFOEviction(t *testing.T) {
+	q := newQuarantine(2)
+	q.add("a")
+	q.add("b")
+	q.add("a") // repeat bumps, no new slot
+	q.add("c") // evicts the oldest, "a"
+	if q.has("a") {
+		t.Fatal("oldest entry survived eviction")
+	}
+	if !q.has("b") || !q.has("c") {
+		t.Fatal("newer entries were evicted")
+	}
+	if got := q.panics.Load(); got != 4 {
+		t.Fatalf("panics = %d, want 4", got)
+	}
+}
+
+// gatedBackend blocks TopKWith until the gate opens, signalling entry,
+// so tests can hold a request in flight deliberately.
+type gatedBackend struct {
+	Backend
+	entered chan struct{}
+	gate    chan struct{}
+}
+
+func (g *gatedBackend) TopKWith(q *ktpm.Query, k int, opt ktpm.Options) ([]ktpm.Match, error) {
+	g.entered <- struct{}{}
+	<-g.gate
+	return g.Backend.TopKWith(q, k, opt)
+}
+
+// TestDrainCompletesInFlight pins the shutdown contract: BeginDrain
+// flips /readyz to 503 and rejects new work with 503 + Retry-After
+// while /healthz stays 200 and the in-flight request runs to a normal
+// 200 completion.
+func TestDrainCompletesInFlight(t *testing.T) {
+	db := testDatabase(t)
+	gb := &gatedBackend{Backend: db, entered: make(chan struct{}, 1), gate: make(chan struct{})}
+	s := New(gb, Config{Concurrency: 2})
+	t.Cleanup(s.Close)
+
+	inFlight := httptest.NewRecorder()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.ServeHTTP(inFlight, httptest.NewRequest(http.MethodGet, "/query?q=C(E,S)&k=5", nil))
+	}()
+	<-gb.entered
+
+	s.BeginDrain()
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz while draining = %d, want 503", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/healthz while draining = %d, want 200 (alive, just leaving)", rec.Code)
+	}
+	rec, _ = getQuery(t, s, "/query?q=C(E)&k=5")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("new query while draining = %d, want 503", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("drain rejection without Retry-After")
+	}
+
+	close(gb.gate)
+	<-done
+	if inFlight.Code != http.StatusOK {
+		t.Fatalf("in-flight request finished %d, want 200: %s", inFlight.Code, inFlight.Body.String())
+	}
+}
+
+func TestBodyTooLarge(t *testing.T) {
+	s, _ := newTestServer(t, Config{MaxBodyBytes: 64})
+	big := "q=C(E,S)&k=5&pad=" + strings.Repeat("x", 256)
+	req := httptest.NewRequest(http.MethodPost, "/query", strings.NewReader(big))
+	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized POST = %d, want 413: %s", rec.Code, rec.Body.String())
+	}
+	if got := s.tooLarge.Load(); got != 1 {
+		t.Fatalf("body_too_large = %d, want 1", got)
+	}
+	req = httptest.NewRequest(http.MethodPost, "/query", strings.NewReader("q=C(E,S)&k=5"))
+	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("small POST = %d, want 200: %s", rec.Code, rec.Body.String())
+	}
+}

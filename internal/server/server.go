@@ -123,6 +123,25 @@ type Config struct {
 	// flushed (and client disconnect / deadline checked) every this many
 	// matches; 0 means 32.
 	StreamChunk int
+	// MaxQueueWait is the adaptive-admission budget: a request predicted
+	// to wait longer than this (or than its own timeout, whichever is
+	// smaller) for a worker is shed up front with 429 + Retry-After
+	// instead of queueing toward a 504. 0 disables predictive shedding
+	// (the bounded queue's 503 remains). ktpmd defaults the flag to 2s.
+	MaxQueueWait time.Duration
+	// MemSoftLimit is the heap soft limit in bytes: the memory watcher
+	// degrades the server in stages (shrink cache, stop cache admission,
+	// shed non-cached requests) as live heap approaches it. 0 disables
+	// the watcher.
+	MemSoftLimit int64
+	// MaxBodyBytes caps POST request bodies on /query, /batch, and
+	// /stream; oversized bodies answer 413. 0 means 4 MiB; negative
+	// disables the cap.
+	MaxBodyBytes int64
+	// QuarantineCap bounds the poison-query quarantine set (canonical
+	// queries whose enumeration panicked; repeats fast-fail with 500).
+	// 0 means 128.
+	QuarantineCap int
 	// Startup describes how the backend database was loaded (ktpmd fills
 	// it); reported in /stats and /metrics.
 	Startup StartupInfo
@@ -178,6 +197,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.StreamChunk <= 0 {
 		c.StreamChunk = 32
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 4 << 20
+	}
+	if c.QuarantineCap <= 0 {
+		c.QuarantineCap = 128
 	}
 	return c
 }
@@ -235,6 +260,15 @@ type Server struct {
 	obs   *serverObs  // nil when Config.DisableObs
 	ready atomic.Bool // /readyz gate; New starts ready
 
+	// The resilience layer: predictive admission, the brownout
+	// controller, the poison-query quarantine, the memory watcher (nil
+	// unless MemSoftLimit is set), and the drain gate.
+	adm      *admission
+	brown    *brownout
+	quar     *quarantine
+	mem      *memWatcher
+	draining atomic.Bool // BeginDrain flips it; query-family endpoints reject 503
+
 	// flights coalesces concurrent cache misses for the same key: one
 	// leader occupies a worker, followers wait on its flightCall. Without
 	// this, N simultaneous identical cold queries would run N identical
@@ -267,6 +301,12 @@ type Server struct {
 	streamMaxHits      atomic.Int64 // streams truncated by the max-matches guard
 	streamDeadlineHits atomic.Int64 // streams truncated by the request deadline
 	streamDisconnects  atomic.Int64 // streams stopped by a mid-stream client disconnect
+
+	shedDeadline atomic.Int64 // 429: predicted queue wait exceeded the budget
+	shedBrownout atomic.Int64 // 429: brownout shed an uncached work class
+	shedMemory   atomic.Int64 // 429: heap over the soft limit shed non-cached work
+	shedDrain    atomic.Int64 // 503: request arrived while draining
+	tooLarge     atomic.Int64 // 413: POST body over MaxBodyBytes
 }
 
 // flightCall is one in-progress /query computation, shared by every
@@ -290,9 +330,16 @@ func New(db Backend, cfg Config) *Server {
 		mux:     http.NewServeMux(),
 		start:   time.Now(),
 		flights: make(map[string]*flightCall),
+		adm:     newAdmission(cfg.MaxQueueWait, cfg.Concurrency),
+		brown:   newBrownout(),
+		quar:    newQuarantine(cfg.QuarantineCap),
 	}
 	if !cfg.DisableObs {
 		s.obs = newServerObs(cfg)
+	}
+	if cfg.MemSoftLimit > 0 {
+		s.mem = newMemWatcher(cfg.MemSoftLimit, s.cache)
+		s.mem.start()
 	}
 	s.ready.Store(true)
 	s.mux.HandleFunc("/query", s.handleQuery)
@@ -319,8 +366,109 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.obs.serve(s, w, r)
 }
 
-// Close stops the worker pool after in-flight queries finish.
-func (s *Server) Close() { s.exec.Close() }
+// Close stops the worker pool after in-flight queries finish, and the
+// memory watcher when one is running.
+func (s *Server) Close() {
+	if s.mem != nil {
+		s.mem.stopWatch()
+	}
+	s.exec.Close()
+}
+
+// BeginDrain flips the server into drain mode: /readyz answers 503
+// immediately (load balancers stop routing here), every query-family
+// endpoint rejects new work with 503 + Retry-After, and in-flight
+// requests run to completion — the caller (ktpmd's SIGTERM path) then
+// bounds the wait with http.Server.Shutdown and -drain-timeout.
+// /healthz keeps answering 200: the process is alive, just leaving.
+func (s *Server) BeginDrain() {
+	if s.draining.CompareAndSwap(false, true) {
+		s.ready.Store(false)
+	}
+}
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// rejectDraining answers a request that arrived after BeginDrain.
+func (s *Server) rejectDraining(w http.ResponseWriter) {
+	s.shedDrain.Add(1)
+	w.Header().Set("Retry-After", "1")
+	s.writeError(w, http.StatusServiceUnavailable, "server is draining for shutdown")
+}
+
+// shedClass returns the shed reason that currently applies to a request
+// class, or "" when it may proceed. expensive marks the uncached work
+// classes brownout stage 1 sheds first (/stream, and /batch with cache
+// misses); /query and /explain misses keep flowing until the memory
+// watcher reaches its final stage.
+func (s *Server) shedClass(expensive bool) string {
+	if s.memStage() >= memStageShed {
+		return shedReasonMemory
+	}
+	if expensive && s.brown.stage.Load() >= brownoutShed {
+		return shedReasonBrownout
+	}
+	return ""
+}
+
+// writeShed answers a load-shed request with 429 + Retry-After. Only
+// deadline sheds feed the brownout detector: brownout- and memory-shed
+// responses are consequences of their own controllers, and feeding them
+// back would keep brownout latched after the pressure is gone.
+func (s *Server) writeShed(w http.ResponseWriter, reason string) {
+	switch reason {
+	case shedReasonDeadline:
+		s.shedDeadline.Add(1)
+	case shedReasonBrownout:
+		s.shedBrownout.Add(1)
+	case shedReasonMemory:
+		s.shedMemory.Add(1)
+	}
+	s.brown.record(reason == shedReasonDeadline)
+	est := s.adm.estWait(s.exec.queued.Load())
+	w.Header().Set("Retry-After", retryAfterSeconds(est))
+	s.writeError(w, http.StatusTooManyRequests, "server overloaded (%s), retry later", reason)
+}
+
+// limitBody wraps a POST body in http.MaxBytesReader and parses the
+// form, answering 413 when the body exceeds MaxBodyBytes. GET requests
+// (query in the URL) never pass through it.
+func (s *Server) limitBody(w http.ResponseWriter, r *http.Request) bool {
+	if s.cfg.MaxBodyBytes > 0 {
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	}
+	if err := r.ParseForm(); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.tooLarge.Add(1)
+			s.writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", s.cfg.MaxBodyBytes)
+		} else {
+			s.writeError(w, http.StatusBadRequest, "bad form body: %v", err)
+		}
+		return false
+	}
+	return true
+}
+
+// recordPanic quarantines canonical when err is a PanicError, so
+// repeats of the crashing query fast-fail instead of burning another
+// worker. It reports whether err was a panic.
+func (s *Server) recordPanic(canonical string, err error) bool {
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		return false
+	}
+	s.quar.add(canonical)
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Error("query panicked; canonical form quarantined",
+			"canonical", canonical,
+			"panic", fmt.Sprint(pe.Val),
+			"stack", string(pe.Stack),
+		)
+	}
+	return true
+}
 
 func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -344,6 +492,9 @@ func (s *Server) parseRequest(w http.ResponseWriter, r *http.Request) (q *ktpm.Q
 	if r.Method != http.MethodGet && r.Method != http.MethodPost {
 		w.Header().Set("Allow", "GET, POST")
 		s.writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return nil, 0, 0, false
+	}
+	if r.Method == http.MethodPost && !s.limitBody(w, r) {
 		return nil, 0, 0, false
 	}
 	qs := r.FormValue("q")
@@ -385,9 +536,10 @@ func (s *Server) parseRequest(w http.ResponseWriter, r *http.Request) (q *ktpm.Q
 	return q, k, algo, true
 }
 
-// execute runs fn through the pool, translating admission and deadline
-// failures into HTTP errors. It reports whether fn's result may be used.
-func (s *Server) execute(w http.ResponseWriter, r *http.Request, fn func()) bool {
+// execute runs fn through the pool under the endpoint family ep (which
+// names the moving cost estimate its execution time feeds), returning
+// the executor's error for the caller to map via writeExecError.
+func (s *Server) execute(w http.ResponseWriter, r *http.Request, ep string, fn func()) error {
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
 	// The admission-wait span opens before Do and is ended as the task's
@@ -395,9 +547,14 @@ func (s *Server) execute(w http.ResponseWriter, r *http.Request, fn func()) bool
 	// End (for tasks dropped before running) is an idempotent no-op when
 	// the first already fired.
 	wait := requestSpan(w, r).StartChild("admission_wait")
-	err := s.exec.Do(ctx, func() { wait.End(); fn() })
+	err := s.exec.Do(ctx, func() {
+		wait.End()
+		t0 := time.Now()
+		fn()
+		s.adm.observe(ep, time.Since(t0))
+	})
 	wait.End()
-	return s.writeExecError(w, err)
+	return err
 }
 
 // writeExecError maps an executor error to its HTTP response; it reports
@@ -405,9 +562,13 @@ func (s *Server) execute(w http.ResponseWriter, r *http.Request, fn func()) bool
 func (s *Server) writeExecError(w http.ResponseWriter, err error) bool {
 	switch {
 	case err == nil:
+		s.brown.record(false)
 		return true
 	case errors.Is(err, ErrQueueFull):
+		// A full queue is a saturation signal exactly like a predictive
+		// deadline shed; both feed the brownout detector.
 		s.rejected.Add(1)
+		s.brown.record(true)
 		w.Header().Set("Retry-After", "1")
 		s.writeError(w, http.StatusServiceUnavailable, "admission queue full, retry later")
 		return false
@@ -484,6 +645,8 @@ func (s *Server) runQuery(w http.ResponseWriter, r *http.Request, key string, cq
 	wait := trace.StartChild("admission_wait")
 	err := s.exec.Do(fctx, func() {
 		wait.End()
+		tExec := time.Now()
+		defer func() { s.adm.observe("query", time.Since(tExec)) }()
 		var costBefore int64
 		if s.cfg.CacheMinEntries > 0 {
 			costBefore = s.db.IOStats().EntriesRead
@@ -525,6 +688,12 @@ func (s *Server) runQuery(w http.ResponseWriter, r *http.Request, key string, cq
 		if s.cfg.CacheEntries <= 0 {
 			return // cache disabled: admission would be bookkeeping fiction
 		}
+		if !s.cacheAdmitAllowed() {
+			// Memory stage 2+: every byte the cache takes is a byte the
+			// watcher has to claw back next sample.
+			s.cacheBypassed.Add(1)
+			return
+		}
 		// Cost-aware admission: only results whose enumeration did real
 		// store I/O earn a cache slot (see Config.CacheMinEntries).
 		if s.cfg.CacheMinEntries > 0 {
@@ -560,6 +729,10 @@ func resultKey(canonical string, k int, algo ktpm.Algorithm) string {
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	t0 := time.Now()
+	if s.draining.Load() {
+		s.rejectDraining(w)
+		return
+	}
 	q, k, algo, ok := s.parseRequest(w, r)
 	if !ok {
 		return
@@ -593,6 +766,22 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		finish(w)
 		return
 	}
+	// Cache misses pass the overload gates: the quarantine fast-fail,
+	// the memory watcher's final stage, and the predictive queue-wait
+	// check. Cache hits above never get here — serving paid-for work is
+	// the whole point of brownout.
+	if s.quar.has(canonical) {
+		s.writeError(w, http.StatusInternalServerError, "query quarantined: its enumeration previously crashed")
+		return
+	}
+	if reason := s.shedClass(false); reason != "" {
+		s.writeShed(w, reason)
+		return
+	}
+	if _, bad := s.adm.shouldShed(s.exec.queued.Load(), s.cfg.RequestTimeout); bad {
+		s.writeShed(w, shedReasonDeadline)
+		return
+	}
 	// Execute the canonical form so cached position numbering is
 	// reproducible regardless of which sibling order first filled the
 	// entry.
@@ -602,6 +791,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	res, coalesced, err := s.runQuery(w, r, key, cq, k, algo)
+	if err != nil && !coalesced {
+		// Only the flight leader quarantines: followers share the same
+		// error and would multiply the panic count.
+		s.recordPanic(canonical, err)
+	}
 	if !s.writeExecError(w, err) {
 		return
 	}
@@ -623,8 +817,25 @@ type ExplainResponse struct {
 
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	t0 := time.Now()
+	if s.draining.Load() {
+		s.rejectDraining(w)
+		return
+	}
 	q, _, _, ok := s.parseRequest(w, r)
 	if !ok {
+		return
+	}
+	canonical := q.Canonical()
+	if s.quar.has(canonical) {
+		s.writeError(w, http.StatusInternalServerError, "query quarantined: its enumeration previously crashed")
+		return
+	}
+	if reason := s.shedClass(false); reason != "" {
+		s.writeShed(w, reason)
+		return
+	}
+	if _, bad := s.adm.shouldShed(s.exec.queued.Load(), s.cfg.RequestTimeout); bad {
+		s.writeShed(w, shedReasonDeadline)
 		return
 	}
 	var (
@@ -636,11 +847,13 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	// request's enumerate stage: it is the work a worker slot was held
 	// for.
 	trace := requestSpan(w, r)
-	if !s.execute(w, r, func() {
+	err := s.execute(w, r, "explain", func() {
 		en := trace.StartChild("enumerate")
 		plan, callErr = s.db.Explain(q)
 		en.End()
-	}) {
+	})
+	s.recordPanic(canonical, err)
+	if !s.writeExecError(w, err) {
 		return
 	}
 	if callErr != nil {
@@ -743,6 +956,98 @@ type StatsResponse struct {
 	// and /stream: a dead worker shard was dropped under the
 	// coordinator's partial policy. Always zero for local backends.
 	Partials int64 `json:"partials"`
+	// Overload reports the resilience layer: drain state, predictive
+	// admission estimates, brownout stage, shed counters by reason, and
+	// the memory watcher when -mem-soft-limit is set.
+	Overload OverloadStats `json:"overload"`
+	// Quarantine reports the poison-query set: canonical queries whose
+	// enumeration panicked, fast-failed on repeat.
+	Quarantine QuarantineStats `json:"quarantine"`
+}
+
+// OverloadStats is the /stats overload block.
+type OverloadStats struct {
+	// Draining is true after BeginDrain: /readyz answers 503 and new
+	// query-family requests are rejected.
+	Draining bool `json:"draining"`
+	// MaxQueueWaitMS is the predictive admission budget (0 = disabled);
+	// EstQueueWaitMS is the current wait estimate for a newly-admitted
+	// task (queued × pooled cost ÷ workers).
+	MaxQueueWaitMS float64 `json:"max_queue_wait_ms"`
+	EstQueueWaitMS float64 `json:"est_queue_wait_ms"`
+	// CostEWMAMS is the moving execution-cost estimate per endpoint
+	// family, plus "pooled" — the queue-pricing estimate across all of
+	// them.
+	CostEWMAMS map[string]float64 `json:"cost_ewma_ms"`
+	// BrownoutStage is 0 (serving everything) or 1 (shedding uncached
+	// /batch and /stream); BrownoutTransitions counts stage changes in
+	// either direction.
+	BrownoutStage       int32 `json:"brownout_stage"`
+	BrownoutTransitions int64 `json:"brownout_transitions"`
+	// Shed counts 429/503 rejections by reason; BodyTooLarge counts 413s.
+	Shed struct {
+		Deadline int64 `json:"deadline"`
+		Brownout int64 `json:"brownout"`
+		Memory   int64 `json:"memory"`
+		Drain    int64 `json:"drain"`
+	} `json:"shed"`
+	BodyTooLarge int64 `json:"body_too_large"`
+	// Memory is the backpressure watcher's state; omitted when
+	// -mem-soft-limit is unset.
+	Memory *MemoryStats `json:"memory,omitempty"`
+}
+
+// MemoryStats is the memory watcher's /stats block.
+type MemoryStats struct {
+	SoftLimitBytes int64 `json:"soft_limit_bytes"`
+	HeapBytes      int64 `json:"heap_bytes"`
+	// Stage is 0 (normal), 1 (cache shrinking), 2 (cache admission
+	// disabled), or 3 (shedding non-cached requests).
+	Stage         int32 `json:"stage"`
+	CacheCapacity int   `json:"cache_capacity"`
+	CacheShrinks  int64 `json:"cache_shrinks"`
+	Transitions   int64 `json:"transitions"`
+}
+
+// QuarantineStats is the /stats quarantine block.
+type QuarantineStats struct {
+	Capacity int `json:"capacity"`
+	// Panics counts recovered enumeration crashes; Hits counts requests
+	// fast-failed because their canonical form was already quarantined.
+	Panics  int64             `json:"panics"`
+	Hits    int64             `json:"hits"`
+	Entries []QuarantineEntry `json:"entries"`
+}
+
+// overloadStats assembles the /stats overload block.
+func (s *Server) overloadStats() OverloadStats {
+	var o OverloadStats
+	o.Draining = s.draining.Load()
+	o.MaxQueueWaitMS = float64(s.adm.maxWait.Nanoseconds()) / 1e6
+	o.EstQueueWaitMS = float64(s.adm.estWait(s.exec.queued.Load()).Nanoseconds()) / 1e6
+	o.CostEWMAMS = make(map[string]float64, len(s.adm.endpoint)+1)
+	o.CostEWMAMS["pooled"] = float64(s.adm.pooled.get().Nanoseconds()) / 1e6
+	for ep, c := range s.adm.endpoint {
+		o.CostEWMAMS[ep] = float64(c.get().Nanoseconds()) / 1e6
+	}
+	o.BrownoutStage = s.brown.stage.Load()
+	o.BrownoutTransitions = s.brown.transitions.Load()
+	o.Shed.Deadline = s.shedDeadline.Load()
+	o.Shed.Brownout = s.shedBrownout.Load()
+	o.Shed.Memory = s.shedMemory.Load()
+	o.Shed.Drain = s.shedDrain.Load()
+	o.BodyTooLarge = s.tooLarge.Load()
+	if s.mem != nil {
+		o.Memory = &MemoryStats{
+			SoftLimitBytes: s.mem.soft,
+			HeapBytes:      s.mem.heapBytes.Load(),
+			Stage:          s.mem.stage.Load(),
+			CacheCapacity:  s.cache.Capacity(),
+			CacheShrinks:   s.mem.shrinks.Load(),
+			Transitions:    s.mem.transitions.Load(),
+		}
+	}
+	return o
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -798,12 +1103,27 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.Workers = &st
 	}
 	resp.Partials = s.partials.Load()
+	resp.Overload = s.overloadStats()
+	resp.Quarantine = QuarantineStats{
+		Capacity: s.cfg.QuarantineCap,
+		Panics:   s.quar.panics.Load(),
+		Hits:     s.quar.hits.Load(),
+		Entries:  s.quar.snapshot(),
+	}
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
+// handleHealthz is pure liveness: it answers 200 even while draining
+// (the process is alive and finishing work — it is /readyz that tells
+// the load balancer to stop routing here). The status string flips to
+// "draining" so operators can tell the two apart at a glance.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
 	s.writeJSON(w, http.StatusOK, map[string]any{
-		"status": "ok",
+		"status": status,
 		"uptime": time.Since(s.start).String(),
 	})
 }

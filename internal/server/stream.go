@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"strconv"
 	"time"
@@ -71,8 +72,29 @@ type StreamTrailer struct {
 
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	t0 := time.Now()
+	if s.draining.Load() {
+		s.rejectDraining(w)
+		return
+	}
 	q, algo, max, ok := s.parseStreamRequest(w, r)
 	if !ok {
+		return
+	}
+	// The overload gates run before a worker slot is reserved: a stream
+	// is the most expensive work class (it holds its slot for the whole
+	// drain), so brownout stage 1, the memory watcher's final stage, and
+	// the predictive queue-wait check all shed it at the door.
+	canonical := q.Canonical()
+	if s.quar.has(canonical) {
+		s.writeError(w, http.StatusInternalServerError, "query quarantined: its enumeration previously crashed")
+		return
+	}
+	if reason := s.shedClass(true); reason != "" {
+		s.writeShed(w, reason)
+		return
+	}
+	if _, bad := s.adm.shouldShed(s.exec.queued.Load(), s.cfg.RequestTimeout); bad {
+		s.writeShed(w, shedReasonDeadline)
 		return
 	}
 	// One admission decision up front: the stream reserves a worker slot
@@ -88,6 +110,42 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
+	tExec := time.Now()
+	defer func() { s.adm.observe("stream", time.Since(tExec)) }()
+
+	// The stream's enumeration runs on the handler goroutine (it must
+	// interleave with response writes), so the executor's panic recovery
+	// cannot cover it; this recover does. Before the header is written a
+	// crash answers a plain 500; after it, the error trailer below. In
+	// both cases the canonical query is quarantined.
+	headerSent := false
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.quar.add(canonical)
+			if s.cfg.Logger != nil {
+				s.cfg.Logger.Error("stream enumeration panicked; canonical form quarantined",
+					"canonical", canonical, "panic", fmt.Sprint(rec))
+			}
+			if !headerSent {
+				s.writeError(w, http.StatusInternalServerError, "stream panicked: %v", rec)
+				return
+			}
+			// The NDJSON status line is long gone; end the stream with an
+			// error trailer on its own line (a partially-written match line,
+			// if any, is unparseable and skipped by NDJSON clients).
+			enc := json.NewEncoder(w)
+			_ = enc.Encode(StreamTrailer{
+				Done:      true,
+				Complete:  false,
+				Reason:    "error",
+				ElapsedMS: msSince(t0),
+				Error:     fmt.Sprintf("panic: %v", rec),
+			})
+			if flusher, ok := w.(http.Flusher); ok {
+				flusher.Flush()
+			}
+		}
+	}()
 
 	// The enumerate span covers the stream's whole drain: a sharded
 	// backend's shard_merge span (ended by Close) nests under it.
@@ -106,6 +164,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("X-Accel-Buffering", "no") // proxies must not buffer an anytime stream
 	w.WriteHeader(http.StatusOK)
+	headerSent = true
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w) // Encode's trailing newline is the NDJSON frame
 	hdr := StreamHeader{
@@ -217,6 +276,9 @@ func (s *Server) parseStreamRequest(w http.ResponseWriter, r *http.Request) (q *
 	if r.Method != http.MethodGet && r.Method != http.MethodPost {
 		w.Header().Set("Allow", "GET, POST")
 		s.writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return nil, 0, 0, false
+	}
+	if r.Method == http.MethodPost && !s.limitBody(w, r) {
 		return nil, 0, 0, false
 	}
 	qs := r.FormValue("q")
