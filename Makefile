@@ -15,8 +15,9 @@ bench-smoke:
 # shard counts, shared versus detached planes), the gather chunk-size
 # sweep, the batch amortization sweep, the snapshot startup sweep
 # (open wall time + first-query latency for build/eager/lazy/mmap at
-# several graph sizes), and the instrumentation overhead sweep
-# (warm-cache /query with observability on versus off). -json implies
+# several graph sizes), the instrumentation overhead sweep (warm-cache
+# /query with observability on versus off), and the columnar layout
+# sweep (row-major baseline versus SoA block kernels). -json implies
 # every sweep, so the flags below stay complete automatically.
 bench-json:
 	go run ./cmd/benchkit -exp topk,batch -json BENCH_topk.json

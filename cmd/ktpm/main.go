@@ -25,10 +25,11 @@ func main() {
 	var (
 		graphPath = flag.String("graph", "", "path to the data graph file")
 		dbPath    = flag.String("db", "", "path to a prepared KTPMTC1 database stream (alternative to -graph)")
-		snapPath  = flag.String("snapshot", "", "path to a KTPMSNAP1 snapshot (alternative to -graph/-db; see -snapshot-mode)")
+		snapPath  = flag.String("snapshot", "", "path to a KTPMSNAP1/2 snapshot (alternative to -graph/-db; see -snapshot-mode)")
 		snapMode  = flag.String("snapshot-mode", "mmap", "snapshot table backing: eager, lazy, or mmap")
 		savePath  = flag.String("save", "", "write the prepared KTPMTC1 database stream here")
-		saveSnap  = flag.String("save-snapshot", "", "write a KTPMSNAP1 snapshot here (openable eagerly, lazily, or via mmap)")
+		saveSnap  = flag.String("save-snapshot", "", "write a snapshot here (openable eagerly, lazily, or via mmap; see -snapshot-format)")
+		snapFmt   = flag.String("snapshot-format", "v1", "snapshot layout for -save-snapshot: v1 (row-major KTPMSNAP1) or v2 (columnar KTPMSNAP2)")
 		queryStr  = flag.String("query", "", "query tree, e.g. \"a(b,c(d))\"")
 		k         = flag.Int("k", 10, "number of matches to return")
 		algoName  = flag.String("algo", "topk-en", "algorithm: topk-en, topk, dp-b, dp-p")
@@ -60,6 +61,10 @@ func main() {
 	if !ok {
 		fatalf("unknown snapshot mode %q (want eager, lazy, mmap)", *snapMode)
 	}
+	format, ok := ktpm.ParseSnapshotFormat(*snapFmt)
+	if !ok {
+		fatalf("unknown snapshot format %q (want v1, v2)", *snapFmt)
+	}
 
 	var db *ktpm.Database
 	if *snapPath != "" {
@@ -71,7 +76,7 @@ func main() {
 		}
 		defer db.Close()
 		ss, _ := db.SnapshotStats()
-		fmt.Printf("snapshot opened in %v (%s mode)\n", time.Since(t0).Round(time.Microsecond), ss.Mode)
+		fmt.Printf("snapshot opened in %v (%s mode, %s format)\n", time.Since(t0).Round(time.Microsecond), ss.Mode, ss.Format)
 	} else if *dbPath != "" {
 		f, err := os.Open(*dbPath)
 		if err != nil {
@@ -109,8 +114,10 @@ func main() {
 		fmt.Printf("database stream written to %s\n", *savePath)
 	}
 	if *saveSnap != "" {
-		save(*saveSnap, db, ktpm.SaveSnapshot)
-		fmt.Printf("snapshot written to %s\n", *saveSnap)
+		save(*saveSnap, db, func(w io.Writer, db *ktpm.Database) error {
+			return ktpm.SaveSnapshotAs(w, db, format)
+		})
+		fmt.Printf("%s snapshot written to %s\n", format, *saveSnap)
 	}
 	if *queryStr == "" && (*savePath != "" || *saveSnap != "") {
 		return

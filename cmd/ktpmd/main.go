@@ -73,7 +73,7 @@ func main() {
 	var (
 		graphPath   = flag.String("graph", "", "path to the data graph file")
 		dbPath      = flag.String("db", "", "path to a prepared KTPMTC1 database stream (alternative to -graph)")
-		snapPath    = flag.String("snapshot", "", "path to a KTPMSNAP1 snapshot (alternative to -graph/-db; see -snapshot-mode)")
+		snapPath    = flag.String("snapshot", "", "path to a KTPMSNAP1/2 snapshot (alternative to -graph/-db; format detected by magic, see -snapshot-mode)")
 		snapMode    = flag.String("snapshot-mode", "mmap", "snapshot table backing: eager (decode all at open), lazy (fault tables on demand), or mmap (zero-copy views, falls back to lazy without mmap)")
 		addr        = flag.String("addr", ":8080", "listen address")
 		concurrency = flag.Int("concurrency", 0, "worker pool size (0 = GOMAXPROCS)")
@@ -525,15 +525,17 @@ func loadDatabase(logger *slog.Logger, graphPath, dbPath, snapPath string, mode 
 		logger.Info("snapshot opened",
 			"elapsed", elapsed.Round(time.Microsecond).String(),
 			"mode", ss.Mode,
+			"format", ss.Format,
 			"entries", entries,
 			"tables", tables,
 			"mb", float64(size)/1e6,
 			"tables_resident", ss.TablesLoaded,
 		)
 		return db, server.StartupInfo{
-			Source:       "snapshot",
-			SnapshotMode: ss.Mode,
-			OpenMS:       float64(elapsed.Microseconds()) / 1000,
+			Source:         "snapshot",
+			SnapshotMode:   ss.Mode,
+			SnapshotFormat: ss.Format,
+			OpenMS:         float64(elapsed.Microseconds()) / 1000,
 		}, nil
 	case dbPath != "":
 		f, err := os.Open(dbPath)

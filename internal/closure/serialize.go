@@ -106,6 +106,38 @@ func decodeEntriesInto(src []byte, entries []Entry) {
 	}
 }
 
+// writeCol streams one int32 field of entries — selected by sel — as a
+// contiguous little-endian column, chunked through buf like writeEntries.
+// The KTPMSNAP2 writer uses it to transpose on the fly without holding a
+// second copy of the table.
+func writeCol(w io.Writer, entries []Entry, sel func(Entry) int32, buf []byte) ([]byte, error) {
+	for len(entries) > 0 {
+		n := len(entries)
+		if n > entryChunk {
+			n = entryChunk
+		}
+		if cap(buf) < n*4 {
+			buf = make([]byte, n*4)
+		}
+		buf = buf[:n*4]
+		for i, e := range entries[:n] {
+			binary.LittleEndian.PutUint32(buf[i*4:], uint32(sel(e)))
+		}
+		if _, err := w.Write(buf); err != nil {
+			return buf, err
+		}
+		entries = entries[n:]
+	}
+	return buf, nil
+}
+
+// decodeInt32ColInto decodes len(dst) little-endian int32s from src.
+func decodeInt32ColInto(src []byte, dst []int32) {
+	for i := range dst {
+		dst[i] = int32(binary.LittleEndian.Uint32(src[i*4:]))
+	}
+}
+
 // Encode writes the closure tables of src. Any TableSource serves: a
 // snapshot-backed database can be re-encoded to the KTPMTC1 stream
 // without recomputing the closure (this faults every table on a lazy
@@ -158,6 +190,33 @@ func validateEntries(g *graph.Graph, alpha, beta int32, entries []Entry) error {
 		}
 		if g.Label(e.From) != alpha || g.Label(e.To) != beta {
 			return fmt.Errorf("entry %+v labels disagree with graph", e)
+		}
+	}
+	return nil
+}
+
+// validateCols is validateEntries for a column view, run as per-column
+// passes (each a tight scan over one contiguous []int32) instead of one
+// strided row walk. Used by the KTPMSNAP2 reader before publishing a
+// faulted column view.
+func validateCols(g *graph.Graph, alpha, beta int32, c Cols) error {
+	if len(c.From) != len(c.To) || len(c.Dist) != len(c.To) {
+		return fmt.Errorf("column lengths disagree: from %d to %d dist %d", len(c.From), len(c.To), len(c.Dist))
+	}
+	n := int32(g.NumNodes())
+	for i, v := range c.From {
+		if v < 0 || v >= n || g.Label(v) != alpha {
+			return fmt.Errorf("invalid entry %+v", c.At(i))
+		}
+	}
+	for i, v := range c.To {
+		if v < 0 || v >= n || g.Label(v) != beta {
+			return fmt.Errorf("invalid entry %+v", c.At(i))
+		}
+	}
+	for i, d := range c.Dist {
+		if d <= 0 {
+			return fmt.Errorf("invalid entry %+v", c.At(i))
 		}
 	}
 	return nil

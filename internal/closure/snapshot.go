@@ -41,16 +41,51 @@ import (
 // Unlike the KTPMTC1 stream — which must be read front to back — the
 // directory up front lets a reader open the snapshot in O(directory)
 // time and seek (or map) exactly the tables a workload touches.
+//
+// KTPMSNAP2 is the columnar (structure-of-arrays) variant: identical
+// header (magic "KTPMSNAP2\n", version 2) and directory, but each table
+// payload stores the three entry fields as separate contiguous
+// little-endian int32 columns instead of interleaved 12-byte rows:
+//
+//	d.off                 to[count]    — target nodes (the carve key)
+//	d.off + distRel       dist[count]  — δmin values
+//	d.off + fromRel       from[count]  — source nodes
+//
+// where distRel/fromRel round each preceding column up to snapTableAlign,
+// so every column starts 16-byte aligned and an mmap of the file serves
+// zero-copy []int32 views per column (colsSpan computes the offsets; lane
+// i across the three columns is entry i, in the same canonical (To, Dist,
+// From) order as v1). Columnar payloads are what make the store's
+// threshold scans, inList carving, and D/E derivation tight per-column
+// passes; v1 files keep opening unchanged, and readers pick the layout by
+// magic alone.
 
-var snapMagic = []byte("KTPMSNAP1\n")
+var (
+	snapMagic  = []byte("KTPMSNAP1\n")
+	snapMagic2 = []byte("KTPMSNAP2\n")
+)
 
 const (
 	snapVersion    = 1
+	snapVersion2   = 2
 	snapPageSize   = 4096
 	snapHeaderSize = 64
 	snapDirEntSize = 24
 	snapTableAlign = 16
 )
+
+// colsSpan returns the layout of one KTPMSNAP2 table payload holding count
+// entries: the offsets of the dist and from columns relative to the table
+// offset, and the total payload span. Every column starts snapTableAlign-
+// aligned; total ≥ count×EntrySize always holds, which the open-time
+// bounds checks rely on to stay overflow-safe.
+func colsSpan(count int64) (distRel, fromRel, total int64) {
+	col := alignUp(count*4, snapTableAlign)
+	distRel = col
+	fromRel = 2 * col
+	total = fromRel + count*4
+	return
+}
 
 // SnapMode selects how OpenSnapshotFile backs table reads.
 type SnapMode int
@@ -111,14 +146,20 @@ type snapDirEnt struct {
 // the file and any mapping — only after all queries against the snapshot
 // have stopped, since mmap-mode []Entry views point into the mapping.
 type Snapshot struct {
-	g    *graph.Graph
-	dir  []snapDirEnt
-	mode SnapMode // effective mode, after any mmap fallback
+	g       *graph.Graph
+	dir     []snapDirEnt
+	mode    SnapMode // effective mode, after any mmap fallback
+	version uint32   // 1 (row-major) or 2 (columnar), from the magic
 
 	// tabs[i] is the published []Entry of dir[i], nil until faulted. In
-	// mmap mode the slice is a zero-copy view over data; otherwise a
-	// decoded heap copy.
+	// mmap mode (v1) the slice is a zero-copy view over data; otherwise a
+	// decoded heap copy. On a v2 file it is a row-major materialization of
+	// the columns, built on demand for TableSource compatibility.
 	tabs []atomic.Pointer[[]Entry]
+	// cols[i] is the published column view of dir[i]. On a v2 file this is
+	// the faulted on-disk layout (zero-copy per column under mmap); on a v1
+	// file it is a cached transpose of the row-major table.
+	cols []atomic.Pointer[Cols]
 	mu   sync.Mutex // serializes faults; reads stay lock-free
 
 	f    *os.File    // lazy backing; nil once eager load completes
@@ -131,14 +172,29 @@ type Snapshot struct {
 	loadErr      atomic.Pointer[error] // sticky first fault-time failure
 }
 
-var _ TableSource = (*Snapshot)(nil)
+var (
+	_ TableSource  = (*Snapshot)(nil)
+	_ ColumnSource = (*Snapshot)(nil)
+)
 
-// WriteSnapshot writes src — graph and closure — as a KTPMSNAP1 snapshot.
-// Any TableSource serves, so an existing database (in-memory or itself
-// snapshot-backed) converts without recomputing the closure; on a lazy
-// source this faults every table. The directory is sorted by
+// WriteSnapshot writes src — graph and closure — as a KTPMSNAP1 (row-major)
+// snapshot. Any TableSource serves, so an existing database (in-memory or
+// itself snapshot-backed) converts without recomputing the closure; on a
+// lazy source this faults every table. The directory is sorted by
 // (alpha, beta), making the output deterministic for a given closure.
 func WriteSnapshot(w io.Writer, src TableSource) error {
+	return writeSnapshot(w, src, snapVersion)
+}
+
+// WriteSnapshotV2 writes src as a KTPMSNAP2 columnar snapshot: same
+// directory, per-table to[]/dist[]/from[] columns. Deterministic like
+// WriteSnapshot, and byte-for-byte the same logical closure — only the
+// payload transpose differs.
+func WriteSnapshotV2(w io.Writer, src TableSource) error {
+	return writeSnapshot(w, src, snapVersion2)
+}
+
+func writeSnapshot(w io.Writer, src TableSource, version uint32) error {
 	g := src.Graph()
 	var gbuf bytes.Buffer
 	if err := graph.Encode(&gbuf, g); err != nil {
@@ -163,15 +219,24 @@ func WriteSnapshot(w io.Writer, src TableSource) error {
 	var numEntries int64
 	for i := range dir {
 		dir[i].off = off
-		off += dir[i].count * EntrySize
+		if version == snapVersion2 {
+			_, _, total := colsSpan(dir[i].count)
+			off += total
+		} else {
+			off += dir[i].count * EntrySize
+		}
 		off = alignUp(off, snapTableAlign)
 		numEntries += dir[i].count
 	}
 
 	bw := bufio.NewWriterSize(w, 1<<20)
 	hdr := make([]byte, snapHeaderSize)
-	copy(hdr, snapMagic)
-	binary.LittleEndian.PutUint32(hdr[10:14], snapVersion)
+	if version == snapVersion2 {
+		copy(hdr, snapMagic2)
+	} else {
+		copy(hdr, snapMagic)
+	}
+	binary.LittleEndian.PutUint32(hdr[10:14], version)
 	binary.LittleEndian.PutUint32(hdr[14:18], snapPageSize)
 	binary.LittleEndian.PutUint64(hdr[18:26], uint64(len(dir)))
 	binary.LittleEndian.PutUint64(hdr[26:34], uint64(numEntries))
@@ -223,10 +288,34 @@ func WriteSnapshot(w io.Writer, src TableSource) error {
 			return fmt.Errorf("closure: table (%d,%d) changed size during snapshot write", d.alpha, d.beta)
 		}
 		var err error
-		if buf, err = writeEntries(bw, entries, buf); err != nil {
-			return err
+		if version == snapVersion2 {
+			// Columns are streamed straight from the row-major entries so
+			// the writer never materializes a second copy of the table.
+			distRel, fromRel, _ := colsSpan(d.count)
+			if buf, err = writeCol(bw, entries, func(e Entry) int32 { return e.To }, buf); err != nil {
+				return err
+			}
+			pos += d.count * 4
+			if err = pad(d.off + distRel); err != nil {
+				return err
+			}
+			if buf, err = writeCol(bw, entries, func(e Entry) int32 { return e.Dist }, buf); err != nil {
+				return err
+			}
+			pos += d.count * 4
+			if err = pad(d.off + fromRel); err != nil {
+				return err
+			}
+			if buf, err = writeCol(bw, entries, func(e Entry) int32 { return e.From }, buf); err != nil {
+				return err
+			}
+			pos += d.count * 4
+		} else {
+			if buf, err = writeEntries(bw, entries, buf); err != nil {
+				return err
+			}
+			pos += d.count * EntrySize
 		}
-		pos += d.count * EntrySize
 	}
 	return bw.Flush()
 }
@@ -264,11 +353,17 @@ func openSnapshot(f *os.File, mode SnapMode) (*Snapshot, error) {
 	if _, err := f.ReadAt(hdr, 0); err != nil {
 		return nil, fmt.Errorf("closure: snapshot header: %w", err)
 	}
-	if !bytes.Equal(hdr[:len(snapMagic)], snapMagic) {
+	var version uint32
+	switch {
+	case bytes.Equal(hdr[:len(snapMagic)], snapMagic):
+		version = snapVersion
+	case bytes.Equal(hdr[:len(snapMagic2)], snapMagic2):
+		version = snapVersion2
+	default:
 		return nil, fmt.Errorf("closure: bad snapshot magic %q", hdr[:len(snapMagic)])
 	}
-	if v := binary.LittleEndian.Uint32(hdr[10:14]); v != snapVersion {
-		return nil, fmt.Errorf("closure: unsupported snapshot version %d", v)
+	if v := binary.LittleEndian.Uint32(hdr[10:14]); v != version {
+		return nil, fmt.Errorf("closure: snapshot version %d disagrees with magic %q", v, hdr[:len(snapMagic)])
 	}
 	numTables := int64(binary.LittleEndian.Uint64(hdr[18:26]))
 	numEntries := int64(binary.LittleEndian.Uint64(hdr[26:34]))
@@ -318,6 +413,14 @@ func openSnapshot(f *os.File, mode SnapMode) (*Snapshot, error) {
 		if d.off < payloadStart || d.off > size || d.count < 0 || d.count > (size-d.off)/EntrySize {
 			return nil, fmt.Errorf("closure: snapshot directory row %d: table (%d,%d) at [%d, +%d entries) outside file of %d bytes", i, d.alpha, d.beta, d.off, d.count, size)
 		}
+		if version == snapVersion2 {
+			// The columnar payload is wider than count×EntrySize by the
+			// inter-column alignment padding; the v1-style bound above makes
+			// colsSpan overflow-safe, and this makes it exact.
+			if _, _, total := colsSpan(d.count); total > size-d.off {
+				return nil, fmt.Errorf("closure: snapshot directory row %d: columnar table (%d,%d) at [%d, +%d bytes) outside file of %d bytes", i, d.alpha, d.beta, d.off, total, size)
+			}
+		}
 		if d.off%snapTableAlign != 0 {
 			// The format guarantees 16-byte-aligned tables; an unaligned
 			// offset would make the mmap mode's in-place []Entry view
@@ -335,7 +438,9 @@ func openSnapshot(f *os.File, mode SnapMode) (*Snapshot, error) {
 		g:          g,
 		dir:        dir,
 		mode:       mode,
+		version:    version,
 		tabs:       make([]atomic.Pointer[[]Entry], numTables),
+		cols:       make([]atomic.Pointer[Cols], numTables),
 		f:          f,
 		r:          f,
 		size:       size,
@@ -359,7 +464,15 @@ func openSnapshot(f *os.File, mode SnapMode) (*Snapshot, error) {
 	}
 	if mode == SnapEager {
 		for i := range s.dir {
-			if _, err := s.load(i); err != nil {
+			// On a v2 file the resident form is the columns; row-major
+			// views materialize from them on demand without the file.
+			var err error
+			if version == snapVersion2 {
+				_, err = s.loadCols(i)
+			} else {
+				_, err = s.load(i)
+			}
+			if err != nil {
 				s.Close()
 				return nil, err
 			}
@@ -382,12 +495,28 @@ func (s *Snapshot) find(alpha, beta int32) int {
 	return -1
 }
 
-// load faults directory entry i: reads (or maps) its payload, validates
-// every entry against the graph, and publishes the table. Later calls are
-// a single atomic load.
+// load faults directory entry i as a row-major table: reads (or maps) its
+// payload, validates every entry against the graph, and publishes the
+// table. Later calls are a single atomic load. On a v2 file the columns
+// are the faulted form and the row-major view is transposed from them
+// (already-validated), so Table keeps working on columnar snapshots.
 func (s *Snapshot) load(i int) ([]Entry, error) {
 	if p := s.tabs[i].Load(); p != nil {
 		return *p, nil
+	}
+	if s.version == snapVersion2 {
+		c, err := s.loadCols(i)
+		if err != nil {
+			return nil, err
+		}
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if p := s.tabs[i].Load(); p != nil {
+			return *p, nil
+		}
+		entries := c.AppendEntries(make([]Entry, 0, c.Len()))
+		s.tabs[i].Store(&entries)
+		return entries, nil
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -420,6 +549,68 @@ func (s *Snapshot) load(i int) ([]Entry, error) {
 	return entries, nil
 }
 
+// loadCols faults directory entry i as a column view. On a v2 file this is
+// the on-disk form: under mmap each column is a zero-copy []int32 view
+// over the mapping (column starts are snapTableAlign-aligned by
+// construction, so the reinterpretation is always aligned); in lazy mode
+// the three columns are read and decoded in one ReadAt. On a v1 file the
+// row-major table is faulted first and transposed once. Validation runs
+// per column (validateCols) before the view is published.
+func (s *Snapshot) loadCols(i int) (Cols, error) {
+	if p := s.cols[i].Load(); p != nil {
+		return *p, nil
+	}
+	if s.version != snapVersion2 {
+		entries, err := s.load(i)
+		if err != nil {
+			return Cols{}, err
+		}
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if p := s.cols[i].Load(); p != nil {
+			return *p, nil
+		}
+		c := EntriesToCols(entries)
+		s.cols[i].Store(&c)
+		return c, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if p := s.cols[i].Load(); p != nil {
+		return *p, nil
+	}
+	d := &s.dir[i]
+	distRel, fromRel, total := colsSpan(d.count)
+	var c Cols
+	switch {
+	case s.data != nil:
+		if d.count > 0 {
+			c.To = unsafe.Slice((*int32)(unsafe.Pointer(&s.data[d.off])), d.count)
+			c.Dist = unsafe.Slice((*int32)(unsafe.Pointer(&s.data[d.off+distRel])), d.count)
+			c.From = unsafe.Slice((*int32)(unsafe.Pointer(&s.data[d.off+fromRel])), d.count)
+		}
+	case s.r != nil:
+		raw := make([]byte, total)
+		if _, err := s.r.ReadAt(raw, d.off); err != nil {
+			return Cols{}, fmt.Errorf("closure: snapshot table (%d,%d): %w", d.alpha, d.beta, err)
+		}
+		c.To = make([]int32, d.count)
+		c.Dist = make([]int32, d.count)
+		c.From = make([]int32, d.count)
+		decodeInt32ColInto(raw[0:], c.To)
+		decodeInt32ColInto(raw[distRel:], c.Dist)
+		decodeInt32ColInto(raw[fromRel:], c.From)
+	default:
+		return Cols{}, fmt.Errorf("closure: snapshot is closed")
+	}
+	if err := validateCols(s.g, d.alpha, d.beta, c); err != nil {
+		return Cols{}, fmt.Errorf("closure: snapshot table (%d,%d): %w", d.alpha, d.beta, err)
+	}
+	s.cols[i].Store(&c)
+	s.tablesLoaded.Add(1)
+	return c, nil
+}
+
 // table is the error-swallowing load used behind TableSource: the
 // interface has no error channel, so a fault-time failure (I/O error or
 // payload corruption, both impossible once a table is resident) records a
@@ -431,6 +622,18 @@ func (s *Snapshot) table(i int) []Entry {
 		return nil
 	}
 	return entries
+}
+
+// tableCols is the error-swallowing column fault used behind
+// ColumnSource, mirroring table: a fault-time failure records a sticky
+// error readable via Err and serves the table as empty.
+func (s *Snapshot) tableCols(i int) Cols {
+	c, err := s.loadCols(i)
+	if err != nil {
+		s.loadErr.CompareAndSwap(nil, &err)
+		return Cols{}
+	}
+	return c
 }
 
 // Err returns the first fault-time load failure, or nil. Open-time
@@ -478,6 +681,17 @@ func (s *Snapshot) Table(alpha, beta int32) []Entry {
 	return s.table(i)
 }
 
+// TableCols returns the L^α_β table as a column view, faulting it on
+// first use. On a v2 snapshot in mmap mode the columns are zero-copy
+// views over the mapping; on a v1 snapshot they are a cached transpose.
+func (s *Snapshot) TableCols(alpha, beta int32) Cols {
+	i := s.find(alpha, beta)
+	if i < 0 {
+		return Cols{}
+	}
+	return s.tableCols(i)
+}
+
 // Tables calls fn for every table in directory order, faulting each.
 func (s *Snapshot) Tables(fn func(alpha, beta int32, entries []Entry) bool) {
 	for i := range s.dir {
@@ -512,6 +726,19 @@ func (s *Snapshot) ComputeStats() Stats {
 // the platform cannot map or reinterpret the file in place.
 func (s *Snapshot) Mode() SnapMode { return s.mode }
 
+// Version returns the on-disk format version: 1 for row-major KTPMSNAP1,
+// 2 for columnar KTPMSNAP2.
+func (s *Snapshot) Version() int { return int(s.version) }
+
+// Format returns the CLI/stats spelling of the on-disk format ("v1",
+// "v2").
+func (s *Snapshot) Format() string { return fmt.Sprintf("v%d", s.version) }
+
+// ColsNative reports whether column views are the snapshot's primary
+// representation (KTPMSNAP2): TableCols reads the on-disk columns while
+// Table pays a row-major materialization. See NativeCols.
+func (s *Snapshot) ColsNative() bool { return s.version >= 2 }
+
 // TablesLoaded returns how many tables have been faulted so far — the
 // counter behind IOStats.SnapshotTablesLoaded. Right after a lazy or
 // mmap open it is 0; eager open reports the full directory.
@@ -534,6 +761,9 @@ func (s *Snapshot) Close() error {
 		// closed state instead of reading unmapped memory.
 		for i := range s.tabs {
 			s.tabs[i].Store(nil)
+		}
+		for i := range s.cols {
+			s.cols[i].Store(nil)
 		}
 	}
 	if s.f != nil {

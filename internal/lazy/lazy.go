@@ -61,9 +61,25 @@ const (
 	EdgeAwareBound
 )
 
+// DefaultCandidateBlock is the pending-pool block size when
+// Options.CandidateBlock is zero: the unit in which parked candidates are
+// refreshed and threshold-scanned per recheck pass.
+const DefaultCandidateBlock = 64
+
 // Options configures the enumerator.
 type Options struct {
 	Bound Bound
+	// CandidateBlock sets the block size of the pending-candidate pool:
+	// parked candidates keep their scores cached in a contiguous column,
+	// invalidated by the governing child list's version counter, and each
+	// recheck pass processes the pool in blocks of this size — a refresh
+	// of the dirty lanes followed by a tight threshold scan of the score
+	// column against the Qg top. 0 means DefaultCandidateBlock. A
+	// negative value disables the caching entirely and re-scores every
+	// candidate on every pass — the pre-columnar behavior, kept so the
+	// benchmark sweep can measure the block enumerator against its own
+	// baseline. Results are identical in every mode.
+	CandidateBlock int
 	// RootFilter, when non-nil, restricts enumeration to matches whose
 	// root position binds a data node the filter accepts; candidates for
 	// non-root positions are unaffected. Because every match binds the
@@ -120,6 +136,11 @@ type laNode struct {
 	nextBlock int
 	blocksAll bool
 	ev        int64
+	// lh is the node's incoming list, resolved exactly once at the first
+	// expansion (store.OpenList); every later block load reuses it instead
+	// of re-walking the carved-table maps per block.
+	lh   store.ListHandle
+	lhOK bool
 }
 
 // Enumerator streams matches in non-decreasing score order while loading
@@ -142,8 +163,21 @@ type Enumerator struct {
 	qg       *heap.Indexed
 	rootList *heap.ChildList
 	queue    *heap.Min
-	pending  []*candidate
 	emitted  int
+
+	// The pending pool is a structure of arrays: lane i of the four
+	// slices is one parked candidate with its cached score, the child
+	// list governing it, and that list's version when the score was
+	// computed. ChildList.Version changes exactly on Insert — the only
+	// mutation that can change a candidate's score — so a recheck pass
+	// re-evaluates only lanes whose version moved and answers the rest
+	// from the contiguous score column. candBlock tiles the pass;
+	// negative means legacy per-candidate re-scoring (no caching).
+	pending   []*candidate
+	pendScore []int64
+	pendVer   []uint32
+	pendList  []*heap.ChildList
+	candBlock int
 
 	// Slab allocators for the enumeration hot path: laNodes, their child
 	// lists and initChild arrays, matches, and match node buffers are
@@ -287,6 +321,10 @@ func New(s *store.Store, q *query.Tree, opt Options) *Enumerator {
 		rootList:    heap.NewEmptyChildList(),
 		queue:       &heap.Min{},
 	}
+	e.candBlock = opt.CandidateBlock
+	if e.candBlock == 0 {
+		e.candBlock = DefaultCandidateBlock
+	}
 	e.inSubtree = make([]bool, nT)
 	for u := int32(0); u < nT; u++ {
 		e.byKey[u] = make(map[int32]int32)
@@ -316,7 +354,7 @@ func New(s *store.Store, q *query.Tree, opt Options) *Enumerator {
 		for _, ent := range roots {
 			e.rootList.Insert(ent)
 		}
-		e.pending = append(e.pending, e.newCandidate(nil, -1, 0))
+		e.park(e.newCandidate(nil, -1, 0))
 		return e
 	}
 	// D tables for every query edge. Leaf nodes activate after the bound
@@ -392,7 +430,7 @@ func New(s *store.Store, q *query.Tree, opt Options) *Enumerator {
 			}
 		}
 	}
-	e.pending = append(e.pending, e.newCandidate(nil, -1, 0))
+	e.park(e.newCandidate(nil, -1, 0))
 	return e
 }
 
@@ -508,27 +546,59 @@ func (e *Enumerator) expandTop() {
 	childOnly := e.q.Nodes[nd.u].EdgeFromParent == query.Child
 	pu := e.q.Nodes[nd.u].Parent
 	pos := int(e.posInParent[nd.u])
+	if !nd.lhOK {
+		// Resolve the incoming list exactly once per node; every block of
+		// this expansion (and any later re-expansion) reuses the handle.
+		nd.lh = e.s.OpenList(e.parentLabel[nd.u], nd.v)
+		nd.lhOK = true
+	}
 	for {
 		if nd.blocksAll {
 			return
 		}
-		blk, last := e.s.LoadBlock(e.parentLabel[nd.u], nd.v, nd.nextBlock)
-		nd.nextBlock++
-		if last {
-			nd.blocksAll = true
-		}
-		for _, edge := range blk {
-			if int64(edge.Dist) > nd.ev {
-				nd.ev = int64(edge.Dist)
+		if nd.lh.Columnar() {
+			// Columnar block kernel: dist[] is sorted within the list, so
+			// the e_v update is the block's tail lane, and the child-edge
+			// scan walks the from[]/dist[]/direct[] columns directly.
+			bc, last := nd.lh.BlockCols(nd.nextBlock)
+			nd.nextBlock++
+			if last {
+				nd.blocksAll = true
 			}
-			if childOnly && !edge.Direct {
-				continue
+			if n := len(bc.Dist); n > 0 {
+				if d := int64(bc.Dist[n-1]); d > nd.ev {
+					nd.ev = d
+				}
 			}
-			p := e.getNode(pu, edge.From)
-			if p.initChild[pos] == nd.gid {
-				continue // E-table seed already inserted this edge
+			for i := range bc.From {
+				if childOnly && !bc.Direct[i] {
+					continue
+				}
+				p := e.getNode(pu, bc.From[i])
+				if p.initChild[pos] == nd.gid {
+					continue // E-table seed already inserted this edge
+				}
+				e.insertEntry(p, pos, heap.Entry{Key: nd.bsBar + int64(bc.Dist[i]), Node: nd.gid})
 			}
-			e.insertEntry(p, pos, heap.Entry{Key: nd.bsBar + int64(edge.Dist), Node: nd.gid})
+		} else {
+			blk, last := nd.lh.Block(nd.nextBlock)
+			nd.nextBlock++
+			if last {
+				nd.blocksAll = true
+			}
+			for _, edge := range blk {
+				if int64(edge.Dist) > nd.ev {
+					nd.ev = int64(edge.Dist)
+				}
+				if childOnly && !edge.Direct {
+					continue
+				}
+				p := e.getNode(pu, edge.From)
+				if p.initChild[pos] == nd.gid {
+					continue // E-table seed already inserted this edge
+				}
+				e.insertEntry(p, pos, heap.Entry{Key: nd.bsBar + int64(edge.Dist), Node: nd.gid})
+			}
 		}
 		if nd.blocksAll {
 			return
@@ -550,16 +620,27 @@ func (e *Enumerator) listAt(m *Match, x int32) *heap.ChildList {
 	return &e.nodes[m.gids[p]].lists[e.posInParent[x]]
 }
 
-// candScore evaluates a candidate against the current (possibly partial)
-// lists; infScore marks a currently-empty subspace.
-func (e *Enumerator) candScore(c *candidate) int64 {
+// govList returns the child list governing candidate c — the list whose
+// Inserts are the only events that can change c's score.
+func (e *Enumerator) govList(c *candidate) *heap.ChildList {
 	if c.pivot < 0 {
-		if best, ok := e.rootList.Kth(0); ok {
+		return e.rootList
+	}
+	return e.listAt(c.parent, c.pivot)
+}
+
+// candScoreList evaluates a candidate against its governing list (the
+// current, possibly partial state); infScore marks a currently-empty
+// subspace. The result is a pure function of (c, list contents): the
+// parent score is immutable and Kth never changes what it returns for a
+// given state, so the score stays valid until the list's next Insert.
+func (e *Enumerator) candScoreList(c *candidate, list *heap.ChildList) int64 {
+	if c.pivot < 0 {
+		if best, ok := list.Kth(0); ok {
 			return best.Key
 		}
 		return infScore
 	}
-	list := e.listAt(c.parent, c.pivot)
 	old, ok1 := list.Kth(int(c.excl) - 1)
 	next, ok2 := list.Kth(int(c.excl))
 	if !ok1 || !ok2 {
@@ -568,31 +649,96 @@ func (e *Enumerator) candScore(c *candidate) int64 {
 	return c.parent.Score + next.Key - old.Key
 }
 
-// recheckPending re-scores parked candidates and promotes the confirmed
-// ones into the global queue. With Qg exhausted every finite score is
-// final and ∞ subspaces are truly empty.
+// park appends c to the pending pool: the governing list is resolved
+// once (list pointers are stable — ChildLists live in slab chunks that
+// are never reallocated), the score computed, and both cached alongside
+// the list version so later rechecks touch c again only when that list
+// actually changed.
+func (e *Enumerator) park(c *candidate) {
+	l := e.govList(c)
+	e.pending = append(e.pending, c)
+	e.pendList = append(e.pendList, l)
+	e.pendVer = append(e.pendVer, l.Version())
+	e.pendScore = append(e.pendScore, e.candScoreList(c, l))
+}
+
+// recheckPending promotes confirmed parked candidates into the global
+// queue. With Qg exhausted every finite score is final and ∞ subspaces
+// are truly empty.
+//
+// The pool is processed in candBlock-sized blocks: first the block's
+// dirty lanes — those whose governing list version moved since the score
+// was cached — are re-evaluated, then a tight threshold scan over the
+// contiguous score column pushes the lanes at or below the Qg top into
+// the global queue and compacts the survivors in place. The scan
+// touches one int64 per candidate, so a pass
+// over a large pool with few dirty lanes is a near-pure sequential read
+// — this is where the block enumerator earns its speedup, since the
+// legacy path (candBlock < 0) pays two Kth calls per candidate per pass.
 func (e *Enumerator) recheckPending() {
 	qgTop := infScore
 	qgEmpty := e.qg.Len() == 0
 	if !qgEmpty {
 		qgTop = e.qg.PeekKey()
 	}
-	kept := e.pending[:0]
-	for _, c := range e.pending {
-		s := e.candScore(c)
-		switch {
-		case s >= infScore:
-			if !qgEmpty {
-				kept = append(kept, c)
+	n := len(e.pending)
+	legacy := e.candBlock < 0
+	step := e.candBlock
+	if legacy || step > n {
+		step = n
+	}
+	kept := 0
+	for lo := 0; lo < n; lo += step {
+		hi := lo + step
+		if hi > n {
+			hi = n
+		}
+		// Refresh the block's stale lanes (all of them in legacy mode).
+		for i := lo; i < hi; i++ {
+			l := e.pendList[i]
+			if v := l.Version(); legacy || e.pendVer[i] != v {
+				e.pendScore[i] = e.candScoreList(e.pending[i], l)
+				e.pendVer[i] = v
 			}
-		case qgEmpty || s <= qgTop:
-			c.score = s
-			e.queue.Push(heap.Item{Key: s, Val: c})
-		default:
-			kept = append(kept, c)
+		}
+		// Threshold-scan the score column; promote and compact. The
+		// candidate pointer is captured before compaction because kept
+		// trails i — a later keepLane in the same block may overwrite
+		// lane i's slot, so the promotion must not go back through it.
+		for i := lo; i < hi; i++ {
+			s := e.pendScore[i]
+			if s >= infScore {
+				if !qgEmpty {
+					e.keepLane(kept, i)
+					kept++
+				}
+				continue
+			}
+			if qgEmpty || s <= qgTop {
+				c := e.pending[i]
+				c.score = s
+				e.queue.Push(heap.Item{Key: s, Val: c})
+				continue
+			}
+			e.keepLane(kept, i)
+			kept++
 		}
 	}
-	e.pending = kept
+	e.pending = e.pending[:kept]
+	e.pendScore = e.pendScore[:kept]
+	e.pendVer = e.pendVer[:kept]
+	e.pendList = e.pendList[:kept]
+}
+
+// keepLane moves pending lane src to dst across the pool's four columns.
+func (e *Enumerator) keepLane(dst, src int) {
+	if dst == src {
+		return
+	}
+	e.pending[dst] = e.pending[src]
+	e.pendScore[dst] = e.pendScore[src]
+	e.pendVer[dst] = e.pendVer[src]
+	e.pendList[dst] = e.pendList[src]
 }
 
 // materialize recovers the full match, as in package core but over lazily
@@ -656,10 +802,10 @@ func (e *Enumerator) materialize(c *candidate) *Match {
 // recheckPending promote whichever are already confirmed.
 func (e *Enumerator) divide(m *Match) {
 	if m.pivot >= 0 {
-		e.pending = append(e.pending, e.newCandidate(m, m.pivot, m.excl+1))
+		e.park(e.newCandidate(m, m.pivot, m.excl+1))
 	}
 	for x := m.pivot + 1; x < e.nT; x++ {
-		e.pending = append(e.pending, e.newCandidate(m, x, 1))
+		e.park(e.newCandidate(m, x, 1))
 	}
 	e.recheckPending()
 }

@@ -248,6 +248,14 @@ func sortInt32s(a []int32) {
 }
 
 func forEachClosureEntry(c closure.TableSource, alpha, beta int32, fn func(closure.Entry)) {
+	if cs, ok := closure.NativeCols(c); ok {
+		// Columnar source (v2 snapshot): walk the column views directly.
+		// Table() on such a source would materialize and cache a row-major
+		// copy of every table touched; the lane loop reassembles entries
+		// from columns that are already resident (zero-copy under mmap).
+		forEachColsEntry(cs, alpha, beta, fn)
+		return
+	}
 	switch {
 	case alpha != label.Wildcard && beta != label.Wildcard:
 		for _, e := range c.Table(alpha, beta) {
@@ -262,6 +270,28 @@ func forEachClosureEntry(c closure.TableSource, alpha, beta int32, fn func(closu
 			}
 			return true
 		})
+	}
+}
+
+// forEachColsEntry is forEachClosureEntry over a native column source:
+// tables are selected via the directory (TableLens never loads payloads)
+// and iterated lane by lane from their column views.
+func forEachColsEntry(cs closure.ColumnSource, alpha, beta int32, fn func(closure.Entry)) {
+	if alpha != label.Wildcard && beta != label.Wildcard {
+		emitCols(cs.TableCols(alpha, beta), fn)
+		return
+	}
+	cs.TableLens(func(a, b int32, count int) bool {
+		if (alpha == label.Wildcard || a == alpha) && (beta == label.Wildcard || b == beta) {
+			emitCols(cs.TableCols(a, b), fn)
+		}
+		return true
+	})
+}
+
+func emitCols(cols closure.Cols, fn func(closure.Entry)) {
+	for i := range cols.To {
+		fn(closure.Entry{From: cols.From[i], To: cols.To[i], Dist: cols.Dist[i]})
 	}
 }
 

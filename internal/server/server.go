@@ -70,11 +70,14 @@ type coordinatorStater interface {
 // would cost. The zero value reports nothing.
 type StartupInfo struct {
 	// Source is "graph" (closure built at startup), "db" (KTPMTC1
-	// stream), or "snapshot" (KTPMSNAP1).
+	// stream), or "snapshot" (KTPMSNAP1/2).
 	Source string `json:"source"`
 	// SnapshotMode is the effective snapshot backing ("eager", "lazy",
 	// "mmap"); empty for non-snapshot sources.
 	SnapshotMode string `json:"snapshot_mode,omitempty"`
+	// SnapshotFormat is the on-disk snapshot layout ("v1" row-major,
+	// "v2" columnar); empty for non-snapshot sources.
+	SnapshotFormat string `json:"snapshot_format,omitempty"`
 	// OpenMS is the wall time spent building or opening the database
 	// before serving could begin.
 	OpenMS float64 `json:"open_ms"`
@@ -940,9 +943,9 @@ type StatsResponse struct {
 	// took (ktpmd -graph builds, -db parses the stream, -snapshot opens
 	// in the configured mode).
 	Startup StartupInfo `json:"startup"`
-	// Snapshot reports the snapshot backing — effective mode, tables
+	// Snapshot reports the snapshot backing — on-disk format, effective mode, tables
 	// faulted so far out of the directory total, mapped bytes — when the
-	// backend was opened from a KTPMSNAP1 snapshot; omitted otherwise.
+	// backend was opened from a KTPMSNAP1/2 snapshot; omitted otherwise.
 	Snapshot *ktpm.SnapshotStats `json:"snapshot,omitempty"`
 	// Sharding reports per-shard vertex counts, merge contributions, and
 	// I/O counters when the backend is a ShardedDatabase; omitted for a

@@ -1,0 +1,192 @@
+package store
+
+import (
+	"reflect"
+	"testing"
+
+	"ktpm/internal/closure"
+	"ktpm/internal/gen"
+	"ktpm/internal/graph"
+	"ktpm/internal/label"
+)
+
+// closureOf computes the full closure of g.
+func closureOf(t *testing.T, g *graph.Graph) *closure.Closure {
+	t.Helper()
+	return closure.Compute(g, closure.Options{})
+}
+
+func TestFilterDistGE(t *testing.T) {
+	cases := []struct {
+		dist []int32
+		thr  int32
+		want int
+	}{
+		{nil, 5, 0},
+		{[]int32{1, 2, 3}, 0, 0},
+		{[]int32{1, 2, 3}, 2, 1},
+		{[]int32{1, 2, 3}, 3, 2},
+		{[]int32{1, 2, 3}, 4, 3},
+		{[]int32{2, 2, 2}, 2, 0},
+		{[]int32{1, 1, 5, 5}, 5, 2},
+	}
+	for _, tc := range cases {
+		if got := FilterDistGE(tc.dist, tc.thr); got != tc.want {
+			t.Errorf("FilterDistGE(%v, %d) = %d, want %d", tc.dist, tc.thr, got, tc.want)
+		}
+	}
+}
+
+func TestFirstTrue(t *testing.T) {
+	if got := firstTrue(nil); got != -1 {
+		t.Errorf("firstTrue(nil) = %d, want -1", got)
+	}
+	if got := firstTrue([]bool{false, false, true, true}); got != 2 {
+		t.Errorf("firstTrue = %d, want 2", got)
+	}
+	if got := firstTrue([]bool{false, false}); got != -1 {
+		t.Errorf("firstTrue = %d, want -1", got)
+	}
+}
+
+// drainList pulls every block of (alpha, v) through a fresh handle,
+// concatenated in order.
+func drainList(s *Store, alpha, v int32) []InEdge {
+	lh := s.OpenList(alpha, v)
+	var all []InEdge
+	for i := 0; ; i++ {
+		blk, last := lh.Block(i)
+		all = append(all, blk...)
+		if last {
+			return all
+		}
+	}
+}
+
+// TestColumnarMatchesRowMajor is the layout-identity property test: the
+// columnar store must serve every list (per-label and wildcard-merged,
+// block by block), every block-column view, and every derived D/E
+// summary identically to the row-major layout over the same closure.
+func TestColumnarMatchesRowMajor(t *testing.T) {
+	g := gen.ErdosRenyi(48, 180, 5, 9)
+	c := closureOf(t, g)
+	for _, blockSize := range []int{1, 3, DefaultBlockSize} {
+		row := New(c, blockSize)
+		col := NewFromConfig(c, Config{BlockSize: blockSize, Columnar: true})
+		col.MaterializeAll()
+		if row.Columnar() || !col.Columnar() {
+			t.Fatalf("Columnar() = %v/%v, want false/true", row.Columnar(), col.Columnar())
+		}
+		alphas := []int32{label.Wildcard}
+		for a := int32(0); int(a) < g.NumLabels(); a++ {
+			alphas = append(alphas, a)
+		}
+		for _, alpha := range alphas {
+			for v := int32(0); int(v) < g.NumNodes(); v++ {
+				want := drainList(row, alpha, v)
+				got := drainList(col, alpha, v)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("bs=%d list (%d,%d): columnar %v, want %v", blockSize, alpha, v, got, want)
+				}
+				// The zero-copy block-column view must agree lane for
+				// lane with the row blocks.
+				lh := col.OpenList(alpha, v)
+				var lanes []InEdge
+				for i := 0; ; i++ {
+					bc, last := lh.BlockCols(i)
+					lanes = bc.appendInEdges(lanes)
+					if last {
+						break
+					}
+				}
+				if !reflect.DeepEqual(lanes, want) {
+					t.Fatalf("bs=%d cols (%d,%d): %v, want %v", blockSize, alpha, v, lanes, want)
+				}
+				if rn, cn := row.NumBlocks(alpha, v), col.NumBlocks(alpha, v); rn != cn {
+					t.Fatalf("bs=%d NumBlocks(%d,%d) = %d, want %d", blockSize, alpha, v, cn, rn)
+				}
+			}
+			// Derived summaries agree for every beta label and edge type.
+			for beta := int32(0); int(beta) < g.NumLabels(); beta++ {
+				for _, childOnly := range []bool{false, true} {
+					wantD := row.LoadD(alpha, beta, childOnly)
+					gotD := col.LoadD(alpha, beta, childOnly)
+					if !reflect.DeepEqual(gotD, wantD) {
+						t.Fatalf("bs=%d LoadD(%d,%d,%v): %v, want %v", blockSize, alpha, beta, childOnly, gotD, wantD)
+					}
+					wantE := row.LoadE(alpha, beta, childOnly)
+					gotE := col.LoadE(alpha, beta, childOnly)
+					if !reflect.DeepEqual(gotE, wantE) {
+						t.Fatalf("bs=%d LoadE(%d,%d,%v): %v, want %v", blockSize, alpha, beta, childOnly, gotE, wantE)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestColumnarWildcardMergeShared pins that the galloping wildcard merge
+// publishes into the shared plane: the second resolution of the same
+// merged list returns the identical backing columns, and replicas share
+// them too.
+func TestColumnarWildcardMergeShared(t *testing.T) {
+	g := gen.ErdosRenyi(30, 120, 4, 9)
+	c := closureOf(t, g)
+	s := NewFromConfig(c, Config{BlockSize: 4, Columnar: true})
+	s.MaterializeAll()
+	var v int32 = -1
+	for u := int32(0); int(u) < g.NumNodes(); u++ {
+		if len(drainList(s, label.Wildcard, u)) > 1 {
+			v = u
+			break
+		}
+	}
+	if v < 0 {
+		t.Skip("no node with a multi-entry wildcard list")
+	}
+	a := s.inListCols(label.Wildcard, v, nil)
+	b := s.inListCols(label.Wildcard, v, nil)
+	if len(a.From) == 0 || &a.From[0] != &b.From[0] {
+		t.Fatal("second wildcard resolution did not share the merged columns")
+	}
+	r := s.Replica()
+	rc := r.inListCols(label.Wildcard, v, nil)
+	if &rc.From[0] != &a.From[0] {
+		t.Fatal("replica did not share the merged columns")
+	}
+	// A private replica re-derives into its own plane: equal contents,
+	// different backing.
+	p := s.PrivateReplica()
+	pc := p.inListCols(label.Wildcard, v, nil)
+	if !reflect.DeepEqual(pc, a) {
+		t.Fatal("private replica merged columns differ in content")
+	}
+	if &pc.From[0] == &a.From[0] {
+		t.Fatal("private replica shared the plane's merged columns")
+	}
+}
+
+// TestOpenListResolvesOnce pins the satellite fix for the double table
+// resolution in inList: a handle covering a multi-block list costs the
+// same number of table reads as a single block load used to, and block
+// reads are counted per block served, not per probe.
+func TestOpenListResolvesOnce(t *testing.T) {
+	g, c := smallGraph(t)
+	s := New(c, 1) // one entry per block: the a->d4 list has 2 blocks
+	a, d := lbl(g, "a"), int32(4)
+	s.ResetCounters()
+	lh := s.OpenList(a, d)
+	if lh.Len() != 2 || lh.NumBlocks() != 2 {
+		t.Fatalf("handle len/blocks = %d/%d, want 2/2", lh.Len(), lh.NumBlocks())
+	}
+	if _, last := lh.Block(0); last {
+		t.Fatal("block 0 reported last of 2")
+	}
+	if _, last := lh.Block(1); !last {
+		t.Fatal("block 1 not last")
+	}
+	cnt := s.Counters()
+	if cnt.BlocksRead != 2 || cnt.EntriesRead != 2 {
+		t.Fatalf("counters after handle drain = %+v, want 2 blocks / 2 entries", cnt)
+	}
+}

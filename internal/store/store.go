@@ -132,6 +132,11 @@ type layout struct {
 	g         *graph.Graph
 	blockSize int
 	src       closure.TableSource
+	// columnar selects the structure-of-arrays carve (cols.go): tables
+	// fault into per-pair colTabs — per-target spans over shared
+	// from[]/dist[]/direct[] columns — instead of per-target []InEdge
+	// maps, and ctabs below replaces tabs. Fixed at construction.
+	columnar bool
 
 	// byLabel[l] lists the nodes with label l, ascending, so table scans
 	// touch only their own rows.
@@ -150,6 +155,10 @@ type layout struct {
 	// outer map only — O(carved pairs), never O(lists) — and inner maps
 	// are immutable once published.
 	tabs atomic.Pointer[map[pairKey]map[int32][]InEdge]
+	// ctabs is the columnar-mode counterpart of tabs: carved (α, β) pairs
+	// map to *colTab (nil for the {allLabels, β} sentinel), with the same
+	// copy-on-write publication discipline. Nil outside columnar mode.
+	ctabs atomic.Pointer[map[pairKey]*colTab]
 	// faults counts every short carve (a lazy-source load failure),
 	// monotonically. A derivation snapshots it before running and
 	// publishes only if it is unchanged after: any carve it depended on
@@ -177,6 +186,9 @@ type plane struct {
 	// so per-entry map republication would cost O(V) copying per node —
 	// O(V²) for a graph-wide wildcard — where a slot store is O(1).
 	merged []atomic.Pointer[[]InEdge]
+	// mergedCols is the columnar-mode counterpart of merged: wildcard-
+	// merged column views per node. Nil outside columnar mode.
+	mergedCols []atomic.Pointer[EdgeCols]
 	// dTabs / eTabs hold the derived summary tables, published
 	// copy-on-write (table counts are small — one per label pair a
 	// workload touches — so republication cost is negligible).
@@ -184,8 +196,12 @@ type plane struct {
 	eTabs atomic.Pointer[map[tableKey][]EEntry]
 }
 
-func newPlane(numNodes int) *plane {
-	return &plane{merged: make([]atomic.Pointer[[]InEdge], numNodes)}
+func newPlane(numNodes int, columnar bool) *plane {
+	pl := &plane{merged: make([]atomic.Pointer[[]InEdge], numNodes)}
+	if columnar {
+		pl.mergedCols = make([]atomic.Pointer[EdgeCols], numNodes)
+	}
+	return pl
 }
 
 // Store is a simulated disk image of one closure: an immutable layout, a
@@ -212,6 +228,19 @@ type tableKey struct {
 
 func key(alpha, v int32) int64 { return int64(alpha)<<32 | int64(uint32(v)) }
 
+// Config parameterizes store construction beyond the block size.
+type Config struct {
+	// BlockSize is the entries-per-block unit; 0 means DefaultBlockSize.
+	BlockSize int
+	// Columnar selects the structure-of-arrays layout: tables carve into
+	// per-target spans over contiguous from[]/dist[]/direct[] columns
+	// (cols.go), lists are served as EdgeCols column views, and the D/E
+	// summaries derive by per-column passes. Query results are identical
+	// to the row-major layout; only the in-memory representation and the
+	// kernel shapes differ.
+	Columnar bool
+}
+
 // New lays out the closure source with the given block size (0 means
 // DefaultBlockSize), materializing every table up front — the behavior
 // an in-memory closure wants, since its entries are resident anyway.
@@ -227,6 +256,13 @@ func New(src closure.TableSource, blockSize int) *Store {
 // for one of its lists. Construction cost is O(nodes + edges) — the
 // label index and the direct-edge lookup — never O(closure).
 func NewFromSource(src closure.TableSource, blockSize int) *Store {
+	return NewFromConfig(src, Config{BlockSize: blockSize})
+}
+
+// NewFromConfig is NewFromSource with the full Config: the same lazy
+// carve-on-first-touch construction, in the layout cfg selects.
+func NewFromConfig(src closure.TableSource, cfg Config) *Store {
+	blockSize := cfg.BlockSize
 	if blockSize <= 0 {
 		blockSize = DefaultBlockSize
 	}
@@ -235,6 +271,7 @@ func NewFromSource(src closure.TableSource, blockSize int) *Store {
 		g:         g,
 		blockSize: blockSize,
 		src:       src,
+		columnar:  cfg.Columnar,
 		byLabel:   make([][]int32, g.NumLabels()),
 		direct:    make(map[int64]int32),
 	}
@@ -246,14 +283,21 @@ func NewFromSource(src closure.TableSource, blockSize int) *Store {
 		lay.direct[key(e.From, e.To)] = e.Weight
 		return true
 	})
-	return &Store{lay: lay, pl: newPlane(g.NumNodes()), counters: &Counters{}}
+	return &Store{lay: lay, pl: newPlane(g.NumNodes(), cfg.Columnar), counters: &Counters{}}
 }
+
+// Columnar reports whether the store uses the structure-of-arrays layout.
+func (s *Store) Columnar() bool { return s.lay.columnar }
 
 // MaterializeAll carves every table of the source in one publish, the
 // eager mode. The direct-edge lookup is dropped afterwards: with no
 // carves left to serve it would only hold memory.
 func (s *Store) MaterializeAll() {
 	lay := s.lay
+	if lay.columnar {
+		lay.materializeAllCols()
+		return
+	}
 	lay.mu.Lock()
 	defer lay.mu.Unlock()
 	tabs := cloneTabs(lay.tabs.Load())
@@ -282,6 +326,10 @@ const allLabels int32 = -1
 // per node on a cold wildcard query.
 func (lay *layout) carveTargets(beta int32, tr *obs.Span) {
 	if beta < 0 || int(beta) >= len(lay.byLabel) {
+		return
+	}
+	if lay.columnar {
+		lay.carveTargetsCols(beta, tr)
 		return
 	}
 	k := pairKey{allLabels, beta}
@@ -454,7 +502,7 @@ func (s *Store) WithTrace(sp *obs.Span) *Store {
 // touches, the pre-plane behavior. Kept for benchmarks that quantify what
 // the shared plane saves; production paths should use Replica.
 func (s *Store) PrivateReplica() *Store {
-	return &Store{lay: s.lay, pl: newPlane(s.lay.g.NumNodes()), counters: &Counters{}}
+	return &Store{lay: s.lay, pl: newPlane(s.lay.g.NumNodes(), s.lay.columnar), counters: &Counters{}}
 }
 
 // Graph returns the underlying data graph.
@@ -521,6 +569,12 @@ func cowGet[K comparable, V any](p *atomic.Pointer[map[K]V], k K) (V, bool) {
 // LoadD/LoadE. The wildcard merge is derived once process-wide and read
 // lock-free afterwards.
 func (s *Store) inList(alpha, v int32, tr *obs.Span) []InEdge {
+	if s.lay.columnar {
+		// Row-major compatibility view in columnar mode: materialize from
+		// the columns. Kept off the hot paths — enumeration resolves
+		// EdgeCols through OpenList instead.
+		return s.inListCols(alpha, v, tr).appendInEdges(nil)
+	}
 	if alpha != label.Wildcard {
 		return s.lay.listFor(alpha, v, tr)
 	}
@@ -566,27 +620,103 @@ func (s *Store) mergeWildcard(v int32, tr *obs.Span) []InEdge {
 	return merged
 }
 
+// ListHandle is one resolved incoming list L^α_v: the list is looked up
+// (and its table carved, if cold) exactly once at OpenList, and every
+// block access afterwards reuses the resolution. The enumerator holds one
+// handle per frontier node, which removes the per-block re-resolution
+// NumBlocks/LoadBlock used to pay (each call walked the carved-table maps
+// again for the same pair). Blocks read through the handle charge the
+// opening store's counters exactly like LoadBlock.
+type ListHandle struct {
+	s        *Store
+	row      []InEdge // row-major backing
+	cols     EdgeCols // columnar backing
+	columnar bool
+}
+
+// OpenList resolves L^alpha_v (alpha may be the wildcard) once.
+func (s *Store) OpenList(alpha, v int32) ListHandle {
+	if s.lay.columnar {
+		return ListHandle{s: s, cols: s.inListCols(alpha, v, s.trace), columnar: true}
+	}
+	return ListHandle{s: s, row: s.inList(alpha, v, s.trace)}
+}
+
+// Columnar reports whether BlockCols is the handle's native (copy-free)
+// block access.
+func (h ListHandle) Columnar() bool { return h.columnar }
+
+// Len returns the resolved list's entry count.
+func (h ListHandle) Len() int {
+	if h.columnar {
+		return h.cols.Len()
+	}
+	return len(h.row)
+}
+
+// NumBlocks returns how many blocks the resolved list spans.
+func (h ListHandle) NumBlocks() int {
+	return (h.Len() + h.s.lay.blockSize - 1) / h.s.lay.blockSize
+}
+
+// blockBounds returns the [lo, hi) lane range of block idx; empty when
+// idx is past the end. last mirrors LoadBlock's contract.
+func (h ListHandle) blockBounds(idx int) (lo, hi int, last bool) {
+	n := h.Len()
+	lo = idx * h.s.lay.blockSize
+	if lo >= n {
+		return 0, 0, true
+	}
+	hi = lo + h.s.lay.blockSize
+	if hi > n {
+		hi = n
+	}
+	return lo, hi, hi == n
+}
+
+// Block reads the idx-th block as row-major entries, counting one block
+// of I/O. On a columnar handle the block is materialized (a copy); block
+// kernels should use BlockCols instead.
+func (h ListHandle) Block(idx int) (entries []InEdge, last bool) {
+	lo, hi, last := h.blockBounds(idx)
+	if hi == lo {
+		return nil, true
+	}
+	h.s.counters.addBlock(int64(hi - lo))
+	if h.columnar {
+		out := make([]InEdge, hi-lo)
+		for i := range out {
+			out[i] = InEdge{From: h.cols.From[lo+i], Dist: h.cols.Dist[lo+i], Direct: h.cols.Direct[lo+i]}
+		}
+		return out, last
+	}
+	return h.row[lo:hi], last
+}
+
+// BlockCols reads the idx-th block as a column view, counting one block
+// of I/O. Only valid on columnar handles (zero-copy subslices of the
+// carved columns).
+func (h ListHandle) BlockCols(idx int) (block EdgeCols, last bool) {
+	lo, hi, last := h.blockBounds(idx)
+	if hi == lo {
+		return EdgeCols{}, true
+	}
+	h.s.counters.addBlock(int64(hi - lo))
+	return h.cols.slice(lo, hi), last
+}
+
 // NumBlocks returns how many blocks the incoming list L^alpha_v spans.
 func (s *Store) NumBlocks(alpha, v int32) int {
-	n := len(s.inList(alpha, v, s.trace))
-	return (n + s.lay.blockSize - 1) / s.lay.blockSize
+	return s.OpenList(alpha, v).NumBlocks()
 }
 
 // LoadBlock reads the idx-th block of L^alpha_v (alpha may be the
 // wildcard), counting one block of I/O. last reports whether this was the
 // final block; a list with no entries returns (nil, true) at idx 0.
+// Callers reading several blocks of one list should OpenList once and use
+// the handle.
 func (s *Store) LoadBlock(alpha, v int32, idx int) (entries []InEdge, last bool) {
-	lst := s.inList(alpha, v, s.trace)
-	lo := idx * s.lay.blockSize
-	if lo >= len(lst) {
-		return nil, true
-	}
-	hi := lo + s.lay.blockSize
-	if hi > len(lst) {
-		hi = len(lst)
-	}
-	s.counters.addBlock(int64(hi - lo))
-	return lst[lo:hi], hi == len(lst)
+	return s.OpenList(alpha, v).Block(idx)
 }
 
 // LoadD reads the D^alpha_beta table: per target node with label beta, the
@@ -612,6 +742,20 @@ func (s *Store) LoadD(alpha, beta int32, childOnly bool) []DEntry {
 			sp.SetAttr("beta", beta)
 			faultsBefore := s.lay.faults.Load()
 			s.forTargets(beta, func(v int32) {
+				if s.lay.columnar {
+					// Columnar derive: lanes are distance-sorted, so the
+					// admitted minimum is lane 0, or the first direct lane
+					// found by a flag-column scan.
+					ec := s.inListCols(alpha, v, sp)
+					i := 0
+					if childOnly {
+						i = firstTrue(ec.Direct)
+					}
+					if i >= 0 && i < len(ec.Dist) {
+						out = append(out, DEntry{V: v, Min: ec.Dist[i]})
+					}
+					return
+				}
 				for _, e := range s.inList(alpha, v, sp) {
 					if childOnly && !e.Direct {
 						continue
@@ -655,6 +799,20 @@ func (s *Store) LoadE(alpha, beta int32, childOnly bool) []EEntry {
 			faultsBefore := s.lay.faults.Load()
 			best := make(map[int32]EEntry)
 			s.forTargets(beta, func(v int32) {
+				if s.lay.columnar {
+					ec := s.inListCols(alpha, v, sp)
+					for i := range ec.From {
+						if childOnly && !ec.Direct[i] {
+							continue
+						}
+						f, d := ec.From[i], ec.Dist[i]
+						cur, ok := best[f]
+						if !ok || d < cur.Dist || (d == cur.Dist && v < cur.To) {
+							best[f] = EEntry{From: f, To: v, Dist: d, Direct: ec.Direct[i]}
+						}
+					}
+					return
+				}
 				for _, e := range s.inList(alpha, v, sp) {
 					if childOnly && !e.Direct {
 						continue

@@ -47,9 +47,12 @@
 // page-aligned, offset-indexed KTPMSNAP1 image that OpenSnapshot can
 // reopen eagerly, lazily (tables fault in on first touch), or via mmap
 // (zero-copy table views) — the lazy modes open in O(directory) time,
-// so a daemon restart over a big graph is near-instant. All modes
-// answer queries byte-identically to BuildDatabase. SaveDatabase and
-// OpenDatabase keep reading the older KTPMTC1 stream format.
+// so a daemon restart over a big graph is near-instant. SaveSnapshotAs
+// can instead write the columnar KTPMSNAP2 layout (per-table to/dist/
+// from columns), which OpenSnapshot detects by magic and serves through
+// the store's structure-of-arrays block kernels. All modes and both
+// formats answer queries byte-identically to BuildDatabase. SaveDatabase
+// and OpenDatabase keep reading the older KTPMTC1 stream format.
 package ktpm
 
 import (
@@ -153,7 +156,7 @@ type DatabaseOptions struct {
 type Database struct {
 	g    *graph.Graph
 	c    closure.TableSource
-	snap *closure.Snapshot // non-nil when opened from a KTPMSNAP1 file
+	snap *closure.Snapshot // non-nil when opened from a KTPMSNAP1/2 file
 	st   *store.Store
 	opt  DatabaseOptions
 }
@@ -272,6 +275,43 @@ type SnapshotOptions struct {
 	BlockSize int
 }
 
+// SnapshotFormat selects the on-disk layout SaveSnapshotAs writes.
+type SnapshotFormat int
+
+const (
+	// SnapshotV1 is the row-major KTPMSNAP1 layout: each table is a run
+	// of (From, To, Dist) triples. The compatibility default.
+	SnapshotV1 SnapshotFormat = iota
+	// SnapshotV2 is the columnar KTPMSNAP2 layout: each table stores
+	// to[], dist[], and from[] as separate contiguous little-endian
+	// columns behind the same directory. Databases opened from a v2
+	// snapshot serve queries through the store's structure-of-arrays
+	// layout and block kernels; results are byte-identical to v1.
+	SnapshotV2
+)
+
+// String returns the CLI spelling ("v1", "v2"); ParseSnapshotFormat
+// accepts it back.
+func (f SnapshotFormat) String() string {
+	if f == SnapshotV2 {
+		return "v2"
+	}
+	return "v1"
+}
+
+// ParseSnapshotFormat resolves the CLI/service spelling of a snapshot
+// format ("v1", "v2", case-insensitive); ok is false for unknown names,
+// including the empty string.
+func ParseSnapshotFormat(name string) (SnapshotFormat, bool) {
+	switch strings.ToLower(name) {
+	case "v1":
+		return SnapshotV1, true
+	case "v2":
+		return SnapshotV2, true
+	}
+	return 0, false
+}
+
 // SaveSnapshot writes db as a KTPMSNAP1 snapshot: a page-aligned,
 // offset-indexed image of the graph and closure with a table directory
 // up front, openable eagerly, lazily, or via mmap (see OpenSnapshot).
@@ -282,7 +322,18 @@ func SaveSnapshot(w io.Writer, db *Database) error {
 	return closure.WriteSnapshot(w, db.c)
 }
 
-// OpenSnapshot opens a KTPMSNAP1 snapshot written by SaveSnapshot. In
+// SaveSnapshotAs is SaveSnapshot with an explicit on-disk format:
+// SnapshotV1 writes the row-major KTPMSNAP1 image, SnapshotV2 the
+// columnar KTPMSNAP2 one. OpenSnapshot detects either by magic.
+func SaveSnapshotAs(w io.Writer, db *Database, format SnapshotFormat) error {
+	if format == SnapshotV2 {
+		return closure.WriteSnapshotV2(w, db.c)
+	}
+	return closure.WriteSnapshot(w, db.c)
+}
+
+// OpenSnapshot opens a KTPMSNAP1 or KTPMSNAP2 snapshot written by
+// SaveSnapshot or SaveSnapshotAs, detecting the format by magic. In
 // SnapshotLazy and SnapshotMMap modes it returns in O(directory) time —
 // the graph and table directory are read, but no closure table is
 // touched until a query faults it — so a daemon over a big graph starts
@@ -300,7 +351,13 @@ func OpenSnapshot(path string, opt SnapshotOptions) (*Database, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ktpm: %w", err)
 	}
-	st := store.NewFromSource(snap, opt.BlockSize)
+	// A columnar (v2) snapshot is served through the store's
+	// structure-of-arrays layout, so the on-disk columns flow into the
+	// carved lists and D/E derivations without a row-major detour.
+	st := store.NewFromConfig(snap, store.Config{
+		BlockSize: opt.BlockSize,
+		Columnar:  snap.Version() >= 2,
+	})
 	if opt.Mode == SnapshotEager {
 		st.MaterializeAll()
 	}
@@ -331,6 +388,9 @@ type SnapshotStats struct {
 	// Mode is the effective backing mode ("eager", "lazy", "mmap") —
 	// what a requested mmap degraded to on platforms without it.
 	Mode string `json:"mode"`
+	// Format is the on-disk layout the snapshot was written in: "v1"
+	// (row-major KTPMSNAP1) or "v2" (columnar KTPMSNAP2).
+	Format string `json:"format"`
 	// TablesLoaded counts closure tables faulted from the snapshot so
 	// far; directly after a lazy or mmap open it is 0.
 	TablesLoaded int64 `json:"tables_loaded"`
@@ -351,6 +411,7 @@ func (db *Database) SnapshotStats() (SnapshotStats, bool) {
 	}
 	st := SnapshotStats{
 		Mode:         db.snap.Mode().String(),
+		Format:       db.snap.Format(),
 		TablesLoaded: db.snap.TablesLoaded(),
 		TablesTotal:  int64(db.snap.NumTables()),
 		BytesMapped:  db.snap.BytesMapped(),
