@@ -78,7 +78,7 @@ func keyPaths(v any) map[string]bool {
 func rowNames(doc any) map[string]bool {
 	out := map[string]bool{}
 	top, _ := doc.(map[string]any)
-	for _, sweep := range []string{"rows", "chunk_sweep", "batch_sweep", "startup_sweep", "obs_sweep", "dist_sweep", "overload_sweep", "columnar_sweep"} {
+	for _, sweep := range []string{"rows", "chunk_sweep", "batch_sweep", "startup_sweep", "obs_sweep", "dist_sweep", "overload_sweep", "columnar_sweep", "ingest_sweep"} {
 		rows, _ := top[sweep].([]any)
 		for _, r := range rows {
 			if m, ok := r.(map[string]any); ok {

@@ -3,6 +3,8 @@
 // Usage:
 //
 //	ktpm -graph g.txt -query "a(b,c(d))" -k 20 [-algo topk-en] [-count]
+//	ktpm -graph g.txt -save-snapshot g.snap -snapshot-format v2
+//	ktpm -verify-snapshot g.snap
 //
 // The graph file uses the library text format ("n <id> <label>" and
 // "e <from> <to> [w]" lines). The query syntax is the library's compact
@@ -18,6 +20,8 @@ import (
 	"time"
 
 	"ktpm"
+	"ktpm/internal/closure"
+	"ktpm/internal/fsio"
 	"ktpm/internal/obs"
 )
 
@@ -33,6 +37,7 @@ func main() {
 		queryStr  = flag.String("query", "", "query tree, e.g. \"a(b,c(d))\"")
 		k         = flag.Int("k", 10, "number of matches to return")
 		algoName  = flag.String("algo", "topk-en", "algorithm: topk-en, topk, dp-b, dp-p")
+		verify    = flag.String("verify-snapshot", "", "validate a KTPMSNAP1/2 snapshot — magic, header/directory bounds, the CRC32C trailer when present, and every table payload — then exit (0 healthy, nonzero corrupt)")
 		count     = flag.Bool("count", false, "also print the total number of matches")
 		explain   = flag.Bool("explain", false, "print the query plan before running")
 		quiet     = flag.Bool("quiet", false, "print scores only")
@@ -46,6 +51,10 @@ func main() {
 			fmt.Printf(" (%s)", bi.Revision)
 		}
 		fmt.Println()
+		return
+	}
+	if *verify != "" {
+		verifySnapshot(*verify)
 		return
 	}
 	if (*graphPath == "" && *dbPath == "" && *snapPath == "") ||
@@ -157,17 +166,30 @@ func main() {
 	}
 }
 
+// save writes crash-atomically: a kill mid-write leaves only a *.tmp
+// sibling behind, never a torn file at path, and an existing file at
+// path survives any failure intact.
 func save(path string, db *ktpm.Database, write func(io.Writer, *ktpm.Database) error) {
-	f, err := os.Create(path)
-	if err != nil {
-		fatalf("create %s: %v", path, err)
-	}
-	if err := write(f, db); err != nil {
+	if err := fsio.WriteFileAtomic(path, func(w io.Writer) error {
+		return write(w, db)
+	}); err != nil {
 		fatalf("save %s: %v", path, err)
 	}
-	if err := f.Close(); err != nil {
-		fatalf("close %s: %v", path, err)
+}
+
+// verifySnapshot runs the -verify-snapshot engine and prints a one-line
+// health report; corruption exits nonzero with the failure on stderr.
+func verifySnapshot(path string) {
+	rep, err := closure.VerifySnapshotFile(path)
+	if err != nil {
+		fatalf("verify %s: %v", path, err)
 	}
+	sum := "checksummed (CRC32C trailer verified)"
+	if !rep.Checksummed {
+		sum = "unchecksummed (pre-checksum file: structural validation only)"
+	}
+	fmt.Printf("%s: OK — %s format, %d tables, %d entries, %d bytes, %s\n",
+		path, rep.Format, rep.Tables, rep.Entries, rep.SizeBytes, sum)
 }
 
 func fatalf(format string, args ...any) {

@@ -27,7 +27,19 @@
 // See docs/DISTRIBUTED.md for the topology, failure-handling, and
 // deployment story.
 //
+// With -wal-dir the daemon additionally accepts writes: POST /ingest
+// appends edges through a write-ahead log (fsynced per -fsync before
+// the ack), serves them from an in-memory epoch overlay merged with the
+// immutable base, and compacts sealed overlays into new crash-atomic
+// snapshot generations in the background. A SIGKILL at any instant
+// loses no acknowledged write: restart replays the WAL tail above the
+// current generation's watermark. See docs/ARCHITECTURE.md ("Write
+// path") and docs/OPERATIONS.md for the recovery runbook:
+//
+//	ktpmd -snapshot g.snap -wal-dir /var/lib/ktpm/wal -fsync always
+//
 //	curl 'localhost:8080/query?q=a(b,c(d))&k=5'
+//	curl -d '{"edges":[{"from":3,"to":9,"w":2}]}' localhost:8080/ingest
 //	curl 'localhost:8080/query?q=a(b)&debug=1'          # inline trace span tree
 //	curl -d '{"items":[{"q":"a(b)","k":5},{"q":"a(b)","k":5}]}' localhost:8080/batch
 //	curl -N 'localhost:8080/stream?q=a(b)&max=100000'
@@ -93,6 +105,10 @@ func main() {
 		logJSON     = flag.Bool("log-json", false, "emit logs as JSON lines instead of text")
 		showVersion = flag.Bool("version", false, "print version and build info, then exit")
 
+		walDir       = flag.String("wal-dir", "", "enable the crash-safe write path (/ingest): directory for the write-ahead log, compacted generation snapshots, and the CURRENT pointer (empty = read-only; requires -role serve and -shards 1)")
+		fsyncPolicy  = flag.String("fsync", "always", "WAL durability policy with -wal-dir: always (fsync before every ack), interval (fsync every 100ms; a crash may lose the acked tail), or never (fsync only on rotation and shutdown)")
+		compactThr   = flag.Int("compact-threshold", 0, "with -wal-dir, drain the in-memory overlay into a new snapshot generation once it holds this many closure entries (0 = default 100000, negative disables background compaction)")
+		walGenFormat = flag.String("wal-gen-format", "v2", "snapshot format for compacted generations: v1 (row-major) or v2 (columnar)")
 		maxQueueWait = flag.Duration("max-queue-wait", 2*time.Second, "shed a request with 429 when its estimated admission-queue wait exceeds this (0 disables predictive shedding)")
 		memSoft      = flag.String("mem-soft-limit", "", "heap soft limit with an optional KiB/MiB/GiB suffix (e.g. 512MiB): approaching it progressively shrinks the result cache, stops cache admission, then sheds uncached requests with 429; also sets the Go runtime's soft memory limit (empty disables)")
 		maxBody      = flag.Int64("max-body-bytes", 0, "largest accepted POST body in bytes, answered 413 beyond it (0 = default 4MiB, negative disables the cap)")
@@ -160,6 +176,15 @@ func main() {
 	}
 	if *degraded != "partial" && *degraded != "fail" {
 		fmt.Fprintf(os.Stderr, "ktpmd: unknown degraded policy %q (want partial or fail)\n", *degraded)
+		os.Exit(2)
+	}
+	genFormat, ok := ktpm.ParseSnapshotFormat(*walGenFormat)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "ktpmd: unknown -wal-gen-format %q (want v1 or v2)\n", *walGenFormat)
+		os.Exit(2)
+	}
+	if *walDir != "" && (*role != "serve" || *shards > 1) {
+		fmt.Fprintln(os.Stderr, "ktpmd: -wal-dir (the write path) requires -role serve and -shards 1")
 		os.Exit(2)
 	}
 	memSoftBytes, err := parseBytes(*memSoft)
@@ -257,6 +282,35 @@ func main() {
 		)
 	}
 
+	// The write path wraps the database in the live engine: WAL replay
+	// runs here, before the listener opens, so recovery is complete by
+	// the time the first request can arrive.
+	var live *ktpm.Live
+	if *walDir != "" {
+		t0 := time.Now()
+		live, err = ktpm.OpenLive(db, ktpm.LiveConfig{
+			Dir:              *walDir,
+			Fsync:            *fsyncPolicy,
+			CompactThreshold: *compactThr,
+			SnapshotFormat:   genFormat,
+			SnapshotMode:     mode,
+			Logger:           logger,
+		})
+		if err != nil {
+			fatal(logger, "write path", err)
+		}
+		backend = live
+		st := live.IngestStats()
+		logger.Info("write path enabled",
+			"wal_dir", *walDir,
+			"fsync", *fsyncPolicy,
+			"compact_threshold", st.Compaction.Threshold,
+			"generation", st.Compaction.Generation,
+			"recovered_records", st.WAL.RecoveredRecords,
+			"open_ms", float64(time.Since(t0).Microseconds())/1000,
+		)
+	}
+
 	srv := server.New(backend, server.Config{
 		Concurrency:     *concurrency,
 		QueueDepth:      *queueDepth,
@@ -349,6 +403,15 @@ func main() {
 	// views into the mapping, and unmapping under it would turn a slow
 	// drain into a crash. Process exit releases it either way.
 	if drained {
+		// The live engine first: it stops the compactor, flushes and
+		// closes the WAL, and releases every generation snapshot. Closing
+		// the boot database afterwards is an idempotent no-op when Live
+		// already owned its snapshot.
+		if live != nil {
+			if err := live.Close(); err != nil {
+				logger.Error("closing write path", "err", err)
+			}
+		}
 		if err := db.Close(); err != nil {
 			logger.Error("closing snapshot", "err", err)
 		}

@@ -1,0 +1,188 @@
+package closure
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"os"
+	"strings"
+	"testing"
+)
+
+// snapLayout pulls the offsets a corruption test needs out of a raw
+// snapshot file: where the first table payload lives and how wide the
+// checksum trailer (incl. footer) is.
+func snapLayout(t *testing.T, raw []byte) (payloadOff, payloadSpan, trailerBytes int64) {
+	t.Helper()
+	numTables := int64(binary.LittleEndian.Uint64(raw[18:26]))
+	dirOff := int64(binary.LittleEndian.Uint64(raw[50:58]))
+	if numTables == 0 {
+		t.Fatal("fixture snapshot has no tables")
+	}
+	row := raw[dirOff:]
+	payloadOff = int64(binary.LittleEndian.Uint64(row[8:16]))
+	count := int64(binary.LittleEndian.Uint64(row[16:24]))
+	payloadSpan = count * EntrySize
+	if binary.LittleEndian.Uint32(raw[10:14]) == snapVersion2 {
+		_, _, payloadSpan = colsSpan(count)
+	}
+	return payloadOff, payloadSpan, int64(snapTrailerFix+4*numTables) + snapFooterSize
+}
+
+func checksumFixture(t *testing.T) TableSource {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	g := randomGraph(t, rng, 30, 90, 5, 3)
+	return Compute(g, Options{})
+}
+
+func TestSnapshotChecksumRoundTrip(t *testing.T) {
+	src := checksumFixture(t)
+	for _, v2 := range []bool{false, true} {
+		path := t.TempDir() + "/c.snap"
+		if err := writeSnapshotFile(path, src, v2); err != nil {
+			t.Fatal(err)
+		}
+		for _, mode := range []SnapMode{SnapEager, SnapLazy, SnapMMap} {
+			s, err := OpenSnapshotFile(path, mode)
+			if err != nil {
+				t.Fatalf("v2=%v mode=%v: %v", v2, mode, err)
+			}
+			if !s.Checksummed() {
+				t.Fatalf("v2=%v mode=%v: fresh snapshot not checksummed", v2, mode)
+			}
+			assertSameSource(t, s, src)
+			if err := s.Err(); err != nil {
+				t.Fatalf("v2=%v mode=%v: fault error: %v", v2, mode, err)
+			}
+			s.Close()
+		}
+		rep, err := VerifySnapshotFile(path)
+		if err != nil {
+			t.Fatalf("v2=%v: verify: %v", v2, err)
+		}
+		if !rep.Checksummed || rep.Tables != src.NumTables() || rep.Entries != src.NumEntries() {
+			t.Fatalf("v2=%v: verify report %+v", v2, rep)
+		}
+	}
+}
+
+// TestSnapshotChecksumDetectsPayloadCorruption flips a single payload
+// byte: eager opens must fail outright, lazy/mmap opens must surface a
+// sticky error when the table faults, and -verify-snapshot's engine
+// must reject the file.
+func TestSnapshotChecksumDetectsPayloadCorruption(t *testing.T) {
+	src := checksumFixture(t)
+	for _, v2 := range []bool{false, true} {
+		path := t.TempDir() + "/c.snap"
+		if err := writeSnapshotFile(path, src, v2); err != nil {
+			t.Fatal(err)
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		off, span, _ := snapLayout(t, raw)
+		raw[off+span/2] ^= 0x40
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+
+		if _, err := OpenSnapshotFile(path, SnapEager); err == nil {
+			t.Fatalf("v2=%v: eager open accepted payload corruption", v2)
+		}
+		for _, mode := range []SnapMode{SnapLazy, SnapMMap} {
+			s, err := OpenSnapshotFile(path, mode)
+			if err != nil {
+				t.Fatalf("v2=%v mode=%v: open (corruption should surface at fault, not open): %v", v2, mode, err)
+			}
+			s.Tables(func(_, _ int32, _ []Entry) bool { return true }) // fault everything
+			if s.Err() == nil {
+				t.Fatalf("v2=%v mode=%v: faulting corrupted payload set no error", v2, mode)
+			}
+			s.Close()
+		}
+		if _, err := VerifySnapshotFile(path); err == nil {
+			t.Fatalf("v2=%v: VerifySnapshotFile accepted payload corruption", v2)
+		}
+	}
+}
+
+// TestSnapshotUnchecksummedOldFormat strips the trailer+footer,
+// reproducing a pre-checksum file byte-for-byte: it must open and
+// verify cleanly, reporting Checksummed=false.
+func TestSnapshotUnchecksummedOldFormat(t *testing.T) {
+	src := checksumFixture(t)
+	for _, v2 := range []bool{false, true} {
+		path := t.TempDir() + "/c.snap"
+		if err := writeSnapshotFile(path, src, v2); err != nil {
+			t.Fatal(err)
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _, trailerBytes := snapLayout(t, raw)
+		if err := os.WriteFile(path, raw[:int64(len(raw))-trailerBytes], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s, err := OpenSnapshotFile(path, SnapEager)
+		if err != nil {
+			t.Fatalf("v2=%v: old-format open: %v", v2, err)
+		}
+		if s.Checksummed() {
+			t.Fatalf("v2=%v: trailer-less snapshot claims to be checksummed", v2)
+		}
+		assertSameSource(t, s, src)
+		s.Close()
+		rep, err := VerifySnapshotFile(path)
+		if err != nil {
+			t.Fatalf("v2=%v: verify old-format: %v", v2, err)
+		}
+		if rep.Checksummed {
+			t.Fatalf("v2=%v: verify report claims checksummed: %+v", v2, rep)
+		}
+	}
+}
+
+// TestSnapshotTrailerCorruptionFailsOpen: once payloads end, nothing
+// but a complete valid trailer may follow — torn trailers, damaged
+// trailer bytes, and clobbered footer magic all fail at open.
+func TestSnapshotTrailerCorruptionFailsOpen(t *testing.T) {
+	src := checksumFixture(t)
+	for _, v2 := range []bool{false, true} {
+		dir := t.TempDir()
+		path := dir + "/c.snap"
+		if err := writeSnapshotFile(path, src, v2); err != nil {
+			t.Fatal(err)
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tc := range []struct {
+			name   string
+			mutate func([]byte) []byte
+		}{
+			{"torn mid-trailer", func(b []byte) []byte { return b[:len(b)-5] }},
+			{"torn mid-footer", func(b []byte) []byte { return b[:len(b)-snapFooterSize/2] }},
+			{"trailer byte flipped", func(b []byte) []byte {
+				c := append([]byte(nil), b...)
+				c[len(c)-snapFooterSize-2] ^= 0xff // inside a table CRC
+				return c
+			}},
+			{"footer magic clobbered", func(b []byte) []byte {
+				c := append([]byte(nil), b...)
+				c[len(c)-snapFooterSize] ^= 0xff
+				return c
+			}},
+		} {
+			p := dir + "/" + strings.ReplaceAll(tc.name, " ", "_")
+			if err := os.WriteFile(p, tc.mutate(raw), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := OpenSnapshotFile(p, SnapLazy); err == nil {
+				t.Fatalf("v2=%v: open accepted %q", v2, tc.name)
+			}
+		}
+	}
+}

@@ -1,0 +1,18 @@
+package closure
+
+import (
+	"io"
+
+	"ktpm/internal/fsio"
+)
+
+// writeSnapshotFile writes src as a v1 or v2 snapshot at path,
+// crash-atomically like every production write path.
+func writeSnapshotFile(path string, src TableSource, v2 bool) error {
+	return fsio.WriteFileAtomic(path, func(w io.Writer) error {
+		if v2 {
+			return WriteSnapshotV2(w, src)
+		}
+		return WriteSnapshot(w, src)
+	})
+}

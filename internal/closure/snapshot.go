@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"sort"
@@ -170,6 +171,11 @@ type Snapshot struct {
 	numEntries   int64
 	tablesLoaded atomic.Int64
 	loadErr      atomic.Pointer[error] // sticky first fault-time failure
+
+	// tableCRCs holds the per-table payload CRC32C values from the
+	// checksum trailer (checksum.go), directory order; nil on
+	// pre-checksum files. Verified as each table faults.
+	tableCRCs []uint32
 }
 
 var (
@@ -230,6 +236,10 @@ func writeSnapshot(w io.Writer, src TableSource, version uint32) error {
 	}
 
 	bw := bufio.NewWriterSize(w, 1<<20)
+	// Payload writes flow through cw so per-table CRCs for the checksum
+	// trailer are computed as the bytes stream out, never buffered.
+	cw := &crcWriter{w: bw}
+	tableCRCs := make([]uint32, len(dir))
 	hdr := make([]byte, snapHeaderSize)
 	if version == snapVersion2 {
 		copy(hdr, snapMagic2)
@@ -246,6 +256,8 @@ func writeSnapshot(w io.Writer, src TableSource, version uint32) error {
 	if _, err := bw.Write(hdr); err != nil {
 		return err
 	}
+	headerCRC := crc32.Checksum(hdr, snapCRC)
+	graphCRC := crc32.Checksum(gbuf.Bytes(), snapCRC)
 	pos := int64(snapHeaderSize)
 	pad := func(to int64) error {
 		for pos < to {
@@ -253,7 +265,7 @@ func writeSnapshot(w io.Writer, src TableSource, version uint32) error {
 			if n > int64(len(zeroPage)) {
 				n = int64(len(zeroPage))
 			}
-			if _, err := bw.Write(zeroPage[:n]); err != nil {
+			if _, err := cw.Write(zeroPage[:n]); err != nil {
 				return err
 			}
 			pos += n
@@ -268,18 +280,20 @@ func writeSnapshot(w io.Writer, src TableSource, version uint32) error {
 		return err
 	}
 	row := make([]byte, snapDirEntSize)
+	var dirCRC uint32
 	for _, d := range dir {
 		binary.LittleEndian.PutUint32(row[0:4], uint32(d.alpha))
 		binary.LittleEndian.PutUint32(row[4:8], uint32(d.beta))
 		binary.LittleEndian.PutUint64(row[8:16], uint64(d.off))
 		binary.LittleEndian.PutUint64(row[16:24], uint64(d.count))
+		dirCRC = crc32.Update(dirCRC, snapCRC, row)
 		if _, err := bw.Write(row); err != nil {
 			return err
 		}
 	}
 	pos += int64(len(dir)) * snapDirEntSize
 	var buf []byte
-	for _, d := range dir {
+	for i, d := range dir {
 		if err := pad(d.off); err != nil {
 			return err
 		}
@@ -287,35 +301,42 @@ func writeSnapshot(w io.Writer, src TableSource, version uint32) error {
 		if int64(len(entries)) != d.count {
 			return fmt.Errorf("closure: table (%d,%d) changed size during snapshot write", d.alpha, d.beta)
 		}
+		// The table's whole payload span — including v2 inter-column
+		// padding — feeds its trailer CRC.
+		cw.begin()
 		var err error
 		if version == snapVersion2 {
 			// Columns are streamed straight from the row-major entries so
 			// the writer never materializes a second copy of the table.
 			distRel, fromRel, _ := colsSpan(d.count)
-			if buf, err = writeCol(bw, entries, func(e Entry) int32 { return e.To }, buf); err != nil {
+			if buf, err = writeCol(cw, entries, func(e Entry) int32 { return e.To }, buf); err != nil {
 				return err
 			}
 			pos += d.count * 4
 			if err = pad(d.off + distRel); err != nil {
 				return err
 			}
-			if buf, err = writeCol(bw, entries, func(e Entry) int32 { return e.Dist }, buf); err != nil {
+			if buf, err = writeCol(cw, entries, func(e Entry) int32 { return e.Dist }, buf); err != nil {
 				return err
 			}
 			pos += d.count * 4
 			if err = pad(d.off + fromRel); err != nil {
 				return err
 			}
-			if buf, err = writeCol(bw, entries, func(e Entry) int32 { return e.From }, buf); err != nil {
+			if buf, err = writeCol(cw, entries, func(e Entry) int32 { return e.From }, buf); err != nil {
 				return err
 			}
 			pos += d.count * 4
 		} else {
-			if buf, err = writeEntries(bw, entries, buf); err != nil {
+			if buf, err = writeEntries(cw, entries, buf); err != nil {
 				return err
 			}
 			pos += d.count * EntrySize
 		}
+		tableCRCs[i] = cw.end()
+	}
+	if err := writeSnapshotTrailer(bw, pos, headerCRC, graphCRC, dirCRC, tableCRCs); err != nil {
+		return err
 	}
 	return bw.Flush()
 }
@@ -392,6 +413,7 @@ func openSnapshot(f *os.File, mode SnapMode) (*Snapshot, error) {
 	}
 	dir := make([]snapDirEnt, numTables)
 	payloadStart := dirOff + numTables*snapDirEntSize
+	payloadEnd := payloadStart // end of the last table payload
 	var total int64
 	numLabels := int32(g.NumLabels())
 	for i := range dir {
@@ -413,13 +435,18 @@ func openSnapshot(f *os.File, mode SnapMode) (*Snapshot, error) {
 		if d.off < payloadStart || d.off > size || d.count < 0 || d.count > (size-d.off)/EntrySize {
 			return nil, fmt.Errorf("closure: snapshot directory row %d: table (%d,%d) at [%d, +%d entries) outside file of %d bytes", i, d.alpha, d.beta, d.off, d.count, size)
 		}
+		span := d.count * EntrySize
 		if version == snapVersion2 {
 			// The columnar payload is wider than count×EntrySize by the
 			// inter-column alignment padding; the v1-style bound above makes
 			// colsSpan overflow-safe, and this makes it exact.
-			if _, _, total := colsSpan(d.count); total > size-d.off {
-				return nil, fmt.Errorf("closure: snapshot directory row %d: columnar table (%d,%d) at [%d, +%d bytes) outside file of %d bytes", i, d.alpha, d.beta, d.off, total, size)
+			_, _, span = colsSpan(d.count)
+			if span > size-d.off {
+				return nil, fmt.Errorf("closure: snapshot directory row %d: columnar table (%d,%d) at [%d, +%d bytes) outside file of %d bytes", i, d.alpha, d.beta, d.off, span, size)
 			}
+		}
+		if end := d.off + span; end > payloadEnd {
+			payloadEnd = end
 		}
 		if d.off%snapTableAlign != 0 {
 			// The format guarantees 16-byte-aligned tables; an unaligned
@@ -434,6 +461,14 @@ func openSnapshot(f *os.File, mode SnapMode) (*Snapshot, error) {
 		return nil, fmt.Errorf("closure: snapshot directory counts sum to %d, header says %d", total, numEntries)
 	}
 
+	// Checksum trailer (checksum.go): header/graph/directory CRCs verify
+	// here; per-table CRCs are kept for fault-time verification. Old
+	// files without the trailer open with tableCRCs == nil.
+	tableCRCs, _, err := readSnapshotTrailer(f, size, payloadEnd, hdr, dirRaw, graphOff, graphLen, int(numTables))
+	if err != nil {
+		return nil, err
+	}
+
 	s := &Snapshot{
 		g:          g,
 		dir:        dir,
@@ -445,6 +480,7 @@ func openSnapshot(f *os.File, mode SnapMode) (*Snapshot, error) {
 		r:          f,
 		size:       size,
 		numEntries: numEntries,
+		tableCRCs:  tableCRCs,
 	}
 	if mode == SnapMMap {
 		// entryViewOK is checked before mapping: a mapping that cannot be
@@ -527,13 +563,20 @@ func (s *Snapshot) load(i int) ([]Entry, error) {
 	var entries []Entry
 	switch {
 	case s.data != nil:
-		// Zero-copy: the published table is a view over the mapping.
+		// Zero-copy: the published table is a view over the mapping. The
+		// trailer CRC runs over the same mapped bytes before publication.
+		if err := s.verifyTableCRC(i, s.data[d.off:d.off+d.count*EntrySize]); err != nil {
+			return nil, fmt.Errorf("closure: snapshot table (%d,%d): %w", d.alpha, d.beta, err)
+		}
 		if d.count > 0 {
 			entries = unsafe.Slice((*Entry)(unsafe.Pointer(&s.data[d.off])), d.count)
 		}
 	case s.r != nil:
 		raw := make([]byte, d.count*EntrySize)
 		if _, err := s.r.ReadAt(raw, d.off); err != nil {
+			return nil, fmt.Errorf("closure: snapshot table (%d,%d): %w", d.alpha, d.beta, err)
+		}
+		if err := s.verifyTableCRC(i, raw); err != nil {
 			return nil, fmt.Errorf("closure: snapshot table (%d,%d): %w", d.alpha, d.beta, err)
 		}
 		entries = make([]Entry, d.count)
@@ -584,6 +627,11 @@ func (s *Snapshot) loadCols(i int) (Cols, error) {
 	var c Cols
 	switch {
 	case s.data != nil:
+		// The trailer CRC covers the full columnar span, padding included,
+		// straight off the mapping before the views are published.
+		if err := s.verifyTableCRC(i, s.data[d.off:d.off+total]); err != nil {
+			return Cols{}, fmt.Errorf("closure: snapshot table (%d,%d): %w", d.alpha, d.beta, err)
+		}
 		if d.count > 0 {
 			c.To = unsafe.Slice((*int32)(unsafe.Pointer(&s.data[d.off])), d.count)
 			c.Dist = unsafe.Slice((*int32)(unsafe.Pointer(&s.data[d.off+distRel])), d.count)
@@ -592,6 +640,9 @@ func (s *Snapshot) loadCols(i int) (Cols, error) {
 	case s.r != nil:
 		raw := make([]byte, total)
 		if _, err := s.r.ReadAt(raw, d.off); err != nil {
+			return Cols{}, fmt.Errorf("closure: snapshot table (%d,%d): %w", d.alpha, d.beta, err)
+		}
+		if err := s.verifyTableCRC(i, raw); err != nil {
 			return Cols{}, fmt.Errorf("closure: snapshot table (%d,%d): %w", d.alpha, d.beta, err)
 		}
 		c.To = make([]int32, d.count)

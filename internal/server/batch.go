@@ -129,7 +129,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		items[i].resp.Canonical = canonical
 		items[i].resp.K = k
 		items[i].resp.Algorithm = algo.String()
-		items[i].key = resultKey(canonical, k, algo)
+		items[i].key = s.resultKey(canonical, k, algo)
 		if f, ok := firstOf[items[i].key]; ok {
 			items[i].first = f
 		} else {

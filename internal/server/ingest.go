@@ -1,0 +1,113 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+
+	"ktpm"
+)
+
+// liveBackend is the optional Backend extension the live (writable)
+// engine implements when ktpmd runs with -wal-dir: WAL-journaled edge
+// ingest, the publish epoch that versions every cached result, and the
+// write path's health counters for /stats and /metrics.
+type liveBackend interface {
+	Ingest(edges []ktpm.IngestEdge) (uint64, error)
+	Epoch() uint64
+	IngestStats() ktpm.IngestStats
+}
+
+// IngestRequest is the /ingest request body.
+type IngestRequest struct {
+	Edges []ktpm.IngestEdge `json:"edges"`
+}
+
+// IngestResponse is the /ingest response body. LSN is the batch's log
+// sequence number: the write was fsynced into the WAL (per the -fsync
+// policy) and published before this response was sent, so a crash after
+// the ack cannot lose it.
+type IngestResponse struct {
+	LSN       uint64  `json:"lsn"`
+	Epoch     uint64  `json:"epoch"`
+	Edges     int     `json:"edges"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// handleIngest appends a batch of edges to the live backend: WAL append
+// (durability point), overlay apply, atomic publish, then the ack.
+// Writes run through the same admission-controlled pool as queries —
+// one batch occupies one worker for its WAL fsync plus incremental
+// closure — and shed with the expensive class under brownout, since an
+// unserved write is retryable while a degraded read is not.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	if s.draining.Load() {
+		s.rejectDraining(w)
+		return
+	}
+	li, ok := s.db.(liveBackend)
+	if !ok {
+		s.writeError(w, http.StatusNotImplemented, "backend is read-only: start ktpmd with -wal-dir to enable ingest")
+		return
+	}
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", "POST")
+		s.writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	if s.cfg.MaxBodyBytes > 0 {
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	}
+	var req IngestRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.tooLarge.Add(1)
+			s.writeError(w, http.StatusRequestEntityTooLarge, "ingest body exceeds %d bytes", s.cfg.MaxBodyBytes)
+			return
+		}
+		s.writeError(w, http.StatusBadRequest, "bad ingest body: %v", err)
+		return
+	}
+	if len(req.Edges) == 0 {
+		s.writeError(w, http.StatusBadRequest, "empty ingest: edges is required and must not be empty")
+		return
+	}
+	if reason := s.shedClass(true); reason != "" {
+		s.writeShed(w, reason)
+		return
+	}
+	if _, bad := s.adm.shouldShed(s.exec.queued.Load(), s.cfg.RequestTimeout); bad {
+		s.writeShed(w, shedReasonDeadline)
+		return
+	}
+	var (
+		lsn     uint64
+		callErr error
+	)
+	trace := requestSpan(w, r)
+	err := s.execute(w, r, "ingest", func() {
+		sp := trace.StartChild("ingest")
+		lsn, callErr = li.Ingest(req.Edges)
+		sp.End()
+	})
+	if !s.writeExecError(w, err) {
+		return
+	}
+	if callErr != nil {
+		if errors.Is(callErr, ktpm.ErrInvalidEdge) {
+			s.writeError(w, http.StatusBadRequest, "invalid ingest: %v", callErr)
+			return
+		}
+		s.writeError(w, http.StatusInternalServerError, "ingest failed: %v", callErr)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, IngestResponse{
+		LSN:       lsn,
+		Epoch:     li.Epoch(),
+		Edges:     len(req.Edges),
+		ElapsedMS: msSince(t0),
+	})
+}

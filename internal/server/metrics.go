@@ -68,7 +68,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	gauge("ktpmd_est_queue_wait_seconds", "Predicted queue wait for a task admitted now.", s.adm.estWait(s.exec.queued.Load()).Seconds())
 	fmt.Fprintf(&b, "# HELP ktpmd_cost_ewma_seconds Moving execution-cost estimate by endpoint family (pooled prices the shared queue).\n# TYPE ktpmd_cost_ewma_seconds gauge\n")
 	fmt.Fprintf(&b, "ktpmd_cost_ewma_seconds{endpoint=\"pooled\"} %g\n", s.adm.pooled.get().Seconds())
-	for _, ep := range []string{"query", "explain", "batch", "stream"} {
+	for _, ep := range []string{"query", "explain", "batch", "stream", "ingest"} {
 		fmt.Fprintf(&b, "ktpmd_cost_ewma_seconds{endpoint=%q} %g\n", ep, s.adm.endpoint[ep].get().Seconds())
 	}
 	counter("ktpmd_panics_total", "Enumeration panics recovered into 500s.", s.quar.panics.Load())
@@ -110,7 +110,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		writeHistogram(&b, "ktpmd_request_duration_seconds",
 			"End-to-end request latency by endpoint.", "endpoint", s.obs.endpoints)
 		writeHistogram(&b, "ktpmd_stage_duration_seconds",
-			"Request latency attributed to pipeline stages (parse, admission_wait, cache_probe, enumerate, shard_merge, table_fault, remote_merge).",
+			"Request latency attributed to pipeline stages (parse, admission_wait, cache_probe, enumerate, shard_merge, table_fault, remote_merge, ingest).",
 			"stage", s.obs.stages)
 	}
 
@@ -122,6 +122,35 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			gauge("ktpmd_snapshot_tables_total", "Closure tables in the snapshot directory.", float64(st.TablesTotal))
 			gauge("ktpmd_snapshot_bytes_mapped", "Live memory-mapped snapshot bytes (0 unless mode is mmap).", float64(st.BytesMapped))
 		}
+	}
+
+	if li, ok := s.db.(liveBackend); ok {
+		st := li.IngestStats()
+		counter("ktpmd_ingest_batches_total", "Ingest batches acknowledged (WAL-durable and published).", int64(st.AckedBatches))
+		counter("ktpmd_ingest_edges_total", "Edges across acknowledged ingest batches.", int64(st.AckedEdges))
+		counter("ktpmd_ingest_rejected_total", "Ingest batches refused by validation.", int64(st.RejectedBatches))
+		gauge("ktpmd_ingest_epoch", "Serving-state publishes: one per acked batch plus one per compaction swap.", float64(st.Epoch))
+		gauge("ktpmd_ingest_last_lsn", "Newest acknowledged log sequence number.", float64(st.LastLSN))
+
+		fmt.Fprintf(&b, "# HELP ktpmd_wal_info Write-ahead log configuration (value is always 1).\n# TYPE ktpmd_wal_info gauge\nktpmd_wal_info{fsync=%q} 1\n", st.WAL.FsyncPolicy)
+		counter("ktpmd_wal_appends_total", "Records appended to the write-ahead log.", st.WAL.Appends)
+		counter("ktpmd_wal_fsyncs_total", "fsync calls issued by the write-ahead log.", st.WAL.Fsyncs)
+		gauge("ktpmd_wal_segments", "Live write-ahead log segment files.", float64(st.WAL.Segments))
+		gauge("ktpmd_wal_size_bytes", "Total bytes across live write-ahead log segments.", float64(st.WAL.Bytes))
+		gauge("ktpmd_wal_recovered_records", "Records replayed from the log at the last open.", float64(st.WAL.RecoveredRecords))
+		gauge("ktpmd_wal_torn_bytes_truncated", "Trailing bytes of a torn record cut from the final segment at the last open.", float64(st.WAL.TornBytesTruncated))
+
+		gauge("ktpmd_overlay_entries", "Closure pairs held by the in-memory epoch overlay awaiting compaction.", float64(st.Overlay.Entries))
+		gauge("ktpmd_overlay_tables", "Label-pair tables the overlay touches.", float64(st.Overlay.Tables))
+		gauge("ktpmd_overlay_edges_applied", "Edges folded into the overlay since the last compaction.", float64(st.Overlay.EdgesApplied))
+		gauge("ktpmd_overlay_pending_batches", "Acked batches not yet drained into a compacted generation.", float64(st.Overlay.PendingBatches))
+		gauge("ktpmd_overlay_watermark", "Last LSN captured by the current base generation.", float64(st.Overlay.Watermark))
+
+		counter("ktpmd_compaction_total", "Completed snapshot compactions this process.", int64(st.Compaction.Count))
+		gauge("ktpmd_compaction_generation", "Current base snapshot generation (0 is the boot base).", float64(st.Compaction.Generation))
+		gauge("ktpmd_compaction_threshold", "Overlay entry count that triggers a compaction (0 or negative disables).", float64(st.Compaction.Threshold))
+		gauge("ktpmd_compaction_in_progress", "1 while a compaction is running.", boolGauge(st.Compaction.InProgress))
+		gauge("ktpmd_compaction_last_seconds", "Wall time of the last completed compaction.", st.Compaction.LastMS/1e3)
 	}
 
 	if ss, ok := s.db.(shardStater); ok {

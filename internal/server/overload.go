@@ -73,7 +73,7 @@ type admission struct {
 func newAdmission(maxWait time.Duration, workers int) *admission {
 	a := &admission{maxWait: maxWait, workers: workers,
 		endpoint: make(map[string]*costEWMA, 4)}
-	for _, ep := range []string{"query", "explain", "batch", "stream"} {
+	for _, ep := range []string{"query", "explain", "batch", "stream", "ingest"} {
 		a.endpoint[ep] = &costEWMA{}
 	}
 	return a

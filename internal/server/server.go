@@ -346,6 +346,7 @@ func New(db Backend, cfg Config) *Server {
 	}
 	s.ready.Store(true)
 	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/ingest", s.handleIngest)
 	s.mux.HandleFunc("/batch", s.handleBatch)
 	s.mux.HandleFunc("/stream", s.handleStream)
 	s.mux.HandleFunc("/explain", s.handleExplain)
@@ -725,9 +726,18 @@ func (s *Server) runQuery(w http.ResponseWriter, r *http.Request, key string, cq
 
 // resultKey is the result-cache and dedup identity of a query execution.
 // /query and /batch share cache entries, so every probe and fill site
-// must build keys through this one function.
-func resultKey(canonical string, k int, algo ktpm.Algorithm) string {
-	return canonical + "\x00" + strconv.Itoa(k) + "\x00" + algo.String()
+// must build keys through this one method. On a live (writable) backend
+// the key carries the serving epoch: every acked ingest and every
+// compaction swap bump the epoch, so results cached against an older
+// graph are simply never probed again — they age out of the LRU instead
+// of being served stale, and in-flight coalesced computations keyed
+// under the old epoch stay correct for the requests that joined them.
+func (s *Server) resultKey(canonical string, k int, algo ktpm.Algorithm) string {
+	key := canonical + "\x00" + strconv.Itoa(k) + "\x00" + algo.String()
+	if li, ok := s.db.(liveBackend); ok {
+		key = strconv.FormatUint(li.Epoch(), 16) + "\x00" + key
+	}
+	return key
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -741,7 +751,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	canonical := q.Canonical()
-	key := resultKey(canonical, k, algo)
+	key := s.resultKey(canonical, k, algo)
 	resp := QueryResponse{
 		Query:     r.FormValue("q"),
 		Canonical: canonical,
@@ -947,6 +957,10 @@ type StatsResponse struct {
 	// faulted so far out of the directory total, mapped bytes — when the
 	// backend was opened from a KTPMSNAP1/2 snapshot; omitted otherwise.
 	Snapshot *ktpm.SnapshotStats `json:"snapshot,omitempty"`
+	// Ingest reports the crash-safe write path — WAL, epoch overlay, and
+	// background compaction — when the backend is a live (writable)
+	// engine (ktpmd -wal-dir); omitted for read-only backends.
+	Ingest *ktpm.IngestStats `json:"ingest,omitempty"`
 	// Sharding reports per-shard vertex counts, merge contributions, and
 	// I/O counters when the backend is a ShardedDatabase; omitted for a
 	// single database.
@@ -1096,6 +1110,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		if st, ok := sn.SnapshotStats(); ok {
 			resp.Snapshot = &st
 		}
+	}
+	if li, ok := s.db.(liveBackend); ok {
+		st := li.IngestStats()
+		resp.Ingest = &st
 	}
 	if ss, ok := s.db.(shardStater); ok {
 		st := ss.ShardStats()

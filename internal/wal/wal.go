@@ -1,0 +1,598 @@
+// Package wal implements the segmented append-only write-ahead log
+// behind ktpmd's ingest path. Records are CRC32C-framed and carry a
+// dense log sequence number (LSN); an acknowledged append is on disk
+// (under the "always" fsync policy) before the caller sees its LSN.
+//
+// On-disk layout, one or more segment files in a directory:
+//
+//	wal-%016x.log        (hex name = LSN of the segment's first record)
+//	┌──────────────────────────────────────────────┐
+//	│ segment header: "KTPMWAL1" (8) firstLSN (8)   │
+//	├──────────────────────────────────────────────┤
+//	│ record: crc32c(4) payloadLen(4) lsn(8) data   │  crc covers len+lsn+data
+//	│ record: ...                                   │
+//	└──────────────────────────────────────────────┘
+//
+// Replay validates every frame. A torn tail — a partially-written
+// record produced by a crash mid-append — is permitted only in the
+// final segment and is truncated away on Open; an invalid frame in any
+// earlier segment is corruption and fails the open. LSNs are dense
+// (each record's LSN is the previous plus one), so a recovered log is
+// always an exact prefix of what was appended.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"ktpm/internal/fsio"
+)
+
+const (
+	segMagic     = "KTPMWAL1"
+	segHeaderLen = 16
+	frameHeader  = 16 // crc32c(4) + payloadLen(4) + lsn(8)
+	// maxPayload bounds a single record; a frame claiming more is
+	// treated as torn/corrupt rather than allocated.
+	maxPayload = 1 << 26
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Policy selects when appends reach stable storage.
+type Policy int
+
+const (
+	// FsyncAlways syncs before every Append returns: an acknowledged
+	// record survives any crash. This is the only policy under which
+	// the server's ingest ack is a durability promise.
+	FsyncAlways Policy = iota
+	// FsyncInterval syncs on a background ticker (100ms): bounded data
+	// loss in exchange for amortized fsync cost.
+	FsyncInterval
+	// FsyncNever leaves syncing to the OS page cache.
+	FsyncNever
+)
+
+func (p Policy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncInterval:
+		return "interval"
+	default:
+		return "never"
+	}
+}
+
+// ParsePolicy maps the -fsync flag values to a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "always", "":
+		return FsyncAlways, nil
+	case "interval":
+		return FsyncInterval, nil
+	case "never":
+		return FsyncNever, nil
+	}
+	return 0, fmt.Errorf("unknown fsync policy %q (want always, interval, never)", s)
+}
+
+// Options tunes Open.
+type Options struct {
+	Policy Policy
+	// SyncEvery is the FsyncInterval ticker period; 0 means 100ms.
+	SyncEvery time.Duration
+	// SegmentBytes rotates to a new segment once the current one
+	// reaches this size; 0 means 64 MiB. Tests shrink it to exercise
+	// rotation and TruncateBefore.
+	SegmentBytes int64
+}
+
+// Stats is the WAL's observable state, surfaced in /stats and metrics.
+type Stats struct {
+	Dir         string `json:"dir"`
+	FsyncPolicy string `json:"fsync_policy"`
+	Segments    int    `json:"segments"`
+	Bytes       int64  `json:"bytes"`
+	// LastLSN is the newest durable-or-buffered record; 0 when empty.
+	LastLSN uint64 `json:"last_lsn"`
+	Appends int64  `json:"appends"`
+	Fsyncs  int64  `json:"fsyncs"`
+	// RecoveredRecords and TornBytesTruncated describe the last Open:
+	// how many records replay found, and how many trailing bytes of a
+	// partially-written record were cut from the final segment.
+	RecoveredRecords   int64 `json:"recovered_records"`
+	TornBytesTruncated int64 `json:"torn_bytes_truncated"`
+}
+
+// Log is an open write-ahead log. Append is safe for concurrent use.
+type Log struct {
+	dir  string
+	opts Options
+
+	mu      sync.Mutex
+	f       *os.File // active segment
+	size    int64    // active segment size
+	nextLSN uint64
+	dirty   bool // unsynced appends under FsyncInterval/FsyncNever
+	closed  bool
+	frame   []byte // reused append buffer
+
+	segments []uint64 // firstLSN of every segment, sorted; last is active
+	bytes    int64    // total bytes across sealed segments (not the active one)
+
+	appends   int64
+	fsyncs    int64
+	recovered int64
+	tornBytes int64
+
+	stopSync chan struct{}
+}
+
+func segName(firstLSN uint64) string {
+	return fmt.Sprintf("wal-%016x.log", firstLSN)
+}
+
+func parseSegName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".log") {
+		return 0, false
+	}
+	hexPart := strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".log")
+	if len(hexPart) != 16 {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(hexPart, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// Open opens (creating if needed) the log in dir, replaying existing
+// segments to find the tail. A torn final record is truncated; the
+// returned log appends after the last intact record.
+func Open(dir string, opts Options) (*Log, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = 64 << 20
+	}
+	if opts.SyncEvery <= 0 {
+		opts.SyncEvery = 100 * time.Millisecond
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	l := &Log{dir: dir, opts: opts, nextLSN: 1}
+
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range ents {
+		if first, ok := parseSegName(e.Name()); ok {
+			l.segments = append(l.segments, first)
+		}
+	}
+	sort.Slice(l.segments, func(i, j int) bool { return l.segments[i] < l.segments[j] })
+
+	for i, first := range l.segments {
+		if i == 0 {
+			// The first segment on disk defines where the log starts
+			// (earlier segments were truncated away after compaction).
+			l.nextLSN = first
+		} else if first != l.nextLSN {
+			return nil, fmt.Errorf("wal: segment %s starts at lsn %d, want %d (gap in log)", segName(first), first, l.nextLSN)
+		}
+		last := i == len(l.segments)-1
+		path := filepath.Join(dir, segName(first))
+		next, size, err := l.recoverSegment(path, first, last)
+		if err != nil {
+			return nil, err
+		}
+		if !last {
+			l.bytes += size
+		} else {
+			l.size = size
+		}
+		l.nextLSN = next
+	}
+
+	if len(l.segments) > 0 {
+		// Reopen the final segment for appends.
+		f, err := os.OpenFile(filepath.Join(dir, segName(l.segments[len(l.segments)-1])), os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, err
+		}
+		l.f = f
+	}
+	if opts.Policy == FsyncInterval {
+		l.stopSync = make(chan struct{})
+		go l.syncLoop()
+	}
+	return l, nil
+}
+
+// recoverSegment validates one segment, returning the LSN after its
+// last intact record and its (possibly truncated) size. Torn tails are
+// truncated only when last is true.
+func (l *Log) recoverSegment(path string, wantFirst uint64, last bool) (nextLSN uint64, size int64, err error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer f.Close()
+	hdr := make([]byte, segHeaderLen)
+	if _, err := io.ReadFull(f, hdr); err != nil {
+		return 0, 0, fmt.Errorf("wal segment %s: short header: %w", path, err)
+	}
+	if string(hdr[:8]) != segMagic {
+		return 0, 0, fmt.Errorf("wal segment %s: bad magic", path)
+	}
+	if got := binary.LittleEndian.Uint64(hdr[8:16]); got != wantFirst {
+		return 0, 0, fmt.Errorf("wal segment %s: header firstLSN %d does not match name", path, got)
+	}
+
+	expect := wantFirst
+	offset := int64(segHeaderLen)
+	var fh [frameHeader]byte
+	var payload []byte
+	for {
+		n, err := io.ReadFull(f, fh[:])
+		if err == io.EOF {
+			break // clean end
+		}
+		if err == io.ErrUnexpectedEOF {
+			if !last {
+				return 0, 0, fmt.Errorf("wal segment %s: torn frame header in non-final segment at offset %d", path, offset)
+			}
+			l.tornBytes += int64(n)
+			break
+		}
+		if err != nil {
+			return 0, 0, err
+		}
+		wantCRC := binary.LittleEndian.Uint32(fh[0:4])
+		plen := binary.LittleEndian.Uint32(fh[4:8])
+		lsn := binary.LittleEndian.Uint64(fh[8:16])
+		torn := func(extra int64) (uint64, int64, error) {
+			if !last {
+				return 0, 0, fmt.Errorf("wal segment %s: corrupt record at offset %d (lsn %d)", path, offset, lsn)
+			}
+			l.tornBytes += frameHeader + extra
+			return 0, 0, nil
+		}
+		if plen > maxPayload {
+			if _, _, err := torn(0); err != nil {
+				return 0, 0, err
+			}
+			break
+		}
+		if cap(payload) < int(plen) {
+			payload = make([]byte, plen)
+		}
+		payload = payload[:plen]
+		pn, err := io.ReadFull(f, payload)
+		if err != nil {
+			if err == io.ErrUnexpectedEOF || err == io.EOF {
+				if _, _, err := torn(int64(pn)); err != nil {
+					return 0, 0, err
+				}
+				break
+			}
+			return 0, 0, err
+		}
+		crc := crc32.Update(0, castagnoli, fh[4:16])
+		crc = crc32.Update(crc, castagnoli, payload)
+		if crc != wantCRC || lsn != expect {
+			if _, _, err := torn(int64(plen)); err != nil {
+				return 0, 0, err
+			}
+			break
+		}
+		offset += frameHeader + int64(plen)
+		expect++
+		l.recovered++
+	}
+
+	if last && l.tornBytes > 0 {
+		if err := f.Truncate(offset); err != nil {
+			return 0, 0, fmt.Errorf("wal segment %s: truncate torn tail: %w", path, err)
+		}
+		if err := f.Sync(); err != nil {
+			return 0, 0, err
+		}
+	}
+	return expect, offset, nil
+}
+
+// Append frames payload as the next record and returns its LSN. Under
+// FsyncAlways the record is durable when Append returns.
+func (l *Log) Append(payload []byte) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, fmt.Errorf("wal: append on closed log")
+	}
+	if len(payload) > maxPayload {
+		return 0, fmt.Errorf("wal: payload %d bytes exceeds the %d limit", len(payload), maxPayload)
+	}
+	if l.f == nil || l.size >= l.opts.SegmentBytes {
+		if err := l.rotateLocked(); err != nil {
+			return 0, err
+		}
+	}
+	lsn := l.nextLSN
+	need := frameHeader + len(payload)
+	if cap(l.frame) < need {
+		l.frame = make([]byte, need)
+	}
+	frame := l.frame[:need]
+	binary.LittleEndian.PutUint32(frame[4:8], uint32(len(payload)))
+	binary.LittleEndian.PutUint64(frame[8:16], lsn)
+	copy(frame[frameHeader:], payload)
+	crc := crc32.Update(0, castagnoli, frame[4:])
+	binary.LittleEndian.PutUint32(frame[0:4], crc)
+	if _, err := l.f.Write(frame); err != nil {
+		return 0, err
+	}
+	l.size += int64(need)
+	l.nextLSN++
+	l.appends++
+	if l.opts.Policy == FsyncAlways {
+		if err := l.f.Sync(); err != nil {
+			return 0, err
+		}
+		l.fsyncs++
+	} else {
+		l.dirty = true
+	}
+	return lsn, nil
+}
+
+// rotateLocked seals the active segment and starts a new one whose
+// first record will be nextLSN. Called with mu held.
+func (l *Log) rotateLocked() error {
+	if l.f != nil {
+		if err := l.f.Sync(); err != nil {
+			return err
+		}
+		l.fsyncs++
+		if err := l.f.Close(); err != nil {
+			return err
+		}
+		l.bytes += l.size
+		l.f, l.size = nil, 0
+	}
+	path := filepath.Join(l.dir, segName(l.nextLSN))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	hdr := make([]byte, segHeaderLen)
+	copy(hdr, segMagic)
+	binary.LittleEndian.PutUint64(hdr[8:16], l.nextLSN)
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	l.fsyncs++
+	// Make the new segment's directory entry durable before any record
+	// is acknowledged out of it.
+	if err := fsio.SyncDir(l.dir); err != nil {
+		f.Close()
+		return err
+	}
+	l.f = f
+	l.size = segHeaderLen
+	l.segments = append(l.segments, l.nextLSN)
+	return nil
+}
+
+// Sync forces buffered appends to stable storage.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	if l.f == nil || !l.dirty {
+		return nil
+	}
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	l.dirty = false
+	l.fsyncs++
+	return nil
+}
+
+func (l *Log) syncLoop() {
+	t := time.NewTicker(l.opts.SyncEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			l.mu.Lock()
+			if l.closed {
+				l.mu.Unlock()
+				return
+			}
+			_ = l.syncLocked()
+			l.mu.Unlock()
+		case <-l.stopSync:
+			return
+		}
+	}
+}
+
+// Replay calls fn for every intact record with LSN >= fromLSN, in LSN
+// order, reading from disk. Safe to call on a live log between appends
+// (Live serializes replay against appends).
+func (l *Log) Replay(fromLSN uint64, fn func(lsn uint64, payload []byte) error) error {
+	l.mu.Lock()
+	if err := l.syncLocked(); err != nil {
+		l.mu.Unlock()
+		return err
+	}
+	segs := append([]uint64(nil), l.segments...)
+	end := l.nextLSN
+	l.mu.Unlock()
+
+	for i, first := range segs {
+		if i+1 < len(segs) && segs[i+1] <= fromLSN {
+			continue // entire segment is below fromLSN
+		}
+		f, err := os.Open(filepath.Join(l.dir, segName(first)))
+		if err != nil {
+			return err
+		}
+		err = replaySegment(f, first, fromLSN, end, fn)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func replaySegment(f *os.File, first, fromLSN, end uint64, fn func(uint64, []byte) error) error {
+	if _, err := f.Seek(segHeaderLen, io.SeekStart); err != nil {
+		return err
+	}
+	var fh [frameHeader]byte
+	var payload []byte
+	expect := first
+	for expect < end {
+		if _, err := io.ReadFull(f, fh[:]); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return nil
+			}
+			return err
+		}
+		plen := binary.LittleEndian.Uint32(fh[4:8])
+		lsn := binary.LittleEndian.Uint64(fh[8:16])
+		if plen > maxPayload || lsn != expect {
+			return fmt.Errorf("wal replay: corrupt record at lsn %d", expect)
+		}
+		if cap(payload) < int(plen) {
+			payload = make([]byte, plen)
+		}
+		payload = payload[:plen]
+		if _, err := io.ReadFull(f, payload); err != nil {
+			return err
+		}
+		crc := crc32.Update(0, castagnoli, fh[4:16])
+		crc = crc32.Update(crc, castagnoli, payload)
+		if crc != binary.LittleEndian.Uint32(fh[0:4]) {
+			return fmt.Errorf("wal replay: crc mismatch at lsn %d", lsn)
+		}
+		if lsn >= fromLSN {
+			if err := fn(lsn, payload); err != nil {
+				return err
+			}
+		}
+		expect++
+	}
+	return nil
+}
+
+// TruncateBefore deletes whole segments all of whose records have LSN
+// < lsn. The active segment is first rotated when everything in it is
+// below the cut, so a compaction that drained the entire log releases
+// all of its disk. Per-record truncation is not needed: the caller's
+// watermark only ever moves to a compacted generation boundary, and a
+// few retained records before it are harmless on replay.
+func (l *Log) TruncateBefore(lsn uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f != nil && l.size > segHeaderLen && l.nextLSN <= lsn {
+		if err := l.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	keep := l.segments[:0]
+	removedAny := false
+	for i, first := range l.segments {
+		// A segment is removable when the next segment starts at or
+		// below the cut (so this one holds nothing >= lsn) and it is
+		// not the active segment.
+		if i+1 < len(l.segments) && l.segments[i+1] <= lsn {
+			path := filepath.Join(l.dir, segName(first))
+			fi, err := os.Stat(path)
+			if err == nil {
+				l.bytes -= fi.Size()
+			}
+			if err := os.Remove(path); err != nil {
+				return err
+			}
+			removedAny = true
+			continue
+		}
+		keep = append(keep, first)
+	}
+	l.segments = append([]uint64(nil), keep...)
+	if removedAny {
+		return fsio.SyncDir(l.dir)
+	}
+	return nil
+}
+
+// NextLSN is the LSN the next Append will return.
+func (l *Log) NextLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextLSN
+}
+
+// Stats snapshots the log's counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Stats{
+		Dir:                l.dir,
+		FsyncPolicy:        l.opts.Policy.String(),
+		Segments:           len(l.segments),
+		Bytes:              l.bytes + l.size,
+		LastLSN:            l.nextLSN - 1,
+		Appends:            l.appends,
+		Fsyncs:             l.fsyncs,
+		RecoveredRecords:   l.recovered,
+		TornBytesTruncated: l.tornBytes,
+	}
+}
+
+// Close syncs and closes the active segment.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if l.stopSync != nil {
+		close(l.stopSync)
+	}
+	if l.f == nil {
+		return nil
+	}
+	err := l.syncLocked()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f = nil
+	return err
+}
