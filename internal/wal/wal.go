@@ -16,7 +16,10 @@
 // Replay validates every frame. A torn tail — a partially-written
 // record produced by a crash mid-append — is permitted only in the
 // final segment and is truncated away on Open; an invalid frame in any
-// earlier segment is corruption and fails the open. LSNs are dense
+// earlier segment is corruption and fails the open. A final segment
+// with a short or garbled header and no records — a crash between
+// segment creation and the header write in rotate — is likewise
+// removed on Open rather than failing it. LSNs are dense
 // (each record's LSN is the previous plus one), so a recovered log is
 // always an exact prefix of what was appended.
 package wal
@@ -113,6 +116,9 @@ type Stats struct {
 	// partially-written record were cut from the final segment.
 	RecoveredRecords   int64 `json:"recovered_records"`
 	TornBytesTruncated int64 `json:"torn_bytes_truncated"`
+	// Failed is the poison error (see Log.failed) when the log has
+	// stopped accepting appends after an I/O failure; empty otherwise.
+	Failed string `json:"failed,omitempty"`
 }
 
 // Log is an open write-ahead log. Append is safe for concurrent use.
@@ -126,7 +132,14 @@ type Log struct {
 	nextLSN uint64
 	dirty   bool // unsynced appends under FsyncInterval/FsyncNever
 	closed  bool
-	frame   []byte // reused append buffer
+	// failed poisons the log permanently. After a failed fsync the
+	// kernel may have dropped the dirty pages while clearing the error
+	// (fsyncgate), so neither retrying the sync nor trusting the file
+	// contents is safe; every later Append and Sync returns this error
+	// and the operator must restart, letting Open re-establish a
+	// consistent tail from disk.
+	failed error
+	frame  []byte // reused append buffer
 
 	segments []uint64 // firstLSN of every segment, sorted; last is active
 	bytes    int64    // total bytes across sealed segments (not the active one)
@@ -184,6 +197,37 @@ func Open(dir string, opts Options) (*Log, error) {
 	}
 	sort.Slice(l.segments, func(i, j int) bool { return l.segments[i] < l.segments[j] })
 
+	// A crash between segment creation and the header write in rotate
+	// leaves a final segment with a short or garbled header and no
+	// records. That is a torn rotation, not corruption: remove the
+	// stillborn segment and append after the previous one. Only the
+	// final segment is eligible, and only while it holds no record
+	// bytes — a bad header followed by record data still fails the open.
+	if n := len(l.segments); n > 0 {
+		lastFirst := l.segments[n-1]
+		path := filepath.Join(dir, segName(lastFirst))
+		drop, size, err := tornRotation(path, lastFirst)
+		if err != nil {
+			return nil, err
+		}
+		if drop {
+			if err := os.Remove(path); err != nil {
+				return nil, err
+			}
+			if err := fsio.SyncDir(dir); err != nil {
+				return nil, err
+			}
+			l.tornBytes += size
+			l.segments = l.segments[:n-1]
+			if n == 1 {
+				// The torn segment was the whole log (everything before
+				// it was truncated behind a compaction). Its name still
+				// carries the next LSN, so the sequence stays dense.
+				l.nextLSN = lastFirst
+			}
+		}
+	}
+
 	for i, first := range l.segments {
 		if i == 0 {
 			// The first segment on disk defines where the log starts
@@ -219,6 +263,36 @@ func Open(dir string, opts Options) (*Log, error) {
 		go l.syncLoop()
 	}
 	return l, nil
+}
+
+// tornRotation reports whether the final segment at path is the
+// remnant of a crash mid-rotation: at most header-sized, with a header
+// that is short, has bad magic, or names the wrong first LSN. An
+// intact header with zero records is a normal post-rotation state and
+// is kept.
+func tornRotation(path string, wantFirst uint64) (drop bool, size int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return false, 0, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return false, 0, err
+	}
+	if fi.Size() > segHeaderLen {
+		return false, 0, nil
+	}
+	hdr := make([]byte, segHeaderLen)
+	n, err := io.ReadFull(f, hdr)
+	if err != nil && err != io.EOF && err != io.ErrUnexpectedEOF {
+		return false, 0, err
+	}
+	if n == segHeaderLen && string(hdr[:8]) == segMagic &&
+		binary.LittleEndian.Uint64(hdr[8:16]) == wantFirst {
+		return false, 0, nil
+	}
+	return true, fi.Size(), nil
 }
 
 // recoverSegment validates one segment, returning the LSN after its
@@ -322,6 +396,9 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 	if l.closed {
 		return 0, fmt.Errorf("wal: append on closed log")
 	}
+	if l.failed != nil {
+		return 0, fmt.Errorf("wal: log failed: %w", l.failed)
+	}
 	if len(payload) > maxPayload {
 		return 0, fmt.Errorf("wal: payload %d bytes exceeds the %d limit", len(payload), maxPayload)
 	}
@@ -342,6 +419,17 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 	crc := crc32.Update(0, castagnoli, frame[4:])
 	binary.LittleEndian.PutUint32(frame[0:4], crc)
 	if _, err := l.f.Write(frame); err != nil {
+		// A partial write (e.g. ENOSPC mid-frame) leaves torn bytes at
+		// the tail. Replay stops at the first bad frame, so if later
+		// appends were allowed to land after the tear, every one of
+		// them would be silently truncated on recovery. Restore the
+		// last known-good size before accepting anything else; if even
+		// that fails, poison the log.
+		if terr := l.f.Truncate(l.size); terr != nil {
+			l.failed = fmt.Errorf("append write: %v; truncating torn tail: %v", err, terr)
+		} else if serr := l.f.Sync(); serr != nil {
+			l.failed = fmt.Errorf("append write: %v; syncing torn-tail truncate: %v", err, serr)
+		}
 		return 0, err
 	}
 	l.size += int64(need)
@@ -349,6 +437,17 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 	l.appends++
 	if l.opts.Policy == FsyncAlways {
 		if err := l.f.Sync(); err != nil {
+			// The record is in the file but was never acknowledged; if
+			// the log kept running, recovery would replay it and the
+			// restarted replica would diverge from the pre-crash
+			// serving state. Best-effort remove it, then poison the
+			// log either way — after a failed fsync the file's on-disk
+			// state is unknowable.
+			if terr := l.f.Truncate(l.size - int64(need)); terr == nil {
+				l.size -= int64(need)
+				l.nextLSN--
+			}
+			l.failed = fmt.Errorf("append fsync: %w", err)
 			return 0, err
 		}
 		l.fsyncs++
@@ -363,6 +462,10 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 func (l *Log) rotateLocked() error {
 	if l.f != nil {
 		if err := l.f.Sync(); err != nil {
+			// Acked records under interval/never policies may be in
+			// those dirty pages; continuing past a failed fsync could
+			// lose them silently (see the failed field's doc).
+			l.failed = fmt.Errorf("rotate sync: %w", err)
 			return err
 		}
 		l.fsyncs++
@@ -409,10 +512,14 @@ func (l *Log) Sync() error {
 }
 
 func (l *Log) syncLocked() error {
+	if l.failed != nil {
+		return fmt.Errorf("wal: log failed: %w", l.failed)
+	}
 	if l.f == nil || !l.dirty {
 		return nil
 	}
 	if err := l.f.Sync(); err != nil {
+		l.failed = fmt.Errorf("sync: %w", err)
 		return err
 	}
 	l.dirty = false
@@ -519,6 +626,9 @@ func replaySegment(f *os.File, first, fromLSN, end uint64, fn func(uint64, []byt
 func (l *Log) TruncateBefore(lsn uint64) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.failed != nil {
+		return fmt.Errorf("wal: log failed: %w", l.failed)
+	}
 	if l.f != nil && l.size > segHeaderLen && l.nextLSN <= lsn {
 		if err := l.rotateLocked(); err != nil {
 			return err
@@ -562,7 +672,7 @@ func (l *Log) NextLSN() uint64 {
 func (l *Log) Stats() Stats {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return Stats{
+	s := Stats{
 		Dir:                l.dir,
 		FsyncPolicy:        l.opts.Policy.String(),
 		Segments:           len(l.segments),
@@ -573,6 +683,10 @@ func (l *Log) Stats() Stats {
 		RecoveredRecords:   l.recovered,
 		TornBytesTruncated: l.tornBytes,
 	}
+	if l.failed != nil {
+		s.Failed = l.failed.Error()
+	}
+	return s
 }
 
 // Close syncs and closes the active segment.

@@ -2,10 +2,12 @@ package wal
 
 import (
 	"bytes"
+	"encoding/binary"
 	"fmt"
 	"math/rand"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -284,4 +286,160 @@ func TestFsyncPolicies(t *testing.T) {
 			t.Fatalf("ParsePolicy(%q) = %v, %v", s, p, err)
 		}
 	}
+}
+
+// TestTornRotationHeaderRecovered simulates a SIGKILL between segment
+// creation and the header write in rotate: the final segment exists on
+// disk with fewer than segHeaderLen bytes (or a garbled full-length
+// header) and no records. Open must drop the stillborn segment, keep
+// every earlier record, and continue the LSN sequence — not fail.
+func TestTornRotationHeaderRecovered(t *testing.T) {
+	for _, hdrLen := range []int{0, 1, 8, 15, segHeaderLen} {
+		t.Run(fmt.Sprintf("hdr%d", hdrLen), func(t *testing.T) {
+			dir := t.TempDir()
+			l, err := Open(dir, Options{Policy: FsyncNever, SegmentBytes: 128})
+			if err != nil {
+				t.Fatal(err)
+			}
+			appendN(t, l, 0, 10)
+			next := l.NextLSN()
+			l.Close()
+
+			// Fabricate the torn segment a crashed rotate would leave:
+			// a prefix of a valid header, or (hdrLen == segHeaderLen) a
+			// full-length header with bad magic.
+			hdr := make([]byte, segHeaderLen)
+			copy(hdr, segMagic)
+			binary.LittleEndian.PutUint64(hdr[8:16], next)
+			if hdrLen == segHeaderLen {
+				hdr[0] ^= 0xff
+			}
+			torn := filepath.Join(dir, segName(next))
+			if err := os.WriteFile(torn, hdr[:hdrLen], 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			l2, err := Open(dir, Options{Policy: FsyncNever, SegmentBytes: 128})
+			if err != nil {
+				t.Fatalf("open with torn rotation header: %v", err)
+			}
+			defer l2.Close()
+			if _, err := os.Stat(torn); !os.IsNotExist(err) {
+				t.Fatalf("torn segment still on disk: %v", err)
+			}
+			if got := l2.Stats().TornBytesTruncated; got != int64(hdrLen) {
+				t.Fatalf("TornBytesTruncated = %d, want %d", got, hdrLen)
+			}
+			lsns, payloads := collect(t, l2, 1)
+			if len(lsns) != 10 {
+				t.Fatalf("recovered %d records, want 10", len(lsns))
+			}
+			for i := range lsns {
+				if lsns[i] != uint64(i+1) || payloads[i] != fmt.Sprintf("record-%04d", i) {
+					t.Fatalf("record %d corrupted after torn-rotation recovery", i)
+				}
+			}
+			appendN(t, l2, 10, 3)
+			if lsns, _ := collect(t, l2, 1); len(lsns) != 13 {
+				t.Fatalf("post-recovery appends: %d records", len(lsns))
+			}
+		})
+	}
+}
+
+// TestTornRotationOnlySegmentPreservesLSN covers the torn rotation
+// landing right after a full TruncateBefore: the stillborn segment is
+// the entire log, and its name is the only record of where the LSN
+// sequence stands. Open must drop the file but keep the sequence.
+func TestTornRotationOnlySegmentPreservesLSN(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, segName(21)), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, err := Open(dir, Options{Policy: FsyncNever})
+	if err != nil {
+		t.Fatalf("open with torn-only segment: %v", err)
+	}
+	defer l.Close()
+	lsn, err := l.Append([]byte("resumed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 21 {
+		t.Fatalf("first post-recovery lsn = %d, want 21", lsn)
+	}
+}
+
+// TestBadHeaderWithRecordsStillFailsOpen: the torn-rotation tolerance
+// must not swallow real corruption — a garbled header followed by
+// record bytes fails the open.
+func TestBadHeaderWithRecordsStillFailsOpen(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Policy: FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 0, 5)
+	l.Close()
+	path := filepath.Join(dir, segName(1))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[0] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{Policy: FsyncNever}); err == nil {
+		t.Fatal("open accepted a record-bearing segment with a bad header")
+	}
+}
+
+// TestWriteErrorPoisonsLog forces the frame write (and the follow-up
+// torn-tail truncate) to fail by closing the fd out from under the
+// log. The first Append must error, and because the tail could not be
+// restored, every later mutation must report the log as failed rather
+// than appending after a possible tear.
+func TestWriteErrorPoisonsLog(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Policy: FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 0, 3)
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	l.mu.Lock()
+	l.f.Close() // every subsequent write/truncate/sync on it now fails
+	l.mu.Unlock()
+	if _, err := l.Append([]byte("x")); err == nil {
+		t.Fatal("append on a dead fd succeeded")
+	}
+	for name, op := range map[string]func() error{
+		"append":         func() error { _, err := l.Append([]byte("y")); return err },
+		"sync":           l.Sync,
+		"truncateBefore": func() error { return l.TruncateBefore(2) },
+	} {
+		if err := op(); err == nil || !strings.Contains(err.Error(), "log failed") {
+			t.Fatalf("%s on poisoned log: err = %v, want log-failed", name, err)
+		}
+	}
+	if st := l.Stats(); st.Failed == "" {
+		t.Fatal("Stats.Failed empty on poisoned log")
+	}
+	l.Close()
+
+	// Restart recovers: Open re-establishes a clean tail from disk and
+	// the acknowledged prefix is intact.
+	l2, err := Open(dir, Options{Policy: FsyncNever})
+	if err != nil {
+		t.Fatalf("reopen after poison: %v", err)
+	}
+	defer l2.Close()
+	lsns, _ := collect(t, l2, 1)
+	if len(lsns) != 3 {
+		t.Fatalf("recovered %d records, want 3", len(lsns))
+	}
+	appendN(t, l2, 3, 2)
 }

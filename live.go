@@ -420,6 +420,17 @@ func (l *Live) publishLocked() {
 // queries — a response implies the write survives a crash (under
 // "always") and the next query epoch includes it. Batches are applied
 // serially in LSN order; queries are never blocked.
+//
+// Cost: the closure delta is incremental, but each acked batch also
+// copies the combined graph (CombineGraph) and re-materializes every
+// overlay-touched table (NewMergedSource) while holding the ingest
+// mutex — O(V + E + overlay entries) per batch, independent of batch
+// size. Ingest throughput therefore scales with batch size, not call
+// rate: amortize by batching hundreds-to-thousands of edges per call
+// (up to maxIngestBatch) rather than one edge at a time, and keep
+// -compact-threshold finite so the overlay term stays bounded. Making
+// the graph representation appendable would remove the O(V+E) term;
+// see the write-path section of docs/ARCHITECTURE.md.
 func (l *Live) Ingest(edges []IngestEdge) (lsn uint64, err error) {
 	if len(edges) == 0 {
 		l.rejected.Add(1)
